@@ -1,0 +1,85 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it runs the
+workload through the full pipeline (controller → measurement → result
+tree → parser), prints the same rows/series the paper reports, and
+asserts the qualitative *shape* (who wins, by what factor, where
+crossovers fall) — absolute numbers come from our simulator, not the
+authors' hardware, and are not expected to match.
+
+Benches honour ``POS_BENCH_FULL=1`` to run the paper's complete sweeps
+(e.g. all 30 vpos rates); the default is a thinned sweep that keeps the
+whole harness in the minutes range.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+
+from repro.casestudy import run_case_study
+from repro.evaluation.loader import ExperimentResults, load_experiment
+
+FULL_SWEEPS = os.environ.get("POS_BENCH_FULL", "") == "1"
+
+
+def sweep(rates: Sequence[int], keep_every: int) -> List[int]:
+    """Thin a rate sweep unless POS_BENCH_FULL=1."""
+    if FULL_SWEEPS:
+        return list(rates)
+    thinned = list(rates[::keep_every])
+    if rates[-1] not in thinned:
+        thinned.append(rates[-1])
+    return thinned
+
+
+def run_and_load(
+    platform: str,
+    tmp_path,
+    rates: Sequence[int],
+    sizes: Sequence[int],
+    duration_s: float,
+    interval_s: float = 0.05,
+    seed: int = 0,
+) -> ExperimentResults:
+    handle = run_case_study(
+        platform,
+        str(tmp_path),
+        rates=list(rates),
+        sizes=tuple(sizes),
+        duration_s=duration_s,
+        interval_s=interval_s,
+        seed=seed,
+    )
+    assert handle.failed_runs == 0, "benchmark run must complete cleanly"
+    return load_experiment(handle.result_path)
+
+
+def throughput_rows(
+    results: ExperimentResults,
+) -> Dict[int, List[Tuple[float, float]]]:
+    """size -> [(offered_mpps, rx_mpps)] rows, like the Fig. 3 series."""
+    rows: Dict[int, List[Tuple[float, float]]] = {}
+    for size in results.loop_values("pkt_sz"):
+        series = []
+        for run in results.filter(pkt_sz=size):
+            output = run.moongen()
+            series.append((run.loop["pkt_rate"] / 1e6, output.rx_mpps))
+        rows[size] = sorted(series)
+    return rows
+
+
+def print_series(title: str, rows: Dict[int, List[Tuple[float, float]]]) -> None:
+    print(f"\n=== {title} ===")
+    print(f"{'offered [Mpps]':>15}  " + "  ".join(
+        f"{size:>4}B rx [Mpps]" for size in rows
+    ))
+    lengths = {len(series) for series in rows.values()}
+    assert len(lengths) == 1
+    sizes = list(rows)
+    for index in range(lengths.pop()):
+        offered = rows[sizes[0]][index][0]
+        cells = "  ".join(f"{rows[size][index][1]:>14.4f}" for size in sizes)
+        print(f"{offered:>15.3f}  {cells}")

@@ -1,0 +1,72 @@
+"""Ablation — setup-phase synchronization barrier (R4).
+
+Design choice under test: "pos synchronizes the end of the setup phase
+between the two hosts, i.e., the experiment continues only after all
+the experiment hosts have completed their setup."  Ablating the
+barrier lets the measurement start against a half-configured DuT: the
+early part of the run measures a black hole, corrupting the result
+without any error being raised.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testbed.scenarios import build_pos_pair
+
+
+def run_with_setup_delay(synchronized: bool) -> float:
+    """The DuT finishes its setup 10 ms *after* the LoadGen.
+
+    With the barrier, the measurement starts after both are ready; the
+    ablation starts it as soon as the LoadGen is ready.  Returns the
+    measured loss fraction.
+    """
+    setup = build_pos_pair()
+    for node in setup.nodes.values():
+        node.set_image(setup.images.resolve("debian-buster"))
+        node.reset()
+    lg = setup.nodes["riga"]
+    lg.execute("ip link set eno1 up")
+    lg.execute("ip link set eno2 up")
+
+    dut = setup.nodes["tartu"]
+    dut_ready_at = 0.010
+
+    def finish_dut_setup():
+        for command in (
+            "sysctl -w net.ipv4.ip_forward=1",
+            "ip link set eno1 up",
+            "ip link set eno2 up",
+        ):
+            assert dut.execute(command).ok
+
+    setup.sim.schedule(dut_ready_at, finish_dut_setup)
+    start_at = dut_ready_at if synchronized else 0.0
+    job = None
+
+    def start_measurement():
+        nonlocal job
+        job = setup.loadgen.start(
+            rate_pps=100_000, frame_size=64, duration_s=0.05
+        )
+
+    setup.sim.schedule(start_at, start_measurement)
+    setup.sim.run(until=0.2)
+    return job.loss_fraction
+
+
+def test_bench_ablation_barrier(benchmark):
+    with_barrier, without_barrier = benchmark.pedantic(
+        lambda: (run_with_setup_delay(True), run_with_setup_delay(False)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Ablation: setup-phase barrier ===")
+    print(f"with barrier:    loss = {with_barrier * 100:5.2f}% "
+          "(measurement starts after all hosts are ready)")
+    print(f"without barrier: loss = {without_barrier * 100:5.2f}% "
+          "(early packets hit a half-configured DuT)")
+    assert with_barrier < 0.01
+    # 10 ms of a 50 ms run against a dead DuT: ~20% of packets vanish.
+    assert without_barrier == pytest.approx(0.2, abs=0.05)

@@ -1,0 +1,51 @@
+"""Ablation — direct wiring vs a shared switch (R2).
+
+Design choice under test: pos wires experiment hosts directly so no
+foreign device influences the measurement.  Ablating isolation (a
+shared cut-through switch with background traffic from other testbed
+users) inflates latency and, above all, latency *variance* — the
+jitter that makes runs non-repeatable.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.testbed.scenarios import build_pos_pair
+from tests.conftest import boot_and_configure
+
+
+def latency_profile(link_kind: str, link_kwargs=None):
+    setup = build_pos_pair(link_kind=link_kind, link_kwargs=link_kwargs)
+    boot_and_configure(setup)
+    job = setup.loadgen.start(rate_pps=200_000, frame_size=64, duration_s=0.05)
+    setup.sim.run(until=0.1)
+    samples = job.latency_samples_s
+    return statistics.median(samples), statistics.pstdev(samples)
+
+
+def test_bench_ablation_isolation(benchmark):
+    def measure():
+        return {
+            "direct (pos)": latency_profile("direct"),
+            "shared switch, idle": latency_profile("cut-through"),
+            "shared switch, 70% load": latency_profile(
+                "cut-through", {"background_load": 0.7, "seed": 3}
+            ),
+        }
+
+    profiles = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\n=== Ablation: isolation by direct wiring (R2) ===")
+    for label, (median, stddev) in profiles.items():
+        print(f"{label:>24}: median {median * 1e6:7.3f} us, "
+              f"stddev {stddev * 1e9:8.1f} ns")
+    direct_median, direct_stddev = profiles["direct (pos)"]
+    idle_median, __ = profiles["shared switch, idle"]
+    loaded_median, loaded_stddev = profiles["shared switch, 70% load"]
+    # A switch adds latency even when idle…
+    assert idle_median > direct_median
+    # …and foreign load adds jitter that direct wiring cannot see.
+    assert loaded_stddev > direct_stddev * 3
+    assert loaded_median > idle_median

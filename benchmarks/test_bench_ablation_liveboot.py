@@ -1,0 +1,61 @@
+"""Ablation — live-boot clean slate (R3) on vs off.
+
+Design choice under test: pos boots every experiment from a live image,
+so no configuration survives between experiments.  Ablating the reboot
+(reusing the booted host) lets state leak: an experiment that *forgot*
+to configure the DuT still "works" because the previous experiment's
+sysctl lingers — exactly the silent irreproducibility live boots
+prevent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testbed.scenarios import build_pos_pair
+from tests.conftest import boot_and_configure
+
+
+def throughput_with_forgotten_setup(reboot_between: bool) -> float:
+    """Experiment 1 configures the DuT; experiment 2 forgets to.
+
+    Returns experiment 2's throughput in packets: non-zero means the
+    leaked state silently carried it.
+    """
+    setup = build_pos_pair()
+    boot_and_configure(setup)  # experiment 1: full setup
+    job1 = setup.loadgen.start(rate_pps=50_000, frame_size=64, duration_s=0.02)
+    setup.sim.run(until=0.05)
+    assert job1.rx_packets > 0
+
+    if reboot_between:
+        # pos behaviour: live-boot both hosts again.
+        for node in setup.nodes.values():
+            node.reset()
+    # Experiment 2 runs *without* its setup phase (the forgotten script),
+    # except the loadgen links, which its own script did bring up.
+    lg = setup.nodes["riga"]
+    if reboot_between:
+        lg.execute("ip link set eno1 up")
+        lg.execute("ip link set eno2 up")
+    job2 = setup.loadgen.start(rate_pps=50_000, frame_size=64, duration_s=0.02)
+    setup.sim.run(until=0.1)
+    return job2.rx_packets
+
+
+def test_bench_ablation_liveboot(benchmark):
+    leaked, clean = benchmark.pedantic(
+        lambda: (
+            throughput_with_forgotten_setup(reboot_between=False),
+            throughput_with_forgotten_setup(reboot_between=True),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Ablation: live-boot clean slate (R3) ===")
+    print(f"without reboot (state leaks):  run-2 rx = {leaked} packets "
+          "(unscripted setup silently works — irreproducible)")
+    print(f"with live-boot reset:          run-2 rx = {clean} packets "
+          "(missing setup script is caught immediately)")
+    assert leaked > 0, "ablated testbed lets stale config carry the run"
+    assert clean == 0, "live boot must expose the missing setup script"

@@ -1,0 +1,49 @@
+"""Appendix A — the 60-run cross product and the serialized schedule.
+
+"pos calculates the cross product, which results in a total of 60
+individual measurements … pos automatically queues one run after
+another … The entire experiment runs for approximately 3 h."
+
+This bench expands the appendix's loop file, checks the run count and
+ordering, and reconstructs the serialized schedule length from the
+per-run duration implied by the paper's 3 h figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudy import VPOS_RATES, build_case_study_experiment
+from repro.core.variables import expand_loop_variables
+
+
+def test_bench_crossproduct(benchmark):
+    loop = {"pkt_sz": [64, 1500], "pkt_rate": VPOS_RATES}
+    runs = benchmark.pedantic(
+        lambda: expand_loop_variables(loop), rounds=1, iterations=1
+    )
+    print("\n=== Appendix A: measurement-run cross product ===")
+    print(f"loop variables: pkt_sz x{len(loop['pkt_sz'])}, "
+          f"pkt_rate x{len(loop['pkt_rate'])}")
+    print(f"runs: {len(runs)} (paper: 60)")
+    assert len(runs) == 60
+
+    # Full coverage and deterministic order.
+    combinations = {(run["pkt_sz"], run["pkt_rate"]) for run in runs}
+    assert len(combinations) == 60
+    assert runs[0] == {"pkt_sz": 64, "pkt_rate": 10_000}
+    assert runs[-1] == {"pkt_sz": 1500, "pkt_rate": 300_000}
+
+    # Serialized schedule: one run after another; the 3 h figure implies
+    # ~3 minutes per run including setup amortization.
+    per_run_s = 3 * 3600 / 60
+    print(f"implied per-run duration: {per_run_s / 60:.0f} min")
+    experiment = build_case_study_experiment("vpos")
+    assert experiment.variables.run_count() == 60
+    assert experiment.duration_s == pytest.approx(3 * 3600)
+
+    # Exponential growth warning from the paper: adding one more 10-value
+    # loop variable would 10x the schedule.
+    bigger = dict(loop)
+    bigger["burst"] = list(range(10))
+    assert len(expand_loop_variables(bigger)) == 600

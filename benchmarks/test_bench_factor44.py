@@ -1,0 +1,74 @@
+"""Sec. 5 headline numbers — the pos/vpos gap and overload variance.
+
+The paper: "With a decrease in the maximum forwarding throughput by a
+factor of up to 44 and an increase in variance in the virtualized
+environment …  the underlying tendencies stay the same."  This bench
+derives both derived quantities from fresh runs of the two platforms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.moongen_parser import parse_moongen_output
+
+from conftest import run_and_load
+
+
+@pytest.fixture(scope="module")
+def platform_runs(tmp_path_factory):
+    pos = run_and_load(
+        "pos",
+        tmp_path_factory.mktemp("pos44"),
+        rates=[1_500_000, 2_000_000],
+        sizes=(64,),
+        duration_s=0.05,
+        interval_s=0.01,
+    )
+    vpos = run_and_load(
+        "vpos",
+        tmp_path_factory.mktemp("vpos44"),
+        rates=[30_000, 40_000, 200_000],
+        sizes=(64,),
+        duration_s=0.4,
+        interval_s=0.05,
+        seed=4,
+    )
+    return pos, vpos
+
+
+def test_bench_factor44(benchmark, platform_runs):
+    pos, vpos = platform_runs
+
+    def derive():
+        pos_peak = max(run.moongen().rx_mpps for run in pos.runs)
+        vpos_dropfree = max(
+            run.moongen().rx_mpps
+            for run in vpos.runs
+            if run.moongen().loss_fraction < 0.02
+        )
+        return pos_peak, vpos_dropfree
+
+    pos_peak, vpos_dropfree = benchmark.pedantic(derive, rounds=1, iterations=1)
+    factor = pos_peak / vpos_dropfree
+    print(f"\n=== Sec. 5: throughput gap pos vs vpos ===")
+    print(f"pos peak:            {pos_peak:.3f} Mpps")
+    print(f"vpos drop-free peak: {vpos_dropfree:.4f} Mpps")
+    print(f"factor:              {factor:.1f}x   (paper: up to 44x)")
+    assert 25 <= factor <= 70
+
+    # Variance increase: per-interval RX rates in the overloaded VM vary
+    # far more (relative to their mean) than on loaded bare metal.
+    def interval_cv(results, rate):
+        run = results.filter(pkt_rate=rate)[0]
+        output = parse_moongen_output(run.output("loadgen", "moongen.log"))
+        rates = output.rx_interval_mpps
+        mean = sum(rates) / len(rates)
+        variance = sum((value - mean) ** 2 for value in rates) / len(rates)
+        return (variance ** 0.5) / mean
+
+    pos_cv = interval_cv(pos, 2_000_000)
+    vpos_cv = interval_cv(vpos, 200_000)
+    print(f"pos overload interval CV:  {pos_cv:.4f}")
+    print(f"vpos overload interval CV: {vpos_cv:.4f}")
+    assert vpos_cv > pos_cv * 5, "virtualization should raise variance"

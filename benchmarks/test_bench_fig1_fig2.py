@@ -1,0 +1,56 @@
+"""Fig. 1 and Fig. 2 — the paper's structural diagrams, regenerated.
+
+Fig. 1 shows the experiment entities (testbed controller managing the
+directly wired DuT and LoadGen); Fig. 2 shows the experimental
+workflow (script/variable/result files through the three phases).
+Both regenerate here from *live objects*: the actual case-study
+topology and the actual experiment definition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudy import build_case_study_experiment, build_environment
+from repro.publication.workflow import workflow_outline, workflow_svg
+
+
+def test_bench_fig1(benchmark, tmp_path):
+    env = build_environment("pos", str(tmp_path))
+    svg = benchmark.pedantic(env.setup.topology.to_svg, rounds=1, iterations=1)
+    out = tmp_path / "fig1.svg"
+    out.write_text(svg)
+    print(f"\n=== Fig. 1: experiment entities -> {out} ===")
+    # Controller plus the two experiment hosts, direct wires between them.
+    for entity in ("kaunas", "riga", "tartu"):
+        assert entity in svg
+    assert svg.count('class="box"') + svg.count('class="box ctrl"') == 3
+    assert svg.count('class="wire"') == 2  # two directly wired links
+    assert svg.count('class="mgmt"') == 2  # controller manages both hosts
+
+
+def test_bench_fig2(benchmark, tmp_path):
+    experiment = build_case_study_experiment("vpos")
+    outline, svg = benchmark.pedantic(
+        lambda: (workflow_outline(experiment), workflow_svg(experiment)),
+        rounds=1,
+        iterations=1,
+    )
+    out = tmp_path / "fig2.svg"
+    out.write_text(svg)
+    print(f"\n=== Fig. 2: experimental workflow -> {out} ===")
+    print(outline)
+    # The three phases, in order.
+    setup_at = outline.index("phase: setup")
+    measure_at = outline.index("phase: measurement")
+    evaluate_at = outline.index("phase: evaluation")
+    assert setup_at < measure_at < evaluate_at
+    # Script and variable files appear as first-class entities.
+    assert "loadgen-setup" in outline
+    assert "dut-setup" in outline
+    assert "variables: global, loop" in outline
+    assert "runs: 60" in outline  # the appendix cross product
+    assert "publication script" in outline
+    # And the SVG bands mirror the same structure.
+    for phase in ("setup phase", "measurement phase", "evaluation phase"):
+        assert phase in svg

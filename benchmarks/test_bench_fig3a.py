@@ -1,0 +1,63 @@
+"""Fig. 3a — throughput of the bare-metal Linux router (pos).
+
+Paper's series: offered rate vs achieved rate for 64 B and 1500 B
+frames on real hardware.  Shape to reproduce:
+
+* 64 B saturates at ~1.75 Mpps (CPU-bound),
+* 1500 B saturates at ~0.82 Mpps (10 Gbit/s line-rate-bound),
+* below the respective ceiling both curves follow offered = achieved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudy import POS_RATES
+from repro.evaluation.plotter import plot_experiment
+
+from conftest import print_series, run_and_load, sweep, throughput_rows
+
+
+@pytest.fixture(scope="module")
+def fig3a_results(tmp_path_factory):
+    return run_and_load(
+        "pos",
+        tmp_path_factory.mktemp("fig3a"),
+        rates=sweep(POS_RATES, keep_every=3),
+        sizes=(64, 1500),
+        duration_s=0.05,
+        interval_s=0.01,
+    )
+
+
+def test_bench_fig3a(benchmark, fig3a_results, tmp_path):
+    rows = benchmark.pedantic(
+        lambda: throughput_rows(fig3a_results), rounds=1, iterations=1
+    )
+    print_series("Fig. 3a: pos (bare-metal Linux router)", rows)
+
+    series64 = rows[64]
+    series1500 = rows[1500]
+
+    # 64 B: linear region then a CPU ceiling near 1.75 Mpps.
+    peak64 = max(rx for __, rx in series64)
+    assert peak64 == pytest.approx(1.75, rel=0.05)
+    for offered, rx in series64:
+        if offered <= 1.5:
+            assert rx == pytest.approx(offered, rel=0.02)
+
+    # 1500 B: linear region then the 10 G line-rate ceiling near 0.82.
+    peak1500 = max(rx for __, rx in series1500)
+    assert peak1500 == pytest.approx(0.822, rel=0.05)
+    for offered, rx in series1500:
+        if offered <= 0.7:
+            assert rx == pytest.approx(offered, rel=0.02)
+
+    # The crossover: the 64 B ceiling is ~2.1x the 1500 B ceiling.
+    assert 1.8 <= peak64 / peak1500 <= 2.6
+
+    # And the paper's figure regenerates from the same data.
+    written = plot_experiment(
+        fig3a_results, output_dir=str(tmp_path / "figures"), formats=("svg",)
+    )
+    assert any(path.endswith("throughput.svg") for path in written)

@@ -1,0 +1,77 @@
+"""Fig. 3b — throughput of the virtualized Linux router (vpos).
+
+Paper's series: the appendix sweep (10 k–300 k pps, 64/1500 B) against
+the KVM guest connected through Linux bridges.  Shape to reproduce:
+
+* drop-free forwarding up to ~0.04 Mpps *regardless of packet size*,
+* beyond the ceiling the throughput becomes unstable, with visible
+  differences between the two packet sizes,
+* no latency data exists (virtio lacks hardware timestamping).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.casestudy import VPOS_RATES
+from repro.evaluation.plotter import latency_samples_us, plot_experiment
+
+from conftest import print_series, run_and_load, sweep, throughput_rows
+
+
+@pytest.fixture(scope="module")
+def fig3b_results(tmp_path_factory):
+    return run_and_load(
+        "vpos",
+        tmp_path_factory.mktemp("fig3b"),
+        rates=sweep(VPOS_RATES, keep_every=3),
+        sizes=(64, 1500),
+        duration_s=0.25,
+        interval_s=0.05,
+        seed=2,
+    )
+
+
+def test_bench_fig3b(benchmark, fig3b_results, tmp_path):
+    rows = benchmark.pedantic(
+        lambda: throughput_rows(fig3b_results), rounds=1, iterations=1
+    )
+    print_series("Fig. 3b: vpos (virtualized Linux router)", rows)
+
+    for size, series in rows.items():
+        # Drop-free region: offered == achieved up to ~0.03 Mpps.
+        for offered, rx in series:
+            if offered <= 0.03:
+                assert rx == pytest.approx(offered, rel=0.03), (
+                    f"pkt_sz={size} should be drop-free at {offered} Mpps"
+                )
+        # Ceiling: nothing remotely approaches the bare-metal rates.
+        peak = max(rx for __, rx in series)
+        assert peak < 0.09, f"pkt_sz={size} VM ceiling blown: {peak}"
+
+    # Overload instability: beyond the ceiling the two packet sizes
+    # visibly diverge (the paper: "evident in the throughput
+    # differences between the packet sizes").
+    overload64 = [rx for offered, rx in rows[64] if offered >= 0.1]
+    overload1500 = [rx for offered, rx in rows[1500] if offered >= 0.1]
+    divergence = statistics.mean(
+        abs(a - b) for a, b in zip(overload64, overload1500)
+    )
+    assert divergence > 0.002, "overload curves should differ between sizes"
+
+    # The generation side is stable between setups: TX equals offered.
+    for size in (64, 1500):
+        run = fig3b_results.filter(pkt_sz=size)[0]
+        output = run.moongen()
+        assert output.tx_mpps == pytest.approx(
+            run.loop["pkt_rate"] / 1e6, rel=0.02
+        )
+
+    # No latency histograms exist on the virtual platform.
+    assert latency_samples_us(fig3b_results) == []
+    written = plot_experiment(
+        fig3b_results, output_dir=str(tmp_path / "figures"), formats=("svg",)
+    )
+    assert [path for path in written if "latency" in path] == []

@@ -1,0 +1,60 @@
+"""Extension bench — multi-core scaling with RSS.
+
+The paper's DuT has 2x12 cores, but the case study's single flow rides
+a single core (RSS hashes one flow onto one queue), which is why
+Fig. 3a's ceiling is ~1.75 Mpps and not 12x that.  This bench makes the
+mechanism visible: sweeping the number of generated flows on a 4-core
+DuT scales throughput linearly up to the core count and saturates
+there.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen.moongen import MoonGen
+from repro.netsim.engine import Simulator
+from repro.netsim.link import DirectWire
+from repro.netsim.multicore import MultiCoreRouter
+from repro.netsim.nic import HardwareNic
+
+
+def saturated_mpps(flows: int, cores: int = 4) -> float:
+    sim = Simulator()
+    tx = HardwareNic(sim, "lg.tx", line_rate_bps=100e9)
+    rx = HardwareNic(sim, "lg.rx", line_rate_bps=100e9)
+    p0 = HardwareNic(sim, "dut.p0", line_rate_bps=100e9)
+    p1 = HardwareNic(sim, "dut.p1", line_rate_bps=100e9)
+    router = MultiCoreRouter(sim, cores=cores)
+    router.add_port(p0)
+    router.add_port(p1)
+    DirectWire(sim, tx, p0)
+    DirectWire(sim, p1, rx)
+    gen = MoonGen(sim, tx, rx)
+    duration = 0.008
+    job = gen.start(rate_pps=9_000_000, frame_size=64, duration_s=duration,
+                    flows=flows)
+    sim.run(until=duration)
+    return job.rx_packets / duration / 1e6
+
+
+def test_bench_multicore(benchmark):
+    flow_counts = [1, 2, 4, 8]
+    results = benchmark.pedantic(
+        lambda: {flows: saturated_mpps(flows) for flows in flow_counts},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Extension: RSS flow scaling on a 4-core DuT ===")
+    print(f"{'flows':>6} {'rx [Mpps]':>10} {'speedup':>8}")
+    base = results[1]
+    for flows, mpps in results.items():
+        print(f"{flows:>6} {mpps:>10.3f} {mpps / base:>7.2f}x")
+
+    # One flow reproduces the case-study single-core ceiling.
+    assert results[1] == pytest.approx(1.75, rel=0.05)
+    # Scaling is ~linear up to the core count…
+    assert results[2] == pytest.approx(2 * results[1], rel=0.06)
+    assert results[4] == pytest.approx(4 * results[1], rel=0.06)
+    # …and flat beyond it (8 flows on 4 cores gain nothing).
+    assert results[8] == pytest.approx(results[4], rel=0.06)

@@ -1,0 +1,72 @@
+"""Extension bench — robustness scan (the Zilberman scenario, Sec. 2).
+
+The paper motivates full automation partly with Zilberman's finding
+that "small variation from the original input, such as the investigated
+packet size, could lead to a significantly different performance".
+With pos, scanning the neighbourhood is one loop variable away.  This
+bench sweeps frame sizes across a DuT whose NIC uses 1 KiB receive
+buffers and shows the automation catching the throughput cliff at the
+buffer boundary — a result a single published operating point would
+hide.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.robustness import find_cliffs, robustness_report, scan
+from repro.netsim.engine import Simulator
+from repro.netsim.link import DirectWire
+from repro.netsim.nic import HardwareNic
+from repro.netsim.packet import Packet
+from repro.netsim.router import LinuxRouter
+
+
+def saturated_throughput(frame_size: float) -> float:
+    """Saturated forwarding rate (Mpps) at one frame size."""
+    sim = Simulator()
+    tx = HardwareNic(sim, "tx", line_rate_bps=100e9)
+    rx = HardwareNic(sim, "rx", line_rate_bps=100e9)
+    p0 = HardwareNic(sim, "p0", line_rate_bps=100e9)
+    p1 = HardwareNic(sim, "p1", line_rate_bps=100e9)
+    router = LinuxRouter(sim, rx_buffer_bytes=1024,
+                         extra_descriptor_cost_s=400e-9)
+    router.add_port(p0)
+    router.add_port(p1)
+    DirectWire(sim, tx, p0)
+    DirectWire(sim, p1, rx)
+    times = []
+    rx.set_rx_handler(lambda p: times.append(sim.now))
+    duration = 0.004
+    rate = 4_000_000
+    for seq in range(int(rate * duration)):
+        sim.schedule(seq / rate, tx.transmit,
+                     Packet(seq=seq, frame_size=int(frame_size)))
+    sim.run()
+    return sum(1 for moment in times if moment <= duration) / duration / 1e6
+
+
+def test_bench_robustness(benchmark):
+    sizes = [512, 768, 960, 1000, 1024, 1025, 1060, 1152, 1280, 1500]
+    points = benchmark.pedantic(
+        lambda: scan(sizes, saturated_throughput), rounds=1, iterations=1
+    )
+    report = robustness_report(
+        points, parameter_name="pkt_sz", metric_name="mpps", tolerance=0.10
+    )
+    print("\n=== Extension: robustness scan over packet size ===")
+    print(report)
+
+    cliffs = find_cliffs(points, tolerance=0.10)
+    # Exactly one brittle transition, at the receive-buffer boundary.
+    assert len(cliffs) == 1
+    assert cliffs[0].parameter_before == 1024
+    assert cliffs[0].parameter_after == 1025
+    assert cliffs[0].relative_change < -0.2
+    # Either side of the cliff the curve is flat (CPU-bound, not
+    # size-bound) — the hallmark of low robustness: stability everywhere
+    # except one invisible boundary.
+    below = [mpps for size, mpps in points if size <= 1024]
+    above = [mpps for size, mpps in points if size >= 1025]
+    assert max(below) - min(below) < 0.05 * max(below)
+    assert max(above) - min(above) < 0.05 * max(above)

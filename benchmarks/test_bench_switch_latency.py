@@ -1,0 +1,51 @@
+"""Sec. 7 — interconnect latency: direct wire vs L1 vs cut-through.
+
+The paper quantifies the isolation trade-off: an optical L1 switch adds
+a constant delay below 15 ns, an L2 cut-through switch about 300 ns.
+This bench measures end-to-end latency through the full case-study
+path for all three wirings and checks the deltas.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.testbed.scenarios import build_pos_pair
+from tests.conftest import boot_and_configure
+
+
+def median_latency(link_kind: str, link_kwargs=None) -> float:
+    setup = build_pos_pair(link_kind=link_kind, link_kwargs=link_kwargs)
+    boot_and_configure(setup)
+    job = setup.loadgen.start(rate_pps=100_000, frame_size=64, duration_s=0.05)
+    setup.sim.run(until=0.1)
+    samples = sorted(job.latency_samples_s)
+    assert samples, "hardware testbed must produce latency samples"
+    return samples[len(samples) // 2]
+
+
+def test_bench_switch_latency(benchmark):
+    def measure_all():
+        return {
+            "direct": median_latency("direct"),
+            "optical-l1": median_latency("optical-l1"),
+            "cut-through": median_latency("cut-through"),
+        }
+
+    medians = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    print("\n=== Sec. 7: interconnect latency impact ===")
+    for kind, value in medians.items():
+        print(f"{kind:>12}: median {value * 1e9:9.1f} ns")
+    # Two links in the path (forward + return), so deltas double.
+    optical_delta = medians["optical-l1"] - medians["direct"]
+    cut_delta = medians["cut-through"] - medians["direct"]
+    print(f"optical delta per hop: {optical_delta / 2 * 1e9:.1f} ns "
+          "(paper: < 15 ns)")
+    print(f"cut-through delta per hop: {cut_delta / 2 * 1e9:.1f} ns "
+          "(paper: ~300 ns)")
+    assert 0 < optical_delta / 2 < 15e-9
+    assert cut_delta / 2 == pytest.approx(300e-9, rel=0.1)
+    # The ordering the paper argues from: direct < L1 << cut-through.
+    assert medians["direct"] < medians["optical-l1"] < medians["cut-through"]

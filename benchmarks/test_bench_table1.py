@@ -1,0 +1,36 @@
+"""Table 1 — feature comparison of testbeds and methodologies.
+
+Regenerates the comparison matrix from declared system capabilities and
+checks every cell against the published table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comparison import (
+    REQUIREMENTS,
+    comparison_matrix,
+    format_table,
+)
+
+PAPER_TABLE = {
+    "Chameleon": ["full", "partial", "full", "n.a.", "n.a."],
+    "CloudLab": ["full", "partial", "full", "n.a.", "n.a."],
+    "Grid'5000": ["full", "partial", "full", "n.a.", "n.a."],
+    "OMF": ["n.a.", "n.a.", "n.a.", "full", "none"],
+    "NEPI": ["n.a.", "n.a.", "n.a.", "full", "partial"],
+    "SNDZoo": ["n.a.", "n.a.", "n.a.", "full", "partial"],
+    "pos": ["full", "full", "full", "full", "full"],
+}
+# Correction: the paper marks OMF and NEPI as "not supported" for R5.
+PAPER_TABLE["NEPI"] = ["n.a.", "n.a.", "n.a.", "full", "none"]
+
+
+def test_bench_table1(benchmark):
+    matrix = benchmark.pedantic(comparison_matrix, rounds=1, iterations=1)
+    print("\n=== Table 1: comparison between testbeds ===")
+    print(format_table())
+    for system, expected in PAPER_TABLE.items():
+        actual = [matrix[system][req].value for req in REQUIREMENTS]
+        assert actual == expected, f"{system}: {actual} != paper {expected}"

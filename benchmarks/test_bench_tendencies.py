@@ -1,0 +1,59 @@
+"""Sec. 5 — "the underlying tendencies stay the same".
+
+The paper's answer to "how can both setups be compared?" when raw
+numbers differ by a factor of 44: the qualitative behaviour matches.
+This bench runs both platforms and lets the tendency comparator decide
+programmatically — the same checks a referee would make by eye on
+Fig. 3a/3b.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.tendencies import tendencies_agree, tendency_report
+
+from conftest import run_and_load
+
+
+@pytest.fixture(scope="module")
+def both_platforms(tmp_path_factory):
+    def curves(platform, rates, duration, seed):
+        results = run_and_load(
+            platform,
+            tmp_path_factory.mktemp(platform),
+            rates=rates,
+            sizes=(64, 1500),
+            duration_s=duration,
+            interval_s=duration / 2,
+            seed=seed,
+        )
+        by_size = {}
+        for size in (64, 1500):
+            by_size[size] = [
+                (run.loop["pkt_rate"] / 1e6, run.moongen().rx_mpps)
+                for run in results.filter(pkt_sz=size)
+            ]
+        return by_size
+
+    pos = curves("pos", [250_000, 500_000, 750_000, 2_000_000], 0.04, seed=0)
+    vpos = curves("vpos", [10_000, 20_000, 40_000, 200_000], 0.2, seed=6)
+    return pos, vpos
+
+
+def test_bench_tendencies(benchmark, both_platforms):
+    pos, vpos = both_platforms
+    verdict = benchmark.pedantic(
+        lambda: tendencies_agree(pos, vpos), rounds=1, iterations=1
+    )
+    print("\n=== Sec. 5: tendency comparison pos vs vpos ===")
+    print(tendency_report("pos", pos, "vpos", vpos))
+    # The paper's qualitative claims, decided programmatically:
+    assert verdict["same_groups"]
+    assert verdict["both_saturate"], (
+        "the number of processed packets must limit forwarding on both"
+    )
+    assert verdict["size_independence_matches"], (
+        "the drop-free ceiling is packet-size-independent below the "
+        "bandwidth limit"
+    )

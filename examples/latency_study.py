@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Latency study across interconnects, using every plot representation.
+
+Section 7 of the paper discusses what different wirings do to forwarding
+delay: direct cables (the pos default), an optical L1 switch (< 15 ns),
+and an L2 cut-through switch (~300 ns, plus jitter when shared).  This
+example measures latency distributions through all three and renders
+them with each of the five out-of-the-box representations — line plot,
+histogram, CDF, HDR, and violin — exported to svg, tex, and pdf.
+
+Run with::
+
+    python examples/latency_study.py
+"""
+
+from __future__ import annotations
+
+import statistics
+import tempfile
+from pathlib import Path
+
+from repro.evaluation.plots import cdf, export, hdr_plot, histogram, line_plot, violin
+from repro.testbed.scenarios import build_pos_pair
+
+
+def measure(link_kind: str, link_kwargs=None):
+    """Latency samples (µs) through one interconnect."""
+    setup = build_pos_pair(link_kind=link_kind, link_kwargs=link_kwargs)
+    for node in setup.nodes.values():
+        node.set_image(setup.images.resolve("debian-buster"))
+        node.reset()
+    dut = setup.nodes["tartu"]
+    for command in ("sysctl -w net.ipv4.ip_forward=1",
+                    "ip link set eno1 up", "ip link set eno2 up"):
+        assert dut.execute(command).ok
+    lg = setup.nodes["riga"]
+    lg.execute("ip link set eno1 up")
+    lg.execute("ip link set eno2 up")
+    job = setup.loadgen.start(rate_pps=400_000, frame_size=64, duration_s=0.1)
+    setup.sim.run(until=0.2)
+    return [sample * 1e6 for sample in job.latency_samples_s]
+
+
+def main() -> None:
+    out_dir = Path(tempfile.mkdtemp(prefix="pos-latency-"))
+    groups = {
+        "direct wire": measure("direct"),
+        "optical L1": measure("optical-l1"),
+        "cut-through": measure("cut-through"),
+        "cut-through 70% load": measure(
+            "cut-through", {"background_load": 0.7, "seed": 1}
+        ),
+    }
+
+    print(f"{'interconnect':>22} {'median [us]':>12} {'p99 [us]':>10} "
+          f"{'stddev [ns]':>12}")
+    for label, samples in groups.items():
+        ordered = sorted(samples)
+        median = ordered[len(ordered) // 2]
+        p99 = ordered[int(len(ordered) * 0.99)]
+        stddev = statistics.pstdev(samples) * 1000
+        print(f"{label:>22} {median:>12.4f} {p99:>10.4f} {stddev:>12.1f}")
+
+    written = []
+    written += export(
+        cdf(groups, title="Latency CDF by interconnect", xlabel="latency [us]"),
+        str(out_dir / "latency_cdf"),
+    )
+    written += export(
+        hdr_plot(groups, title="Latency percentiles (HDR)",
+                 ylabel="latency [us]"),
+        str(out_dir / "latency_hdr"),
+    )
+    written += export(
+        violin(groups, title="Latency distribution", ylabel="latency [us]"),
+        str(out_dir / "latency_violin"),
+    )
+    written += export(
+        histogram(groups["cut-through 70% load"], bins=40,
+                  title="Shared-switch latency histogram",
+                  xlabel="latency [us]"),
+        str(out_dir / "latency_hist"),
+    )
+    medians = {
+        label: sorted(samples)[len(samples) // 2]
+        for label, samples in groups.items()
+    }
+    written += export(
+        line_plot(
+            {"median latency": list(enumerate(medians.values()))},
+            title="Median latency by interconnect",
+            xlabel="interconnect index",
+            ylabel="latency [us]",
+        ),
+        str(out_dir / "latency_medians"),
+    )
+    print(f"\nwrote {len(written)} figure files under {out_dir}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The paper's case study (Sec. 5 / Appendix A), reproduced end to end.
+
+Measures the forwarding performance of a Linux router for 64 B and
+1500 B frames on *both* platforms:
+
+* pos  — the bare-metal testbed model (Fig. 3a),
+* vpos — the virtual clone: KVM guests + Linux bridges (Fig. 3b),
+
+then evaluates the result trees into figures and publishes each
+experiment (plots + artifact website + release archive) — the complete
+workflow of Listing 1 and Listing 2.
+
+Run with::
+
+    python examples/linux_router_study.py [--full]
+
+``--full`` runs the appendix's complete 60-run vpos sweep and a 20-rate
+hardware sweep; the default thins both to keep the demo under a minute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from repro.casestudy import POS_RATES, VPOS_RATES, run_case_study
+from repro.evaluation.loader import load_experiment
+from repro.publication.publish import publish
+
+
+def progress(done: int, total: int) -> None:
+    sys.stdout.write(f"\r  run {done}/{total}")
+    sys.stdout.flush()
+    if done == total:
+        sys.stdout.write("\n")
+
+
+def study(platform: str, rates, duration_s: float, root: str) -> None:
+    print(f"\n--- platform: {platform} ---")
+    handle = run_case_study(
+        platform,
+        root,
+        rates=rates,
+        duration_s=duration_s,
+        interval_s=duration_s / 5,
+        seed=7,
+        progress=progress,
+    )
+    results = load_experiment(handle.result_path)
+
+    print(f"{'rate [pps]':>12}  {'64B rx [Mpps]':>14}  {'1500B rx [Mpps]':>16}")
+    for rate in results.loop_values("pkt_rate"):
+        cells = []
+        for size in (64, 1500):
+            run = results.filter(pkt_sz=size, pkt_rate=rate)[0]
+            cells.append(run.moongen().rx_mpps)
+        print(f"{rate:>12,}  {cells[0]:>14.4f}  {cells[1]:>16.4f}")
+
+    report = publish(
+        handle.result_path,
+        repository_url="https://github.com/example/pos-artifacts",
+    )
+    print(f"figures:  {len(report.figures)} files")
+    print(f"website:  {report.website_files[0]}")
+    print(f"archive:  {report.archive_path}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run the paper's complete sweeps")
+    args = parser.parse_args()
+
+    root = tempfile.mkdtemp(prefix="pos-casestudy-")
+    if args.full:
+        pos_rates, vpos_rates = POS_RATES, VPOS_RATES
+        duration = 0.3
+    else:
+        pos_rates = POS_RATES[::4] + [POS_RATES[-1]]
+        vpos_rates = VPOS_RATES[::6] + [VPOS_RATES[-1]]
+        duration = 0.1
+
+    study("pos", pos_rates, duration, root)
+    study("vpos", vpos_rates, max(duration, 0.2), root)
+
+    print("\nThe same scripts, result format, and evaluation pipeline ran "
+          "on both platforms —\nonly the variables and node names differed "
+          "(the paper's core claim).")
+
+
+if __name__ == "__main__":
+    main()

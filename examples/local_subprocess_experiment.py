@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Orchestrating *real subprocesses* with the pos controller.
+
+Experiment scripts "can be any executable".  Here the experiment hosts
+are sandboxed directories on the local machine and every command runs
+through ``/bin/sh`` — the same controller, calendar, variable files,
+barriers, and result collection as the simulated testbed, but against
+reality.  The workload compresses a generated corpus at different
+compression levels (the loop variable) and measures the resulting
+sizes.
+
+Run with::
+
+    python examples/local_subprocess_experiment.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.core.allocation import Allocator
+from repro.core.calendar import Calendar
+from repro.core.controller import Controller
+from repro.core.experiment import Experiment, Role
+from repro.core.results import ResultStore
+from repro.core.scripts import CommandScript, PythonScript
+from repro.core.variables import Variables
+from repro.evaluation.loader import load_experiment
+from repro.testbed.local import local_image_registry, make_local_node
+
+
+def harvest(ctx):
+    """Read the produced measurement from the sandbox and upload it."""
+    level = ctx.variables["level"]
+    size = ctx.node.execute(f"wc -c < corpus.gz-{level}").stdout.strip()
+    ctx.tools.upload("size.txt", f"level={level} bytes={size}\n")
+    ctx.tools.set_variable(f"size-{level}", int(size))
+    ctx.tools.barrier("run-done")
+
+
+def build_experiment() -> Experiment:
+    worker = Role(
+        name="worker",
+        node="worker",
+        setup=CommandScript("worker-setup", [
+            # Generate a deterministic, compressible corpus.
+            "seq 1 20000 > corpus.txt",
+            "wc -c corpus.txt",
+            "pos barrier setup-done",
+        ]),
+        measurement=CommandScript("worker-measure", [
+            "gzip -$level -c corpus.txt > corpus.gz-$level",
+            "pos barrier run-done",
+        ]),
+        image=("local-sandbox", "v1"),
+    )
+    observer = Role(
+        name="observer",
+        node="observer",
+        setup=CommandScript("observer-setup", ["pos barrier setup-done"]),
+        measurement=PythonScript("observer-measure", _observer_measure),
+        image=("local-sandbox", "v1"),
+    )
+    return Experiment(
+        name="gzip-levels",
+        roles=[worker, observer],
+        variables=Variables(loop_vars={"level": [1, 6, 9]}),
+        duration_s=300.0,
+        description="Compression-level sweep on real subprocesses.",
+    )
+
+
+def _observer_measure(ctx):
+    ctx.tools.log("observer standing by")
+    ctx.tools.barrier("run-done")
+
+
+def harvesting_experiment() -> Experiment:
+    experiment = build_experiment()
+    # The worker both compresses and reports; chain the harvest step.
+    original = experiment.role("worker").measurement
+
+    def measure_and_harvest(ctx):
+        for command in original.commands:
+            if command.startswith("pos "):
+                continue
+            from repro.core.variables import substitute
+
+            ctx.tools.run(substitute(command, ctx.variables))
+        harvest(ctx)
+
+    experiment.role("worker").measurement = PythonScript(
+        "worker-measure", measure_and_harvest
+    )
+    return experiment
+
+
+def main() -> None:
+    nodes = {
+        "worker": make_local_node("worker"),
+        "observer": make_local_node("observer"),
+    }
+    calendar = Calendar()
+    allocator = Allocator(calendar, nodes)
+    results = ResultStore(tempfile.mkdtemp(prefix="pos-local-"))
+    controller = Controller(allocator, local_image_registry(), results)
+
+    handle = controller.run(harvesting_experiment())
+    print(f"runs: {handle.completed_runs} ok, {handle.failed_runs} failed")
+    print(f"results: {handle.result_path}\n")
+
+    loaded = load_experiment(handle.result_path)
+    print(f"{'gzip level':>10} {'compressed bytes':>17}")
+    for run in loaded.runs:
+        size = run.output("worker", "size.txt").split("bytes=")[1].strip()
+        print(f"{run.loop['level']:>10} {size:>17}")
+    print("\nSizes measured by the real gzip on this machine, "
+          "orchestrated through the pos workflow.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Quickstart: a minimal pos experiment, end to end.
+
+Builds the two-node hardware testbed (LoadGen *riga*, DuT *tartu*,
+controller *kaunas*), defines an experiment with setup + measurement
+scripts and loop variables, runs it through the testbed controller,
+and evaluates the centrally collected results.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.casestudy import build_environment
+from repro.core.experiment import Experiment, Role
+from repro.core.scripts import CommandScript, PythonScript
+from repro.core.variables import Variables
+from repro.evaluation.loader import load_experiment
+from repro.loadgen.moongen import format_report
+
+
+def loadgen_measurement(ctx):
+    """Generate traffic for one (pkt_rate) loop instance."""
+    setup = ctx.setup
+    job = setup.loadgen.start(
+        rate_pps=int(ctx.variables["pkt_rate"]),
+        frame_size=64,
+        duration_s=0.05,
+    )
+    setup.sim.run(until=setup.sim.now + 0.1)
+    ctx.tools.upload("moongen.log", format_report(job))
+    ctx.tools.barrier("run-done")
+
+
+def dut_measurement(ctx):
+    """Snapshot the DuT after the run."""
+    ctx.tools.run("ip link show")
+    ctx.tools.barrier("run-done")
+
+
+def main() -> None:
+    # 1. A testbed environment: nodes, calendar, allocator, controller.
+    env = build_environment("pos", tempfile.mkdtemp(prefix="pos-quickstart-"))
+
+    # 2. The experiment: scripts (the steps) + variables (the instance).
+    experiment = Experiment(
+        name="quickstart",
+        roles=[
+            Role(
+                name="loadgen",
+                node="riga",
+                setup=CommandScript("loadgen-setup", [
+                    "ip link set eno1 up",
+                    "ip link set eno2 up",
+                    "pos barrier setup-done",
+                ]),
+                measurement=PythonScript("loadgen-measure", loadgen_measurement),
+            ),
+            Role(
+                name="dut",
+                node="tartu",
+                setup=CommandScript("dut-setup", [
+                    "sysctl -w net.ipv4.ip_forward=1",
+                    "ip link set eno1 up",
+                    "ip link set eno2 up",
+                    "pos barrier setup-done",
+                ]),
+                measurement=PythonScript("dut-measure", dut_measurement),
+            ),
+        ],
+        variables=Variables(
+            loop_vars={"pkt_rate": [100_000, 500_000, 1_000_000]},
+        ),
+        duration_s=600.0,
+        description="Quickstart: three-rate throughput sweep.",
+    )
+
+    # 3. Run: allocate -> boot live images -> setup -> measurement runs.
+    handle = env.controller.run(
+        experiment, setup_context_extra={"setup": env.setup}
+    )
+    print(f"results collected under: {handle.result_path}")
+    print(f"runs: {handle.completed_runs} ok, {handle.failed_runs} failed")
+
+    # 4. Evaluate: join outputs with per-run metadata and report.
+    results = load_experiment(handle.result_path)
+    print(f"\n{'offered [pps]':>14} {'rx [Mpps]':>10} {'loss':>7}")
+    for run in results.runs:
+        output = run.moongen()
+        print(
+            f"{run.loop['pkt_rate']:>14,} {output.rx_mpps:>10.4f} "
+            f"{output.loss_fraction * 100:>6.2f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

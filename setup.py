@@ -1,0 +1,7 @@
+"""Legacy setup shim: this offline environment lacks the ``wheel``
+package, so PEP 517 editable installs fail; the presence of setup.py
+lets ``pip install -e .`` fall back to ``setup.py develop``."""
+
+from setuptools import setup
+
+setup()

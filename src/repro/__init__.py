@@ -1,0 +1,55 @@
+"""repro — a from-scratch reproduction of the pos framework.
+
+"The pos Framework: A Methodology and Toolchain for Reproducible
+Network Experiments" (Gallenmüller, Scholz, Stubbe, Carle — CoNEXT '21).
+
+The package provides:
+
+* :mod:`repro.core` — the pos methodology: scripted experiments split
+  into script and variable files, calendar-backed allocation, the
+  setup/measurement/evaluation workflow, and central result collection.
+* :mod:`repro.testbed` — the testbed substrate: nodes with out-of-band
+  power control and in-band transports, live images, direct wiring.
+* :mod:`repro.netsim` — the discrete-event network simulator standing
+  in for the physical hardware (NICs, links, the Linux-router DuT,
+  KVM virtualization overlay).
+* :mod:`repro.loadgen` — MoonGen-style (and iPerf/OSNT/pcap) traffic
+  generation with MoonGen-compatible output.
+* :mod:`repro.evaluation` — result parsing, aggregation, and the
+  plotting library (line/histogram/CDF/HDR/violin → svg/tex/pdf).
+* :mod:`repro.publication` — artifact bundling and the generated
+  artifact-index website.
+* :mod:`repro.casestudy` — the paper's Section 5 experiment, end to
+  end, on both the pos and vpos platforms.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    Calendar,
+    CommandScript,
+    Controller,
+    Experiment,
+    PythonScript,
+    ResultStore,
+    Role,
+    Variables,
+)
+from repro.core.allocation import Allocator
+from repro.testbed import build_pos_pair, build_vpos_pair, default_registry
+
+__all__ = [
+    "__version__",
+    "Calendar",
+    "CommandScript",
+    "Controller",
+    "Experiment",
+    "PythonScript",
+    "ResultStore",
+    "Role",
+    "Variables",
+    "Allocator",
+    "build_pos_pair",
+    "build_vpos_pair",
+    "default_registry",
+]

@@ -1,0 +1,21 @@
+"""The paper's Section 5 case study, runnable end to end."""
+
+from repro.casestudy.experiment import (
+    PACKET_SIZES,
+    POS_RATES,
+    VPOS_RATES,
+    CaseStudyEnvironment,
+    build_case_study_experiment,
+    build_environment,
+    run_case_study,
+)
+
+__all__ = [
+    "PACKET_SIZES",
+    "POS_RATES",
+    "VPOS_RATES",
+    "CaseStudyEnvironment",
+    "build_case_study_experiment",
+    "build_environment",
+    "run_case_study",
+]

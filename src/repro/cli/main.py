@@ -1,0 +1,286 @@
+"""``pos`` command-line interface.
+
+Mirrors the workflow of Appendix A: run the case-study experiment on a
+chosen platform (with the progress bar the paper mentions), evaluate
+the results into figures, publish the artifact bundle and website, and
+inspect the testbed (nodes, images, topology, the Table 1 comparison).
+
+Examples::
+
+    pos run --platform vpos --results /tmp/results --duration 0.2
+    pos evaluate --results /tmp/results/user/linux-router-forwarding-vpos/<ts>
+    pos publish  --results <same path> --repo https://github.com/you/artifacts
+    pos compare
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.casestudy import (
+    PACKET_SIZES,
+    POS_RATES,
+    VPOS_RATES,
+    build_environment,
+    run_case_study,
+)
+from repro.comparison import format_table
+from repro.core.errors import PosError
+from repro.evaluation import load_experiment, plot_experiment
+from repro.publication import publish
+
+__all__ = ["main", "build_parser"]
+
+
+def _progress_bar(done: int, total: int, width: int = 40) -> None:
+    filled = int(width * done / total) if total else width
+    bar = "#" * filled + "-" * (width - filled)
+    sys.stdout.write(f"\r[{bar}] {done}/{total} runs")
+    sys.stdout.flush()
+    if done == total:
+        sys.stdout.write("\n")
+
+
+def _parse_int_list(text: str) -> List[int]:
+    try:
+        return [int(item) for item in text.split(",") if item.strip()]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers: {text!r}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pos",
+        description="plain orchestrating service — reproduction toolchain",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the case-study experiment")
+    run.add_argument("--platform", choices=("pos", "vpos"), default="vpos")
+    run.add_argument("--results", required=True, help="result-store root directory")
+    run.add_argument("--rates", type=_parse_int_list, default=None,
+                     help="comma-separated offered rates in pps")
+    run.add_argument("--sizes", type=_parse_int_list,
+                     default=list(PACKET_SIZES), help="frame sizes in bytes")
+    run.add_argument("--duration", type=float, default=0.3,
+                     help="measurement duration per run, simulated seconds")
+    run.add_argument("--max-runs", type=int, default=None)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--user", default="user")
+    run.add_argument("--script-style", choices=("python", "shell"),
+                     default="python",
+                     help="measurement-script form (shell is exportable)")
+    run.add_argument("--experiment-dir", default=None,
+                     help="run a file-defined experiment folder instead of "
+                          "the built-in case study")
+
+    export = sub.add_parser(
+        "export", help="write the case study as a publishable artifact folder"
+    )
+    export.add_argument("--output", required=True, help="target directory")
+    export.add_argument("--platform", choices=("pos", "vpos"), default="vpos")
+    export.add_argument("--rates", type=_parse_int_list, default=None)
+    export.add_argument("--sizes", type=_parse_int_list,
+                        default=list(PACKET_SIZES))
+    export.add_argument("--duration", type=float, default=0.3)
+
+    evaluate = sub.add_parser("evaluate", help="generate figures from results")
+    evaluate.add_argument("--results", required=True,
+                          help="one experiment's timestamp folder")
+    evaluate.add_argument("--formats", default="svg,tex,pdf")
+
+    pub = sub.add_parser("publish", help="plots + website + release archive")
+    pub.add_argument("--results", required=True,
+                     help="one experiment's timestamp folder")
+    pub.add_argument("--repo", default=None, help="repository URL to reference")
+
+    nodes = sub.add_parser("nodes", help="list the testbed's nodes")
+    nodes.add_argument("--platform", choices=("pos", "vpos"), default="pos")
+
+    images = sub.add_parser("images", help="list registered live images")
+    images.add_argument("--platform", choices=("pos", "vpos"), default="pos")
+
+    topology = sub.add_parser("topology", help="render the testbed topology (SVG)")
+    topology.add_argument("--platform", choices=("pos", "vpos"), default="pos")
+    topology.add_argument("--output", required=True, help="output .svg path")
+
+    sub.add_parser("compare", help="print the testbed comparison (Table 1)")
+
+    check = sub.add_parser(
+        "check-replication",
+        help="compare two result folders run by run (repeatability check)",
+    )
+    check.add_argument("--original", required=True)
+    check.add_argument("--rerun", required=True)
+    check.add_argument("--tolerance", type=float, default=0.05)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment_dir is not None:
+        return _run_experiment_dir(args)
+    rates = args.rates
+    if rates is None:
+        rates = POS_RATES if args.platform == "pos" else VPOS_RATES
+    handle = run_case_study(
+        args.platform,
+        args.results,
+        rates=rates,
+        sizes=tuple(args.sizes),
+        duration_s=args.duration,
+        seed=args.seed,
+        user=args.user,
+        max_runs=args.max_runs,
+        progress=_progress_bar,
+        script_style=args.script_style,
+    )
+    print(f"results: {handle.result_path}")
+    print(f"runs completed: {handle.completed_runs}, failed: {handle.failed_runs}")
+    return 0
+
+
+def _run_experiment_dir(args: argparse.Namespace) -> int:
+    from repro.core.expdir import load_experiment_dir
+
+    experiment = load_experiment_dir(args.experiment_dir)
+    env = build_environment(
+        args.platform, args.results, seed=args.seed, progress=_progress_bar
+    )
+    try:
+        handle = env.controller.run(
+            experiment,
+            user=args.user,
+            max_runs=args.max_runs,
+            setup_context_extra={"setup": env.setup},
+        )
+    finally:
+        if env.setup.hypervisor is not None:
+            env.setup.hypervisor.stop()
+    print(f"results: {handle.result_path}")
+    print(f"runs completed: {handle.completed_runs}, failed: {handle.failed_runs}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.casestudy import build_case_study_experiment
+    from repro.core.expdir import write_experiment_dir
+
+    experiment = build_case_study_experiment(
+        platform=args.platform,
+        rates=args.rates,
+        sizes=tuple(args.sizes),
+        duration_s=args.duration,
+        script_style="shell",
+    )
+    written = write_experiment_dir(experiment, args.output)
+    for path in written:
+        print(path)
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    results = load_experiment(args.results)
+    formats = tuple(fmt.strip() for fmt in args.formats.split(",") if fmt.strip())
+    written = plot_experiment(results, formats=formats)
+    for path in written:
+        print(path)
+    return 0
+
+
+def _cmd_publish(args: argparse.Namespace) -> int:
+    report = publish(args.results, repository_url=args.repo)
+    print(f"figures: {len(report.figures)}")
+    print(f"manifest: {report.manifest_path}")
+    for path in report.website_files:
+        print(f"website: {path}")
+    print(f"archive: {report.archive_path}")
+    return 0
+
+
+def _environment(platform: str):
+    import tempfile
+
+    return build_environment(platform, tempfile.mkdtemp(prefix="pos-cli-"))
+
+
+def _cmd_nodes(args: argparse.Namespace) -> int:
+    env = _environment(args.platform)
+    for name in sorted(env.setup.nodes):
+        node = env.setup.nodes[name]
+        host = node.host
+        print(
+            f"{name:10s} cpu={host.cpu_model!r} cores={host.cores} "
+            f"mem={host.memory_gb}GiB power={node.power.protocol} "
+            f"transport={node.transport.protocol}"
+        )
+    return 0
+
+
+def _cmd_images(args: argparse.Namespace) -> int:
+    env = _environment(args.platform)
+    registry = env.setup.images
+    for name in registry.names():
+        for version in registry.versions(name):
+            spec = registry.resolve(name, version)
+            print(f"{name}@{version} kernel={spec.kernel}")
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    env = _environment(args.platform)
+    svg = env.setup.topology.to_svg()
+    directory = os.path.dirname(args.output)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    print(args.output)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    print(format_table(), end="")
+    return 0
+
+
+def _cmd_check_replication(args: argparse.Namespace) -> int:
+    from repro.evaluation.replication import compare_experiments
+
+    report = compare_experiments(
+        load_experiment(args.original),
+        load_experiment(args.rerun),
+        tolerance=args.tolerance,
+    )
+    print(report.summary(), end="")
+    return 0 if report.repeats else 1
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "export": _cmd_export,
+    "evaluate": _cmd_evaluate,
+    "publish": _cmd_publish,
+    "nodes": _cmd_nodes,
+    "images": _cmd_images,
+    "topology": _cmd_topology,
+    "compare": _cmd_compare,
+    "check-replication": _cmd_check_replication,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except PosError as exc:
+        print(f"pos: error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

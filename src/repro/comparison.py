@@ -1,0 +1,209 @@
+"""Testbed/methodology comparison — the machinery behind Table 1.
+
+Section 6 compares pos against three testbeds (Chameleon, CloudLab,
+Grid'5000) and three methodologies (OMF, NEPI, SNDZoo) on the five
+requirements of Section 3.  Rather than hard-coding the table cells,
+each system is described by its *capabilities* (what it actually
+offers) and a small rule engine derives the support level per
+requirement — so the table is a reproducible computation, and adding a
+new testbed to the comparison means declaring its capabilities, not
+editing a table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.errors import PosError
+
+__all__ = [
+    "Support",
+    "SystemProfile",
+    "REQUIREMENTS",
+    "PAPER_SYSTEMS",
+    "evaluate_requirement",
+    "comparison_matrix",
+    "format_table",
+]
+
+
+class Support(enum.Enum):
+    """Support level of one requirement, as printed in Table 1."""
+
+    FULL = "full"
+    PARTIAL = "partial"
+    NONE = "none"
+    NOT_APPLICABLE = "n.a."
+
+    @property
+    def symbol(self) -> str:
+        return {
+            Support.FULL: "Y",
+            Support.PARTIAL: "o",
+            Support.NONE: "x",
+            Support.NOT_APPLICABLE: "n.a.",
+        }[self]
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """Declared capabilities of a testbed and/or methodology."""
+
+    name: str
+    #: "testbed", "methodology", or "both" (pos is both).
+    kind: str
+    #: supports heterogeneous devices (servers, smartNICs, switches…).
+    heterogeneous_hardware: bool = False
+    #: experiment interconnect: "direct" (non-switched), "switched", or None.
+    isolation: Optional[str] = None
+    #: can recover nodes into a clean state (out-of-band reset + images).
+    recoverable: bool = False
+    #: fully scripted/automated experiment workflows.
+    automation: bool = False
+    #: evaluation is part of the experimental workflow.
+    evaluation_in_workflow: bool = False
+    #: artifacts are prepared for release: "full" (plots + website +
+    #: bundle), "basic" (results collected), or None.
+    publication: Optional[str] = None
+
+    @property
+    def is_testbed(self) -> bool:
+        return self.kind in ("testbed", "both")
+
+    @property
+    def is_methodology(self) -> bool:
+        return self.kind in ("methodology", "both")
+
+
+#: The five requirements of Sec. 3, in table order.  The first three are
+#: testbed properties, the last two methodology properties.
+REQUIREMENTS = ["R1", "R2", "R3", "R4", "R5"]
+
+_REQUIREMENT_TITLES = {
+    "R1": "Heterogeneity",
+    "R2": "Isolation",
+    "R3": "Recoverability",
+    "R4": "Automation",
+    "R5": "Publishability",
+}
+
+
+def evaluate_requirement(profile: SystemProfile, requirement: str) -> Support:
+    """Derive one table cell from a system's declared capabilities."""
+    if requirement in ("R1", "R2", "R3") and not profile.is_testbed:
+        return Support.NOT_APPLICABLE
+    if requirement in ("R4", "R5") and not profile.is_methodology:
+        return Support.NOT_APPLICABLE
+    if requirement == "R1":
+        return Support.FULL if profile.heterogeneous_hardware else Support.NONE
+    if requirement == "R2":
+        if profile.isolation == "direct":
+            return Support.FULL
+        if profile.isolation == "switched":
+            return Support.PARTIAL
+        return Support.NONE
+    if requirement == "R3":
+        return Support.FULL if profile.recoverable else Support.NONE
+    if requirement == "R4":
+        return Support.FULL if profile.automation else Support.NONE
+    if requirement == "R5":
+        if profile.publication == "full" and profile.evaluation_in_workflow:
+            return Support.FULL
+        if profile.evaluation_in_workflow or profile.publication:
+            return Support.PARTIAL
+        return Support.NONE
+    raise PosError(f"unknown requirement {requirement!r}")
+
+
+#: Capability declarations reproducing the paper's assessment.
+PAPER_SYSTEMS: List[SystemProfile] = [
+    SystemProfile(
+        name="Chameleon",
+        kind="testbed",
+        heterogeneous_hardware=True,
+        isolation="switched",
+        recoverable=True,
+    ),
+    SystemProfile(
+        name="CloudLab",
+        kind="testbed",
+        heterogeneous_hardware=True,
+        isolation="switched",
+        recoverable=True,
+    ),
+    SystemProfile(
+        name="Grid'5000",
+        kind="testbed",
+        heterogeneous_hardware=True,
+        isolation="switched",
+        recoverable=True,
+    ),
+    SystemProfile(
+        name="OMF",
+        kind="methodology",
+        automation=True,
+    ),
+    SystemProfile(
+        name="NEPI",
+        kind="methodology",
+        automation=True,
+    ),
+    SystemProfile(
+        name="SNDZoo",
+        kind="methodology",
+        automation=True,
+        evaluation_in_workflow=True,
+    ),
+    SystemProfile(
+        name="pos",
+        kind="both",
+        heterogeneous_hardware=True,
+        isolation="direct",
+        recoverable=True,
+        automation=True,
+        evaluation_in_workflow=True,
+        publication="full",
+    ),
+]
+
+
+def comparison_matrix(
+    systems: Optional[List[SystemProfile]] = None,
+) -> Dict[str, Dict[str, Support]]:
+    """Full matrix: system name → requirement → support level."""
+    systems = systems if systems is not None else PAPER_SYSTEMS
+    return {
+        profile.name: {
+            requirement: evaluate_requirement(profile, requirement)
+            for requirement in REQUIREMENTS
+        }
+        for profile in systems
+    }
+
+
+def format_table(systems: Optional[List[SystemProfile]] = None) -> str:
+    """Render the comparison as the plain-text analogue of Table 1."""
+    matrix = comparison_matrix(systems)
+    name_width = max(len(name) for name in matrix) + 2
+    header_cells = [
+        f"{_REQUIREMENT_TITLES[req]} ({req})" for req in REQUIREMENTS
+    ]
+    widths = [max(len(cell), 6) for cell in header_cells]
+    lines = [
+        " " * name_width + "  ".join(
+            cell.ljust(width) for cell, width in zip(header_cells, widths)
+        )
+    ]
+    lines.append("-" * (name_width + sum(widths) + 2 * len(widths)))
+    for name, row in matrix.items():
+        cells = [
+            row[req].symbol.ljust(width)
+            for req, width in zip(REQUIREMENTS, widths)
+        ]
+        lines.append(name.ljust(name_width) + "  ".join(cells))
+    lines.append("")
+    lines.append("Y fully supported   o partially supported   "
+                 "x not supported   n.a. not applicable")
+    return "\n".join(lines) + "\n"

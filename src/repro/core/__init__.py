@@ -1,0 +1,50 @@
+"""Core pos methodology: variables, calendar, allocation, scripts,
+tools, experiments, controller, and result collection."""
+
+from repro.core.allocation import Allocation, Allocator
+from repro.core.calendar import Booking, Calendar
+from repro.core.controller import Controller, ExperimentHandle, RunRecord
+from repro.core.expdir import (
+    load_experiment_dir,
+    load_script_file,
+    write_experiment_dir,
+)
+from repro.core.experiment import Experiment, Role
+from repro.core.results import ExperimentDir, ResultStore, RunDir
+from repro.core.scripts import (
+    CommandScript,
+    PythonScript,
+    Script,
+    ScriptContext,
+    ScriptResult,
+)
+from repro.core.tools import PosTools, SharedStore
+from repro.core.variables import Variables, expand_loop_variables, substitute
+
+__all__ = [
+    "Allocation",
+    "Allocator",
+    "Booking",
+    "Calendar",
+    "Controller",
+    "ExperimentHandle",
+    "RunRecord",
+    "Experiment",
+    "Role",
+    "load_experiment_dir",
+    "load_script_file",
+    "write_experiment_dir",
+    "ExperimentDir",
+    "ResultStore",
+    "RunDir",
+    "CommandScript",
+    "PythonScript",
+    "Script",
+    "ScriptContext",
+    "ScriptResult",
+    "PosTools",
+    "SharedStore",
+    "Variables",
+    "expand_loop_variables",
+    "substitute",
+]

@@ -1,0 +1,120 @@
+"""Node allocation against the booking calendar.
+
+The setup phase "first allocates the desired devices … Only if the
+calendar indicates that the devices are free for the planned duration
+of the experiment, the allocation can be created."  Allocation is
+all-or-nothing: if any requested node conflicts, nothing is booked and
+no node changes state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.calendar import Booking, Calendar
+from repro.core.errors import AllocationError, CalendarError
+from repro.testbed.node import Node, NodeState
+
+__all__ = ["Allocation", "Allocator"]
+
+
+@dataclass
+class Allocation:
+    """A live reservation of a set of nodes by one user."""
+
+    user: str
+    nodes: Dict[str, Node]
+    bookings: List[Booking]
+    released: bool = False
+
+    def node(self, name: str) -> Node:
+        if name not in self.nodes:
+            raise AllocationError(
+                f"node {name!r} is not part of this allocation "
+                f"(has: {', '.join(sorted(self.nodes))})"
+            )
+        return self.nodes[name]
+
+    def describe(self) -> dict:
+        return {
+            "user": self.user,
+            "nodes": sorted(self.nodes),
+            "bookings": [booking.describe() for booking in self.bookings],
+            "released": self.released,
+        }
+
+
+class Allocator:
+    """Hands out exclusive node allocations backed by the calendar."""
+
+    def __init__(self, calendar: Calendar, nodes: Dict[str, Node]):
+        self._calendar = calendar
+        self._nodes = dict(nodes)
+
+    @property
+    def nodes(self) -> Dict[str, Node]:
+        """All nodes this allocator manages."""
+        return dict(self._nodes)
+
+    def free_nodes(self) -> List[str]:
+        """Names of nodes currently in the free pool."""
+        return sorted(
+            name for name, node in self._nodes.items() if node.state is NodeState.FREE
+        )
+
+    def allocate(
+        self,
+        user: str,
+        node_names: Iterable[str],
+        duration: float,
+        start: Optional[float] = None,
+    ) -> Allocation:
+        """Reserve all named nodes for ``duration`` seconds, atomically."""
+        names = list(node_names)
+        if not names:
+            raise AllocationError("an allocation needs at least one node")
+        if len(set(names)) != len(names):
+            raise AllocationError(f"duplicate nodes in allocation request: {names}")
+        missing = [name for name in names if name not in self._nodes]
+        if missing:
+            raise AllocationError(f"unknown nodes: {', '.join(sorted(missing))}")
+        busy = [
+            name for name in names if self._nodes[name].state is not NodeState.FREE
+        ]
+        if busy:
+            raise AllocationError(
+                f"nodes already in use by another experiment: {', '.join(sorted(busy))}"
+            )
+        bookings: List[Booking] = []
+        try:
+            for name in names:
+                bookings.append(
+                    self._calendar.book(name, user, duration, start=start)
+                )
+        except CalendarError as exc:
+            # Roll back: all-or-nothing.
+            for booking in bookings:
+                self._calendar.cancel(booking)
+            raise AllocationError(str(exc)) from exc
+        nodes: Dict[str, Node] = {}
+        for name in names:
+            node = self._nodes[name]
+            node.mark_allocated(user)
+            nodes[name] = node
+        return Allocation(user=user, nodes=nodes, bookings=bookings)
+
+    def release(self, allocation: Allocation) -> None:
+        """Free every node of the allocation and cancel its bookings."""
+        if allocation.released:
+            return
+        for node in allocation.nodes.values():
+            node.release()
+        for booking in allocation.bookings:
+            try:
+                self._calendar.cancel(booking)
+            except CalendarError:
+                # Booking may have expired naturally; freeing nodes is
+                # what matters.
+                pass
+        allocation.released = True

@@ -1,0 +1,427 @@
+"""The pos testbed controller.
+
+Implements the experimental workflow of Fig. 2: the controller
+allocates the desired devices through the calendar, configures
+variables and live images, reboots the hosts out of band, deploys the
+utility tools, executes the setup scripts (synchronized with a
+barrier), queues one measurement run after another over the loop-
+variable cross product, and collects every artifact centrally.
+
+Error handling follows R3: a failing host can be recovered by a
+power cycle back into the well-defined live-image state.  Three
+policies are available per experiment run: ``abort`` (default, raise),
+``continue`` (record the failure and move on to the next run) and
+``recover`` (power-cycle the failed node, replay its setup script and
+retry the run once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.allocation import Allocation, Allocator
+from repro.core.errors import (
+    ExperimentError,
+    PosError,
+    ScriptError,
+    TransportError,
+)
+from repro.core.experiment import Experiment, Role
+from repro.core.results import ExperimentDir, ResultStore, RunDir
+from repro.core.scripts import Script, ScriptContext, ScriptResult
+from repro.core.tools import PosTools, SharedStore
+from repro.testbed.images import ImageRegistry
+from repro.testbed.node import Node
+
+__all__ = ["RunRecord", "ExperimentHandle", "Controller", "POS_TOOLS_PATH"]
+
+#: Where the deployed utility-tool stub lives on every experiment host.
+POS_TOOLS_PATH = "/usr/local/bin/pos"
+
+_POS_TOOLS_STUB = (
+    "#!/bin/sh\n"
+    "# pos utility tools: variable access, barriers, command capture.\n"
+    "# Deployed automatically by the testbed controller after boot.\n"
+)
+
+
+class _WorkflowLog:
+    """Sequential workflow trace, written as ``controller.log``.
+
+    Part of the enforced artifact collection: a reader of the published
+    results can retrace every phase and run without the controller.
+    Events carry a sequence number rather than wall-clock time so the
+    artifact stays deterministic.
+    """
+
+    def __init__(self, experiment_path: str):
+        import os
+
+        self._handle = open(
+            os.path.join(experiment_path, "controller.log"), "w",
+            encoding="utf-8",
+        )
+        self._sequence = 0
+
+    def event(self, message: str) -> None:
+        self._sequence += 1
+        self._handle.write(f"[{self._sequence:04d}] {message}\n")
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+@dataclass
+class RunRecord:
+    """Bookkeeping for one measurement run."""
+
+    index: int
+    loop_instance: Dict[str, Any]
+    ok: bool
+    retried: bool = False
+    error: Optional[str] = None
+    script_results: List[ScriptResult] = field(default_factory=list)
+
+
+@dataclass
+class ExperimentHandle:
+    """What a finished (or aborted) experiment run returns."""
+
+    experiment: str
+    user: str
+    result_path: str
+    runs: List[RunRecord] = field(default_factory=list)
+    setup_results: List[ScriptResult] = field(default_factory=list)
+    aborted: bool = False
+
+    @property
+    def completed_runs(self) -> int:
+        return sum(1 for record in self.runs if record.ok)
+
+    @property
+    def failed_runs(self) -> int:
+        return sum(1 for record in self.runs if not record.ok)
+
+
+class Controller:
+    """Testbed controller orchestrating the full experimental workflow."""
+
+    def __init__(
+        self,
+        allocator: Allocator,
+        images: ImageRegistry,
+        results: ResultStore,
+        inventory_extra: Optional[Callable[[], dict]] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ):
+        self._allocator = allocator
+        self._images = images
+        self._results = results
+        self._inventory_extra = inventory_extra
+        self._progress = progress
+
+    # -- public API ----------------------------------------------------------
+
+    def run(
+        self,
+        experiment: Experiment,
+        user: str = "user",
+        on_error: str = "abort",
+        max_runs: Optional[int] = None,
+        setup_context_extra: Optional[dict] = None,
+        on_run_complete: Optional[Callable[[RunRecord, str], None]] = None,
+    ) -> ExperimentHandle:
+        """Execute the whole experimental workflow for ``experiment``.
+
+        ``setup_context_extra`` entries are attached to every script
+        context (the simulated :class:`TestbedSetup` travels this way).
+
+        ``on_run_complete(record, run_dir_path)`` implements the paper's
+        asynchronous evaluation: "the evaluation script processes the
+        result files either after all runs have been completed or
+        asynchronously during their runtime" — the callback fires after
+        each measurement run with that run's result folder.
+        """
+        if on_error not in ("abort", "continue", "recover"):
+            raise ExperimentError(f"unknown error policy {on_error!r}")
+        experiment.validate()
+
+        # ---- setup phase: allocate, configure, boot -------------------------
+        allocation = self._allocator.allocate(
+            user, experiment.node_names, experiment.duration_s
+        )
+        exp_dir = self._results.create_experiment_dir(user, experiment.name)
+        handle = ExperimentHandle(
+            experiment=experiment.name, user=user, result_path=exp_dir.path
+        )
+        store = SharedStore()
+        extra = dict(setup_context_extra or {})
+        log = _WorkflowLog(exp_dir.path)
+        log.event(f"allocated nodes: {', '.join(experiment.node_names)}")
+        try:
+            self._boot_phase(experiment, allocation)
+            log.event("setup phase: all nodes live-booted")
+            self._deploy_tools(experiment, allocation)
+            log.event("utility tools deployed")
+            handle.setup_results = self._setup_phase(
+                experiment, allocation, store, exp_dir, extra
+            )
+            store.check_barriers(set(experiment.role_names))
+            store.reset_barriers()
+            log.event("setup scripts completed; barrier passed")
+            self._measurement_phase(
+                experiment, allocation, store, exp_dir, handle, extra,
+                on_error=on_error, max_runs=max_runs,
+                on_run_complete=on_run_complete, log=log,
+            )
+            log.event(
+                f"measurement phase done: {handle.completed_runs} ok, "
+                f"{handle.failed_runs} failed"
+            )
+            self._finalize(experiment, allocation, exp_dir, handle)
+        except PosError as exc:
+            handle.aborted = True
+            log.event(f"ABORTED: {exc}")
+            self._finalize(experiment, allocation, exp_dir, handle)
+            raise
+        finally:
+            log.event("nodes released")
+            log.close()
+            self._allocator.release(allocation)
+
+        # ---- evaluation phase -------------------------------------------------
+        if experiment.evaluation is not None:
+            experiment.evaluation(exp_dir.path)
+        return handle
+
+    # -- workflow phases ---------------------------------------------------------
+
+    def _boot_phase(self, experiment: Experiment, allocation: Allocation) -> None:
+        """Pin images and boot parameters, then reset every node."""
+        for role in experiment.roles:
+            node = allocation.node(role.node)
+            image_name, image_version = role.image
+            node.set_image(self._images.resolve(image_name, image_version))
+            node.set_boot_parameters(role.boot_parameters)
+        # Booting happens in a second pass so a resolution error in any
+        # role's image leaves no node rebooted.
+        for role in experiment.roles:
+            allocation.node(role.node).reset()
+
+    def _deploy_tools(self, experiment: Experiment, allocation: Allocation) -> None:
+        """Upload the utility-tool stub to every host that takes files."""
+        for role in experiment.roles:
+            node = allocation.node(role.node)
+            try:
+                node.put_file(POS_TOOLS_PATH, _POS_TOOLS_STUB)
+            except TransportError:
+                # Devices managed via SNMP-style transports have no
+                # filesystem; the controller-side tools still work.
+                pass
+
+    def _setup_phase(
+        self,
+        experiment: Experiment,
+        allocation: Allocation,
+        store: SharedStore,
+        exp_dir: ExperimentDir,
+        extra: dict,
+    ) -> List[ScriptResult]:
+        results: List[ScriptResult] = []
+        for role in experiment.roles:
+            result = self._run_script(
+                role.setup, experiment, role, allocation, store,
+                phase="setup", loop_instance={}, run_index=None, extra=extra,
+            )
+            exp_dir.record_setup_script(result)
+            results.append(result)
+            if not result.ok:
+                raise ScriptError(
+                    f"setup of role {role.name!r} failed: {result.error}"
+                )
+        return results
+
+    def _measurement_phase(
+        self,
+        experiment: Experiment,
+        allocation: Allocation,
+        store: SharedStore,
+        exp_dir: ExperimentDir,
+        handle: ExperimentHandle,
+        extra: dict,
+        on_error: str,
+        max_runs: Optional[int],
+        on_run_complete: Optional[Callable[[RunRecord, str], None]] = None,
+        log: Optional["_WorkflowLog"] = None,
+    ) -> None:
+        runs = experiment.variables.runs()
+        if max_runs is not None:
+            runs = runs[:max_runs]
+        total = len(runs)
+        if log is not None:
+            log.event(
+                f"measurement phase: {total} runs queued "
+                f"(cross product of loop variables)"
+            )
+        for index, loop_instance in enumerate(runs):
+            record = self._execute_run(
+                experiment, allocation, store, exp_dir, extra, index, loop_instance
+            )
+            if not record.ok and on_error == "recover" and not record.retried:
+                self._recover_nodes(experiment, allocation, store, exp_dir, extra)
+                retry = self._execute_run(
+                    experiment, allocation, store, exp_dir, extra, index,
+                    loop_instance,
+                )
+                retry.retried = True
+                record = retry
+            handle.runs.append(record)
+            if log is not None:
+                status = "ok" if record.ok else f"FAILED ({record.error})"
+                log.event(f"run {index}: {loop_instance} -> {status}")
+            if on_run_complete is not None:
+                run_path = exp_dir.run_dirs[-1].path
+                on_run_complete(record, run_path)
+            if self._progress is not None:
+                self._progress(index + 1, total)
+            if not record.ok and on_error == "abort":
+                raise ScriptError(
+                    f"measurement run {index} failed: {record.error}"
+                )
+
+    def _execute_run(
+        self,
+        experiment: Experiment,
+        allocation: Allocation,
+        store: SharedStore,
+        exp_dir: ExperimentDir,
+        extra: dict,
+        index: int,
+        loop_instance: Dict[str, Any],
+    ) -> RunRecord:
+        run_dir = exp_dir.create_run_dir(index)
+        run_dir.write_metadata(loop_instance)
+        record = RunRecord(index=index, loop_instance=dict(loop_instance), ok=True)
+        for role in experiment.roles:
+            try:
+                result = self._run_script(
+                    role.measurement, experiment, role, allocation, store,
+                    phase="measurement", loop_instance=loop_instance,
+                    run_index=index, extra=extra,
+                )
+            except (ScriptError, TransportError) as exc:
+                record.ok = False
+                record.error = str(exc)
+                failure = ScriptResult(
+                    script=role.measurement.name,
+                    role=role.name,
+                    phase="measurement",
+                    ok=False,
+                    error=str(exc),
+                )
+                run_dir.record_script(failure)
+                record.script_results.append(failure)
+                break
+            run_dir.record_script(result)
+            record.script_results.append(result)
+        if record.ok:
+            try:
+                store.check_barriers(set(experiment.role_names))
+            except PosError as exc:
+                record.ok = False
+                record.error = str(exc)
+        store.reset_barriers()
+        return record
+
+    def _recover_nodes(
+        self,
+        experiment: Experiment,
+        allocation: Allocation,
+        store: SharedStore,
+        exp_dir: ExperimentDir,
+        extra: dict,
+    ) -> None:
+        """R3 in action: power-cycle every node back into the clean state
+        and replay the setup scripts before retrying the failed run."""
+        for role in experiment.roles:
+            allocation.node(role.node).reset()
+        self._deploy_tools(experiment, allocation)
+        for role in experiment.roles:
+            result = self._run_script(
+                role.setup, experiment, role, allocation, store,
+                phase="setup", loop_instance={}, run_index=None, extra=extra,
+            )
+            if not result.ok:
+                raise ScriptError(
+                    f"recovery setup of role {role.name!r} failed: {result.error}"
+                )
+        store.reset_barriers()
+
+    def _run_script(
+        self,
+        script: Script,
+        experiment: Experiment,
+        role: Role,
+        allocation: Allocation,
+        store: SharedStore,
+        phase: str,
+        loop_instance: Dict[str, Any],
+        run_index: Optional[int],
+        extra: dict,
+    ) -> ScriptResult:
+        node = allocation.node(role.node)
+        tools = PosTools(store, node, role.name)
+        ctx = ScriptContext(
+            node=node,
+            role=role.name,
+            phase=phase,
+            variables=experiment.variables.for_host(role.name, loop_instance),
+            tools=tools,
+            setup=extra.get("setup"),
+            run_index=run_index,
+            loop_instance=dict(loop_instance),
+        )
+        try:
+            return script.run(ctx)
+        except ScriptError as exc:
+            result = ScriptResult(
+                script=script.name,
+                role=role.name,
+                phase=phase,
+                ok=False,
+                commands=list(tools.command_log),
+                uploads=list(tools.uploads),
+                log_lines=list(tools.log_lines),
+                error=str(exc),
+            )
+            if phase == "setup":
+                return result
+            raise
+
+    def _finalize(
+        self,
+        experiment: Experiment,
+        allocation: Allocation,
+        exp_dir: ExperimentDir,
+        handle: ExperimentHandle,
+    ) -> None:
+        """Write the experiment-level artifact record."""
+        metadata = experiment.describe()
+        metadata["user"] = handle.user
+        metadata["aborted"] = handle.aborted
+        metadata["runs_completed"] = handle.completed_runs
+        metadata["runs_failed"] = handle.failed_runs
+        exp_dir.write_metadata(metadata)
+        exp_dir.write_variables(experiment.variables.describe())
+        inventory: Dict[str, Any] = {
+            "nodes": {
+                name: node.describe() for name, node in allocation.nodes.items()
+            }
+        }
+        if self._inventory_extra is not None:
+            inventory.update(self._inventory_extra())
+        exp_dir.write_inventory(inventory)
+        exp_dir.write_scripts(
+            [role.describe() for role in experiment.roles]
+        )

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the pos reproduction.
+
+Every error raised by the library derives from :class:`PosError` so that
+callers can catch framework failures with a single ``except`` clause
+while still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class PosError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class VariableError(PosError):
+    """A variable file is malformed or a referenced variable is missing."""
+
+
+class YamlError(PosError):
+    """The YAML-subset parser rejected a document."""
+
+
+class AllocationError(PosError):
+    """A node could not be allocated (conflict, unknown node, double use)."""
+
+
+class CalendarError(PosError):
+    """A calendar booking is invalid or conflicts with an existing one."""
+
+
+class PowerError(PosError):
+    """An out-of-band power/initialization operation failed."""
+
+
+class TransportError(PosError):
+    """A configuration-interface (SSH/SNMP/HTTP) operation failed."""
+
+
+class TransportTimeout(TransportError):
+    """A command did not complete within its deadline."""
+
+
+class NodeError(PosError):
+    """An experiment host is in an unexpected lifecycle state."""
+
+
+class ImageError(PosError):
+    """A live image or snapshot pin could not be resolved."""
+
+
+class ScriptError(PosError):
+    """An experiment script failed to execute."""
+
+    def __init__(self, message: str, exit_code: int = 1, output: str = ""):
+        super().__init__(message)
+        self.exit_code = exit_code
+        self.output = output
+
+
+class BarrierError(PosError):
+    """A synchronization barrier was used incorrectly or timed out."""
+
+
+class ExperimentError(PosError):
+    """The experiment definition is inconsistent."""
+
+
+class ResultError(PosError):
+    """The result tree is missing, malformed, or collides."""
+
+
+class EvaluationError(PosError):
+    """Result parsing or aggregation failed."""
+
+
+class ParseError(EvaluationError):
+    """A tool-output parser rejected its input."""
+
+
+class PlotError(PosError):
+    """A figure cannot be built or exported."""
+
+
+class PublicationError(PosError):
+    """Bundling or website generation failed."""
+
+
+class TopologyError(PosError):
+    """The experiment topology is invalid (unknown port, loop, …)."""
+
+
+class SimulationError(PosError):
+    """The discrete-event simulation reached an inconsistent state."""

@@ -1,0 +1,102 @@
+"""Experiment definition.
+
+A pos experiment names its participating hosts ("roles" — the paper's
+minimal topology has a DuT and a LoadGen, but the number of devices can
+be scaled), assigns each role a node, a live-image pin, boot
+parameters, and its two exclusive script files (*setup* and
+*measurement*), and carries the three variable scopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import ExperimentError
+from repro.core.scripts import Script
+from repro.core.variables import Variables
+
+__all__ = ["Role", "Experiment"]
+
+
+@dataclass
+class Role:
+    """One experiment host and its scripts."""
+
+    name: str  # e.g. "loadgen", "dut"
+    node: str  # testbed node assigned to the role
+    setup: Script
+    measurement: Script
+    image: Tuple[str, str] = ("debian-buster", "latest")
+    boot_parameters: Dict[str, str] = field(default_factory=dict)
+
+    def describe(self) -> dict:
+        return {
+            "role": self.name,
+            "node": self.node,
+            "image": list(self.image),
+            "boot_parameters": dict(self.boot_parameters),
+            "setup": self.setup.describe(),
+            "measurement": self.measurement.describe(),
+        }
+
+
+@dataclass
+class Experiment:
+    """A fully scripted, parameterized network experiment."""
+
+    name: str
+    roles: List[Role]
+    variables: Variables = field(default_factory=Variables)
+    #: Planned duration used for the calendar booking, seconds.
+    duration_s: float = 3600.0
+    description: str = ""
+    #: Optional evaluation hook, called with the result directory path
+    #: after all measurement runs completed (the evaluation phase).
+    evaluation: Optional[Callable[[str], None]] = None
+
+    def validate(self) -> None:
+        """Reject inconsistent definitions before any node is touched."""
+        if not self.name:
+            raise ExperimentError("experiment needs a name")
+        if not self.roles:
+            raise ExperimentError(f"experiment {self.name!r} has no roles")
+        role_names = [role.name for role in self.roles]
+        if len(set(role_names)) != len(role_names):
+            raise ExperimentError(
+                f"experiment {self.name!r} has duplicate role names: {role_names}"
+            )
+        node_names = [role.node for role in self.roles]
+        if len(set(node_names)) != len(node_names):
+            raise ExperimentError(
+                f"experiment {self.name!r} assigns one node to several roles: "
+                f"{node_names} — using a node in more than one experiment "
+                f"role at the same time is prohibited"
+            )
+        if self.duration_s <= 0:
+            raise ExperimentError(
+                f"experiment {self.name!r} has non-positive duration"
+            )
+
+    @property
+    def node_names(self) -> List[str]:
+        return [role.node for role in self.roles]
+
+    @property
+    def role_names(self) -> List[str]:
+        return [role.name for role in self.roles]
+
+    def role(self, name: str) -> Role:
+        for role in self.roles:
+            if role.name == name:
+                return role
+        raise ExperimentError(f"experiment {self.name!r} has no role {name!r}")
+
+    def describe(self) -> dict:
+        """Experiment-level metadata stored with the results."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "duration_s": self.duration_s,
+            "roles": [role.describe() for role in self.roles],
+        }

@@ -1,0 +1,168 @@
+"""Experiment scripts: the step side of the pos structure.
+
+"A script can be any executable, e.g., python or bash, that can be
+executed on the target device.  The script contains the sequence of
+commands to execute."  (Sec. 4.3)
+
+Two script flavours cover the two cases:
+
+* :class:`CommandScript` — an ordered list of shell command lines, the
+  bash-style scripts of the original artifacts.  ``$NAME`` variables
+  are substituted from the host's merged variable view before
+  execution; a failing command aborts the script unless prefixed with
+  ``-`` (make-style tolerance).
+* :class:`PythonScript` — a Python callable receiving the full
+  :class:`ScriptContext`; used for measurement logic that drives the
+  load generator programmatically.
+
+Every script execution produces a :class:`ScriptResult` whose command
+log and uploads are collected centrally by the controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.errors import ScriptError
+from repro.core.tools import PosTools
+from repro.core.variables import substitute
+from repro.netsim.host import CommandResult
+
+__all__ = ["ScriptContext", "ScriptResult", "Script", "CommandScript", "PythonScript"]
+
+
+@dataclass
+class ScriptContext:
+    """Everything a script sees while it runs."""
+
+    node: Any  # repro.testbed.node.Node
+    role: str
+    phase: str  # "setup" | "measurement"
+    variables: Dict[str, Any]
+    tools: PosTools
+    setup: Any = None  # repro.testbed.scenarios.TestbedSetup, when simulated
+    run_index: Optional[int] = None
+    loop_instance: Dict[str, Any] = field(default_factory=dict)
+
+    def var(self, name: str, default: Any = None) -> Any:
+        """Convenience accessor for a merged variable."""
+        return self.variables.get(name, default)
+
+
+@dataclass
+class ScriptResult:
+    """Outcome of one script execution on one host."""
+
+    script: str
+    role: str
+    phase: str
+    ok: bool
+    commands: List[CommandResult] = field(default_factory=list)
+    uploads: List = field(default_factory=list)
+    log_lines: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+    return_value: Any = None
+
+
+class Script:
+    """Base class: a named, executable experiment step."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def run(self, ctx: ScriptContext) -> ScriptResult:
+        """Execute the script; raises ScriptError on failure."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """Documentation record published with the experiment artifacts."""
+        return {"name": self.name, "kind": type(self).__name__}
+
+    def _result(self, ctx: ScriptContext, ok: bool, error: Optional[str] = None,
+                return_value: Any = None) -> ScriptResult:
+        return ScriptResult(
+            script=self.name,
+            role=ctx.role,
+            phase=ctx.phase,
+            ok=ok,
+            commands=list(ctx.tools.command_log),
+            uploads=list(ctx.tools.uploads),
+            log_lines=list(ctx.tools.log_lines),
+            error=error,
+            return_value=return_value,
+        )
+
+
+class CommandScript(Script):
+    """Bash-style script: a sequence of command lines.
+
+    ``timeout_s`` bounds every command's execution — on transports that
+    run real processes (LocalTransport) an overrunning command is
+    killed and the script fails, so one hung tool cannot stall the
+    whole measurement schedule.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        commands: Sequence[str],
+        timeout_s: Optional[float] = None,
+    ):
+        super().__init__(name)
+        self.commands = list(commands)
+        self.timeout_s = timeout_s
+
+    def run(self, ctx: ScriptContext) -> ScriptResult:
+        from repro.core.errors import TransportTimeout
+
+        for raw in self.commands:
+            tolerant = raw.startswith("-")
+            line = raw[1:].strip() if tolerant else raw
+            command = substitute(line, ctx.variables)
+            try:
+                result = ctx.tools.run(command, timeout_s=self.timeout_s)
+            except TransportTimeout as exc:
+                raise ScriptError(
+                    f"{self.name}: command {command!r} timed out: {exc}",
+                    exit_code=124,
+                ) from exc
+            if not result.ok and not tolerant:
+                error = (
+                    f"{self.name}: command {command!r} failed with exit code "
+                    f"{result.exit_code}: {result.stdout}"
+                )
+                raise ScriptError(error, exit_code=result.exit_code, output=result.stdout)
+        return self._result(ctx, ok=True)
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["commands"] = list(self.commands)
+        if self.timeout_s is not None:
+            info["timeout_s"] = self.timeout_s
+        return info
+
+
+class PythonScript(Script):
+    """Python script: a callable ``fn(ctx) -> Any``."""
+
+    def __init__(self, name: str, fn: Callable[[ScriptContext], Any]):
+        super().__init__(name)
+        self.fn = fn
+
+    def run(self, ctx: ScriptContext) -> ScriptResult:
+        try:
+            value = self.fn(ctx)
+        except ScriptError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - script bugs become ScriptError
+            raise ScriptError(f"{self.name}: {exc}") from exc
+        return self._result(ctx, ok=True, return_value=value)
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["callable"] = getattr(self.fn, "__name__", repr(self.fn))
+        doc = getattr(self.fn, "__doc__", None)
+        if doc:
+            info["doc"] = doc.strip()
+        return info

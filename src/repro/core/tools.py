@@ -1,0 +1,172 @@
+"""pos utility tools deployed onto experiment hosts.
+
+After booting, "pos deploys a set of utility tools before the setup
+scripts can be loaded and executed … These tools can be used in the
+setup or measurement scripts; read or communicate variables and
+synchronize hosts using barriers.  Further, any command can be executed
+via pos' tools.  The output of these commands is automatically captured
+and uploaded to the testbed controller as a result."  (Sec. 4.4)
+
+:class:`SharedStore` is the controller-side rendezvous: a key/value
+space for communicated variables and the barrier ledger.  Each script
+gets a :class:`PosTools` handle bound to its host and the store.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.errors import BarrierError
+from repro.netsim.host import CommandResult
+
+__all__ = ["SharedStore", "PosTools"]
+
+_UNSET = object()
+
+
+class SharedStore:
+    """Controller-side shared state for one experiment."""
+
+    def __init__(self) -> None:
+        self._variables: Dict[str, Any] = {}
+        self._barriers: Dict[str, Set[str]] = {}
+
+    # -- communicated variables ---------------------------------------------
+
+    def set_variable(self, key: str, value: Any) -> None:
+        self._variables[key] = value
+
+    def get_variable(self, key: str, default: Any = _UNSET) -> Any:
+        if key in self._variables:
+            return self._variables[key]
+        if default is _UNSET:
+            raise KeyError(f"shared variable {key!r} was never communicated")
+        return default
+
+    def variables(self) -> Dict[str, Any]:
+        return dict(self._variables)
+
+    # -- barriers ----------------------------------------------------------------
+
+    def barrier_arrive(self, name: str, party: str) -> None:
+        self._barriers.setdefault(name, set()).add(party)
+
+    def barrier_parties(self, name: str) -> Set[str]:
+        return set(self._barriers.get(name, set()))
+
+    def check_barriers(self, expected_parties: Set[str]) -> None:
+        """Verify every used barrier was reached by every expected party.
+
+        pos runs scripts for all hosts and "synchronizes the end of the
+        setup phase between the hosts, i.e., the experiment continues
+        only after all the experiment hosts have completed their setup".
+        A barrier only some hosts reached means a script skipped its
+        synchronization point — an experiment bug worth failing loudly.
+        """
+        for name, arrived in self._barriers.items():
+            missing = expected_parties - arrived
+            if missing:
+                raise BarrierError(
+                    f"barrier {name!r}: parties never arrived: "
+                    f"{', '.join(sorted(missing))}"
+                )
+            foreign = arrived - expected_parties
+            if foreign:
+                raise BarrierError(
+                    f"barrier {name!r}: unexpected parties: "
+                    f"{', '.join(sorted(foreign))}"
+                )
+
+    def reset_barriers(self) -> None:
+        """Clear the ledger between measurement runs."""
+        self._barriers.clear()
+
+
+class PosTools:
+    """Per-host handle to the deployed utility tools.
+
+    Everything executed or uploaded through the tools is captured and
+    later written into the central result tree — the enforced artifact
+    collection that guarantees publishability (R5).
+    """
+
+    def __init__(self, store: SharedStore, node, role: str):
+        self._store = store
+        self._node = node
+        self.role = role
+        #: (name, content) pairs uploaded by the script.
+        self.uploads: List[Tuple[str, str]] = []
+        #: every command executed through the tools, in order.
+        self.command_log: List[CommandResult] = []
+        #: free-form log lines emitted by the script.
+        self.log_lines: List[str] = []
+
+    # -- variables -----------------------------------------------------------
+
+    def set_variable(self, key: str, value: Any) -> None:
+        """Communicate a variable to the other experiment hosts."""
+        self._store.set_variable(key, value)
+
+    def get_variable(self, key: str, default: Any = _UNSET) -> Any:
+        """Read a communicated variable."""
+        if default is _UNSET:
+            return self._store.get_variable(key)
+        return self._store.get_variable(key, default)
+
+    # -- synchronization ----------------------------------------------------------
+
+    def barrier(self, name: str) -> None:
+        """Announce arrival at a named synchronization point."""
+        self._store.barrier_arrive(name, self.role)
+
+    # -- command execution -----------------------------------------------------------
+
+    def run(self, command: str, timeout_s: Optional[float] = None) -> CommandResult:
+        """Execute a command on this host; output is auto-captured.
+
+        Lines starting with ``pos `` invoke the deployed utility tools
+        instead of the host shell: ``pos barrier NAME``, ``pos set KEY
+        VALUE``, ``pos get KEY`` and ``pos log MESSAGE`` — this is how
+        bash-style :class:`~repro.core.scripts.CommandScript` scripts
+        reach barriers and communicated variables.
+        """
+        if command.startswith("pos "):
+            result = self._run_pos_tool(command)
+        else:
+            result = self._node.execute(command, timeout_s=timeout_s)
+        self.command_log.append(result)
+        return result
+
+    def _run_pos_tool(self, command: str) -> CommandResult:
+        parts = command.split(None, 3)
+        verb = parts[1] if len(parts) > 1 else ""
+        if verb == "barrier" and len(parts) >= 3:
+            self.barrier(parts[2])
+            return CommandResult(command, 0, "")
+        if verb == "set" and len(parts) >= 4:
+            self.set_variable(parts[2], parts[3])
+            return CommandResult(command, 0, "")
+        if verb == "get" and len(parts) >= 3:
+            try:
+                value = self._store.get_variable(parts[2])
+            except KeyError as exc:
+                return CommandResult(command, 1, str(exc))
+            return CommandResult(command, 0, str(value))
+        if verb == "log" and len(parts) >= 3:
+            self.log(command.split(None, 2)[2])
+            return CommandResult(command, 0, "")
+        return CommandResult(
+            command, 2,
+            f"pos: unknown tool invocation {command!r} "
+            "(expected barrier|set|get|log)",
+        )
+
+    # -- result upload ----------------------------------------------------------------
+
+    def upload(self, name: str, content: str) -> None:
+        """Store a named output with the run's results on the controller."""
+        self.uploads.append((name, content))
+
+    def log(self, message: str) -> None:
+        """Append a line to the host's experiment log."""
+        self.log_lines.append(message)

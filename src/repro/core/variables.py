@@ -1,0 +1,184 @@
+"""Experiment variables: the parameter side of the pos structure.
+
+Section 4.3 of the paper splits every experiment into *script* files
+(the steps) and *parameter* files (the concrete instance), "inspired by
+HTML and CSS".  Three kinds of variables exist:
+
+* **global vars** — accessible from all experiment hosts,
+* **local vars** — defined per experiment host,
+* **loop vars** — shared across hosts but changed between measurement
+  runs; every loop var may be a single value or a list, and pos runs
+  one measurement per element of the **cross product** of all lists.
+
+This module implements loading the three files, merging them for a
+host, expanding the loop cross product, and ``$NAME`` substitution in
+script commands.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.core import yamlite
+from repro.core.errors import VariableError
+
+__all__ = ["Variables", "expand_loop_variables", "substitute", "merge"]
+
+_NAME_RE = re.compile(r"\$(\{([A-Za-z_][A-Za-z0-9_]*)\}|([A-Za-z_][A-Za-z0-9_]*))")
+
+
+def _require_mapping(value: Any, source: str) -> Dict[str, Any]:
+    if value is None:
+        return {}
+    if not isinstance(value, dict):
+        raise VariableError(f"{source}: expected a mapping, got {type(value).__name__}")
+    for key in value:
+        if not isinstance(key, str):
+            raise VariableError(f"{source}: variable names must be strings, got {key!r}")
+    return value
+
+
+def expand_loop_variables(loop_vars: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Expand loop variables into the ordered list of measurement runs.
+
+    Scalars count as single-element lists.  The result is the full cross
+    product, ordered with the *last* declared variable varying fastest —
+    deterministic, so run N of a repeated experiment always gets the
+    same parameters.
+
+    >>> expand_loop_variables({"size": [64, 1500], "rate": [1, 2]})
+    [{'size': 64, 'rate': 1}, {'size': 64, 'rate': 2}, \
+{'size': 1500, 'rate': 1}, {'size': 1500, 'rate': 2}]
+    """
+    keys: List[str] = []
+    value_lists: List[List[Any]] = []
+    for key, value in loop_vars.items():
+        keys.append(key)
+        if isinstance(value, list):
+            if not value:
+                raise VariableError(f"loop variable {key!r} has an empty list")
+            value_lists.append(value)
+        else:
+            value_lists.append([value])
+    if not keys:
+        return [{}]
+    return [
+        dict(zip(keys, combination))
+        for combination in itertools.product(*value_lists)
+    ]
+
+
+def merge(*mappings: Mapping[str, Any]) -> Dict[str, Any]:
+    """Left-to-right merge; later mappings win."""
+    merged: Dict[str, Any] = {}
+    for mapping in mappings:
+        merged.update(mapping)
+    return merged
+
+
+def substitute(text: str, variables: Mapping[str, Any]) -> str:
+    """Replace ``$NAME`` / ``${NAME}`` with variable values.
+
+    Unknown names raise :class:`VariableError` — a script referencing a
+    variable that no parameter file defines is a documentation bug the
+    methodology is designed to catch.  ``$$`` escapes a literal dollar.
+    """
+    out: List[str] = []
+    position = 0
+    while position < len(text):
+        char = text[position]
+        if char == "$" and position + 1 < len(text) and text[position + 1] == "$":
+            out.append("$")
+            position += 2
+            continue
+        match = _NAME_RE.match(text, position)
+        if match:
+            name = match.group(2) or match.group(3)
+            if name not in variables:
+                raise VariableError(f"undefined variable ${name} in {text!r}")
+            out.append(str(variables[name]))
+            position = match.end()
+        else:
+            out.append(char)
+            position += 1
+    return "".join(out)
+
+
+class Variables:
+    """The three variable scopes of a pos experiment."""
+
+    def __init__(
+        self,
+        global_vars: Optional[Mapping[str, Any]] = None,
+        local_vars: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        loop_vars: Optional[Mapping[str, Any]] = None,
+    ):
+        self.global_vars = dict(_require_mapping(global_vars, "globals"))
+        self.local_vars: Dict[str, Dict[str, Any]] = {}
+        if local_vars is not None and not isinstance(local_vars, dict):
+            raise VariableError("locals: expected a mapping of host -> mapping")
+        for host, mapping in (local_vars or {}).items():
+            self.local_vars[host] = dict(_require_mapping(mapping, f"locals[{host}]"))
+        self.loop_vars = dict(_require_mapping(loop_vars, "loop"))
+
+    # -- file loading -------------------------------------------------------
+
+    @classmethod
+    def from_files(
+        cls,
+        global_path=None,
+        local_paths: Optional[Mapping[str, Any]] = None,
+        loop_path=None,
+    ) -> "Variables":
+        """Load the classic pos file layout.
+
+        ``local_paths`` maps host name → path of that host's local
+        variable file (``loadgen-variables.yml`` etc.).
+        """
+        global_vars = (
+            _require_mapping(yamlite.load_file(global_path), str(global_path))
+            if global_path
+            else {}
+        )
+        local_vars: Dict[str, Dict[str, Any]] = {}
+        for host, path in (local_paths or {}).items():
+            local_vars[host] = _require_mapping(yamlite.load_file(path), str(path))
+        loop_vars = (
+            _require_mapping(yamlite.load_file(loop_path), str(loop_path))
+            if loop_path
+            else {}
+        )
+        return cls(global_vars=global_vars, local_vars=local_vars, loop_vars=loop_vars)
+
+    # -- resolution ------------------------------------------------------------
+
+    def for_host(
+        self, host: str, loop_instance: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Merged view a host sees in one run: global < local < loop."""
+        return merge(
+            self.global_vars,
+            self.local_vars.get(host, {}),
+            loop_instance or {},
+        )
+
+    def runs(self) -> List[Dict[str, Any]]:
+        """All loop instances, in deterministic cross-product order."""
+        return expand_loop_variables(self.loop_vars)
+
+    def run_count(self) -> int:
+        """Number of measurement runs the loop file expands into."""
+        count = 1
+        for value in self.loop_vars.values():
+            count *= len(value) if isinstance(value, list) else 1
+        return count
+
+    def describe(self) -> dict:
+        """Serializable record of all three scopes (stored as artifacts)."""
+        return {
+            "global": dict(self.global_vars),
+            "local": {host: dict(mapping) for host, mapping in self.local_vars.items()},
+            "loop": dict(self.loop_vars),
+        }

@@ -1,0 +1,419 @@
+"""A self-contained YAML-subset parser and emitter.
+
+pos stores experiment variables (``global-variables.yml``,
+``loop-variables.yml``, …) and per-run metadata as YAML.  The original
+toolchain uses PyYAML; this environment has no third-party YAML library,
+so we implement the subset the methodology needs:
+
+* block mappings and block sequences, nested by indentation
+* flow sequences (``[1, 2, 3]``) and flow mappings (``{a: 1}``)
+* scalars: integers, floats, booleans, ``null``, plain and quoted strings
+* comments (``# …``) and blank lines
+* round-tripping via :func:`dumps` / :func:`loads`
+
+The subset is deliberately strict: tabs are rejected, duplicate keys are
+rejected, and anything outside the subset raises :class:`YamlError`
+rather than being silently misparsed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.core.errors import YamlError
+
+__all__ = ["loads", "dumps", "load_file", "dump_file"]
+
+_BOOL_TRUE = {"true", "True", "TRUE", "yes", "Yes", "on", "On"}
+_BOOL_FALSE = {"false", "False", "FALSE", "no", "No", "off", "Off"}
+_NULL = {"null", "Null", "NULL", "~", ""}
+
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+_PLAIN_SAFE_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_./@ -]*$")
+
+
+class _Line:
+    """One significant (non-blank, non-comment) line of input."""
+
+    def __init__(self, number: int, indent: int, content: str):
+        self.number = number
+        self.indent = indent
+        self.content = content
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Line({self.number}, indent={self.indent}, {self.content!r})"
+
+
+def _strip_comment(text: str) -> str:
+    """Remove a trailing comment, honouring quoted strings."""
+    in_single = False
+    in_double = False
+    for i, ch in enumerate(text):
+        if ch == "'" and not in_double:
+            in_single = not in_single
+        elif ch == '"' and not in_single:
+            in_double = not in_double
+        elif ch == "#" and not in_single and not in_double:
+            if i == 0 or text[i - 1] in " \t":
+                return text[:i].rstrip()
+    return text.rstrip()
+
+
+def _significant_lines(text: str) -> List[_Line]:
+    lines: List[_Line] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise YamlError(f"line {number}: tabs are not allowed in indentation")
+        stripped = _strip_comment(raw)
+        if not stripped.strip():
+            continue
+        indent = len(stripped) - len(stripped.lstrip(" "))
+        lines.append(_Line(number, indent, stripped.strip()))
+    return lines
+
+
+def _parse_scalar(token: str, line_number: int) -> Any:
+    token = token.strip()
+    if token.startswith('"'):
+        if not token.endswith('"') or len(token) < 2:
+            raise YamlError(f"line {line_number}: unterminated double-quoted string")
+        return _unescape(token[1:-1], line_number)
+    if token.startswith("'"):
+        if not token.endswith("'") or len(token) < 2:
+            raise YamlError(f"line {line_number}: unterminated single-quoted string")
+        return token[1:-1].replace("''", "'")
+    if token in _NULL:
+        return None
+    if token in _BOOL_TRUE:
+        return True
+    if token in _BOOL_FALSE:
+        return False
+    if _INT_RE.match(token):
+        return int(token)
+    if _FLOAT_RE.match(token) and any(c in token for c in ".eE"):
+        return float(token)
+    return token
+
+
+def _unescape(body: str, line_number: int) -> str:
+    out: List[str] = []
+    i = 0
+    escapes = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\", "0": "\0"}
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            if i + 1 >= len(body):
+                raise YamlError(f"line {line_number}: dangling escape")
+            nxt = body[i + 1]
+            if nxt not in escapes:
+                raise YamlError(f"line {line_number}: unknown escape \\{nxt}")
+            out.append(escapes[nxt])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _split_flow_items(body: str, line_number: int) -> List[str]:
+    """Split the inside of a flow collection on top-level commas."""
+    items: List[str] = []
+    depth = 0
+    in_single = False
+    in_double = False
+    current: List[str] = []
+    for ch in body:
+        if ch == "'" and not in_double:
+            in_single = not in_single
+        elif ch == '"' and not in_single:
+            in_double = not in_double
+        if not in_single and not in_double:
+            if ch in "[{":
+                depth += 1
+            elif ch in "]}":
+                depth -= 1
+                if depth < 0:
+                    raise YamlError(f"line {line_number}: unbalanced brackets")
+            elif ch == "," and depth == 0:
+                items.append("".join(current))
+                current = []
+                continue
+        current.append(ch)
+    if in_single or in_double:
+        raise YamlError(f"line {line_number}: unterminated string in flow collection")
+    if depth != 0:
+        raise YamlError(f"line {line_number}: unbalanced brackets")
+    tail = "".join(current).strip()
+    if tail or items:
+        items.append("".join(current))
+    return [item.strip() for item in items if item.strip() != ""]
+
+
+def _parse_flow(token: str, line_number: int) -> Any:
+    token = token.strip()
+    if token.startswith("[") and token.endswith("]"):
+        return [_parse_value(item, line_number) for item in _split_flow_items(token[1:-1], line_number)]
+    if token.startswith("{") and token.endswith("}"):
+        result = {}
+        for item in _split_flow_items(token[1:-1], line_number):
+            key_text, sep, value_text = _partition_key(item, line_number)
+            if not sep:
+                raise YamlError(f"line {line_number}: flow mapping entry missing ':'")
+            key = _parse_scalar(key_text, line_number)
+            if key in result:
+                raise YamlError(f"line {line_number}: duplicate key {key!r}")
+            result[key] = _parse_value(value_text, line_number)
+        return result
+    raise YamlError(f"line {line_number}: malformed flow collection {token!r}")
+
+
+def _parse_value(token: str, line_number: int) -> Any:
+    token = token.strip()
+    if token.startswith("[") or token.startswith("{"):
+        return _parse_flow(token, line_number)
+    return _parse_scalar(token, line_number)
+
+
+def _partition_key(text: str, line_number: int) -> Tuple[str, str, str]:
+    """Split ``key: value`` on the first top-level colon-space (or EOL colon)."""
+    in_single = False
+    in_double = False
+    for i, ch in enumerate(text):
+        if ch == "'" and not in_double:
+            in_single = not in_single
+        elif ch == '"' and not in_single:
+            in_double = not in_double
+        elif ch == ":" and not in_single and not in_double:
+            if i + 1 == len(text):
+                return text[:i], ":", ""
+            if text[i + 1] == " ":
+                return text[:i], ":", text[i + 2 :]
+    return text, "", ""
+
+
+class _Parser:
+    def __init__(self, lines: List[_Line]):
+        self._lines = lines
+        self._pos = 0
+
+    def _peek(self) -> Optional[_Line]:
+        if self._pos < len(self._lines):
+            return self._lines[self._pos]
+        return None
+
+    def _next(self) -> _Line:
+        line = self._lines[self._pos]
+        self._pos += 1
+        return line
+
+    def parse_document(self) -> Any:
+        first = self._peek()
+        if first is None:
+            return None
+        __, sep, __ = _partition_key(first.content, first.number)
+        is_sequence_item = first.content.startswith("- ") or first.content == "-"
+        is_flow = first.content.startswith(("[", "{"))
+        if is_flow or (not sep and not is_sequence_item):
+            # Bare scalar or flow-collection document.
+            self._next()
+            value = _parse_value(first.content, first.number)
+        else:
+            value = self._parse_node(first.indent)
+        trailing = self._peek()
+        if trailing is not None:
+            raise YamlError(
+                f"line {trailing.number}: unexpected content after document end"
+            )
+        return value
+
+    def _parse_node(self, indent: int) -> Any:
+        line = self._peek()
+        if line is None:
+            raise YamlError("unexpected end of document")
+        if line.content.startswith("- ") or line.content == "-":
+            return self._parse_sequence(indent)
+        return self._parse_mapping(indent)
+
+    def _parse_sequence(self, indent: int) -> List[Any]:
+        items: List[Any] = []
+        while True:
+            line = self._peek()
+            if line is None or line.indent != indent:
+                if line is not None and line.indent > indent:
+                    raise YamlError(f"line {line.number}: bad indentation in sequence")
+                return items
+            if not (line.content.startswith("- ") or line.content == "-"):
+                return items
+            self._next()
+            body = line.content[1:].strip()
+            if not body:
+                child = self._peek()
+                if child is None or child.indent <= indent:
+                    items.append(None)
+                else:
+                    items.append(self._parse_node(child.indent))
+                continue
+            key_text, sep, value_text = _partition_key(body, line.number)
+            if sep and not body.startswith(("[", "{", '"', "'")):
+                # inline mapping opening:  "- key: value" possibly followed by
+                # further keys indented under the item.
+                mapping = {}
+                key = _parse_scalar(key_text, line.number)
+                mapping[key] = self._inline_or_nested_value(
+                    value_text, line.number, indent + 2
+                )
+                child = self._peek()
+                if child is not None and child.indent == indent + 2 and not (
+                    child.content.startswith("- ") or child.content == "-"
+                ):
+                    rest = self._parse_mapping(indent + 2)
+                    for rest_key, rest_value in rest.items():
+                        if rest_key in mapping:
+                            raise YamlError(
+                                f"line {child.number}: duplicate key {rest_key!r}"
+                            )
+                        mapping[rest_key] = rest_value
+                items.append(mapping)
+            else:
+                items.append(_parse_value(body, line.number))
+
+    def _parse_mapping(self, indent: int) -> dict:
+        mapping: dict = {}
+        while True:
+            line = self._peek()
+            if line is None or line.indent != indent:
+                if line is not None and line.indent > indent:
+                    raise YamlError(f"line {line.number}: bad indentation in mapping")
+                return mapping
+            if line.content.startswith("- ") or line.content == "-":
+                return mapping
+            self._next()
+            key_text, sep, value_text = _partition_key(line.content, line.number)
+            if not sep:
+                raise YamlError(f"line {line.number}: expected 'key: value'")
+            key = _parse_scalar(key_text, line.number)
+            if not isinstance(key, (str, int, float, bool)) and key is not None:
+                raise YamlError(f"line {line.number}: unhashable mapping key")
+            if key in mapping:
+                raise YamlError(f"line {line.number}: duplicate key {key!r}")
+            mapping[key] = self._inline_or_nested_value(
+                value_text, line.number, indent
+            )
+
+    def _inline_or_nested_value(
+        self, value_text: str, line_number: int, parent_indent: int
+    ) -> Any:
+        if value_text.strip():
+            return _parse_value(value_text, line_number)
+        child = self._peek()
+        if child is not None and child.indent > parent_indent:
+            return self._parse_node(child.indent)
+        return None
+
+
+def loads(text: str) -> Any:
+    """Parse a YAML-subset document into Python objects.
+
+    Raises :class:`~repro.core.errors.YamlError` on anything outside the
+    supported subset.
+    """
+    if not isinstance(text, str):
+        raise YamlError(f"expected str, got {type(text).__name__}")
+    return _Parser(_significant_lines(text)).parse_document()
+
+
+def load_file(path) -> Any:
+    """Parse the YAML-subset file at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def _format_scalar(value: Any) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        if value == "":
+            return '""'
+        needs_quote = (
+            not _PLAIN_SAFE_RE.match(value)
+            or value != value.strip()
+            or value in _BOOL_TRUE
+            or value in _BOOL_FALSE
+            or value in _NULL
+            or _INT_RE.match(value)
+            or _FLOAT_RE.match(value)
+        )
+        if needs_quote:
+            escaped = (
+                value.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+                .replace("\t", "\\t")
+                .replace("\r", "\\r")
+                .replace("\0", "\\0")
+            )
+            return f'"{escaped}"'
+        return value
+    raise YamlError(f"cannot serialize scalar of type {type(value).__name__}")
+
+
+def _dump_node(value: Any, indent: int, out: List[str]) -> None:
+    pad = " " * indent
+    if isinstance(value, dict):
+        if not value:
+            out.append(f"{pad}{{}}")
+            return
+        for key, item in value.items():
+            key_text = _format_scalar(key)
+            if isinstance(item, (dict, list)) and item:
+                out.append(f"{pad}{key_text}:")
+                _dump_node(item, indent + 2, out)
+            elif isinstance(item, dict):
+                out.append(f"{pad}{key_text}: {{}}")
+            elif isinstance(item, list):
+                out.append(f"{pad}{key_text}: []")
+            else:
+                out.append(f"{pad}{key_text}: {_format_scalar(item)}")
+    elif isinstance(value, list):
+        if not value:
+            out.append(f"{pad}[]")
+            return
+        for item in value:
+            if isinstance(item, (dict, list)) and item:
+                out.append(f"{pad}-")
+                _dump_node(item, indent + 2, out)
+            elif isinstance(item, dict):
+                out.append(f"{pad}- {{}}")
+            elif isinstance(item, list):
+                out.append(f"{pad}- []")
+            else:
+                out.append(f"{pad}- {_format_scalar(item)}")
+    else:
+        out.append(f"{pad}{_format_scalar(value)}")
+
+
+def dumps(value: Any) -> str:
+    """Serialize Python data into the YAML subset.
+
+    Supports dicts, lists, and the scalar types the parser produces.
+    ``loads(dumps(x)) == x`` holds for all supported values.
+    """
+    out: List[str] = []
+    _dump_node(value, 0, out)
+    return "\n".join(out) + "\n"
+
+
+def dump_file(value: Any, path) -> None:
+    """Serialize ``value`` to the file at ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(value))

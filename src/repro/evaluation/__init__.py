@@ -1,0 +1,80 @@
+"""Evaluation phase: parsers, result loading, aggregation, plotting."""
+
+from repro.evaluation.aggregate import (
+    HdrHistogram,
+    Stats,
+    describe,
+    group_runs,
+    percentile,
+    series_from_runs,
+)
+from repro.evaluation.iperf_parser import IperfOutput, parse_iperf_output
+from repro.evaluation.loader import (
+    ExperimentResults,
+    RunResult,
+    extract_command_output,
+    load_experiment,
+)
+from repro.evaluation.replication import (
+    ReplicationReport,
+    RunComparison,
+    compare_experiments,
+)
+from repro.evaluation.robustness import (
+    Cliff,
+    find_cliffs,
+    robustness_report,
+    scan,
+)
+from repro.evaluation.tendencies import (
+    CurveFeatures,
+    extract_features,
+    tendencies_agree,
+    tendency_report,
+)
+from repro.evaluation.moongen_parser import (
+    DeviceSummary,
+    LatencySummary,
+    MoonGenOutput,
+    parse_histogram_csv,
+    parse_moongen_output,
+)
+from repro.evaluation.plotter import (
+    latency_samples_us,
+    plot_experiment,
+    throughput_figure,
+)
+
+__all__ = [
+    "HdrHistogram",
+    "Stats",
+    "describe",
+    "group_runs",
+    "percentile",
+    "series_from_runs",
+    "IperfOutput",
+    "parse_iperf_output",
+    "ExperimentResults",
+    "RunResult",
+    "extract_command_output",
+    "load_experiment",
+    "Cliff",
+    "find_cliffs",
+    "robustness_report",
+    "scan",
+    "ReplicationReport",
+    "RunComparison",
+    "compare_experiments",
+    "CurveFeatures",
+    "extract_features",
+    "tendencies_agree",
+    "tendency_report",
+    "DeviceSummary",
+    "LatencySummary",
+    "MoonGenOutput",
+    "parse_histogram_csv",
+    "parse_moongen_output",
+    "latency_samples_us",
+    "plot_experiment",
+    "throughput_figure",
+]

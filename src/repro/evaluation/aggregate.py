@@ -1,0 +1,196 @@
+"""Filtering, grouping, and statistics over measurement runs.
+
+The evaluation phase "can filter or aggregate specific parameters and
+values" based on the per-run metadata.  Besides basic descriptive
+statistics this module provides the HDR-style histogram that backs the
+latency plots (log-bucketed, constant relative precision) and the
+series extraction used by the throughput figures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import EvaluationError
+from repro.evaluation.loader import RunResult
+
+__all__ = [
+    "Stats",
+    "describe",
+    "percentile",
+    "group_runs",
+    "series_from_runs",
+    "HdrHistogram",
+]
+
+
+@dataclass
+class Stats:
+    """Descriptive statistics of one sample set."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+    median: float
+    p95: float
+    p99: float
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile; ``fraction`` in [0, 1]."""
+    if not samples:
+        raise EvaluationError("percentile of an empty sample set")
+    if not 0.0 <= fraction <= 1.0:
+        raise EvaluationError(f"percentile fraction {fraction} outside [0, 1]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return ordered[lower]
+    weight = position - lower
+    interpolated = ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+    # Clamp: float rounding must not push the result outside the
+    # bracketing samples (ordered[lower] <= result <= ordered[upper]).
+    return min(max(interpolated, ordered[lower]), ordered[upper])
+
+
+def describe(samples: Sequence[float]) -> Stats:
+    """Full descriptive statistics for a sample set."""
+    if not samples:
+        raise EvaluationError("cannot describe an empty sample set")
+    count = len(samples)
+    mean = sum(samples) / count
+    variance = sum((value - mean) ** 2 for value in samples) / count
+    return Stats(
+        count=count,
+        mean=mean,
+        stddev=math.sqrt(variance),
+        minimum=min(samples),
+        maximum=max(samples),
+        median=percentile(samples, 0.5),
+        p95=percentile(samples, 0.95),
+        p99=percentile(samples, 0.99),
+    )
+
+
+def group_runs(
+    runs: Iterable[RunResult], key: str
+) -> Dict[Any, List[RunResult]]:
+    """Group runs by one loop parameter, preserving first-seen order."""
+    groups: Dict[Any, List[RunResult]] = {}
+    for run in runs:
+        groups.setdefault(run.loop.get(key), []).append(run)
+    return groups
+
+
+def series_from_runs(
+    runs: Iterable[RunResult],
+    x: Callable[[RunResult], float],
+    y: Callable[[RunResult], float],
+) -> List[Tuple[float, float]]:
+    """Extract an (x, y) series from runs, sorted by x.
+
+    Runs where either extractor raises are skipped — a failed run
+    without a MoonGen log must not kill the whole evaluation, matching
+    the tolerance of the original plotting scripts.
+    """
+    points: List[Tuple[float, float]] = []
+    for run in runs:
+        try:
+            points.append((float(x(run)), float(y(run))))
+        except Exception:  # noqa: BLE001 - tolerate partial results
+            continue
+    points.sort(key=lambda point: point[0])
+    return points
+
+
+class HdrHistogram:
+    """High-dynamic-range histogram with constant relative precision.
+
+    Buckets are spaced logarithmically: each bucket boundary is
+    ``(1 + 1/precision)`` times the previous one, giving a bounded
+    relative quantization error over many orders of magnitude — the
+    structure behind HDR latency plots.
+    """
+
+    def __init__(self, precision: int = 32, min_value: float = 1e-9):
+        if precision < 1:
+            raise EvaluationError("precision must be >= 1")
+        if min_value <= 0:
+            raise EvaluationError("min_value must be positive")
+        self.precision = precision
+        self.min_value = min_value
+        self._growth = 1.0 + 1.0 / precision
+        self._log_growth = math.log(self._growth)
+        self._counts: Dict[int, int] = {}
+        self.total = 0
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= self.min_value:
+            return 0
+        return int(math.log(value / self.min_value) / self._log_growth) + 1
+
+    def bucket_bounds(self, index: int) -> Tuple[float, float]:
+        """(low, high) value range of a bucket."""
+        if index == 0:
+            return (0.0, self.min_value)
+        low = self.min_value * self._growth ** (index - 1)
+        return (low, low * self._growth)
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise EvaluationError(f"cannot record negative value {value}")
+        index = self._bucket_index(value)
+        self._counts[index] = self._counts.get(index, 0) + 1
+        self.total += 1
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def value_at_quantile(self, quantile: float) -> float:
+        """Upper bound of the bucket containing the given quantile."""
+        if not 0.0 < quantile <= 1.0:
+            raise EvaluationError(f"quantile {quantile} outside (0, 1]")
+        if self.total == 0:
+            raise EvaluationError("histogram is empty")
+        target = quantile * self.total
+        cumulative = 0
+        for index in sorted(self._counts):
+            cumulative += self._counts[index]
+            if cumulative >= target:
+                return self.bucket_bounds(index)[1]
+        return self.bucket_bounds(max(self._counts))[1]
+
+    def quantile_curve(
+        self, quantiles: Optional[Sequence[float]] = None
+    ) -> List[Tuple[float, float]]:
+        """(quantile, value) points for an HDR plot.
+
+        The default quantile ladder approaches 1 in the characteristic
+        "number of nines" steps of HDR diagrams.
+        """
+        if quantiles is None:
+            quantiles = [
+                0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.995, 0.999, 0.9995, 0.9999,
+            ]
+        return [(q, self.value_at_quantile(q)) for q in quantiles]
+
+    def counts(self) -> Dict[int, int]:
+        """Raw bucket counts, keyed by bucket index."""
+        return dict(self._counts)
+
+    def merge(self, other: "HdrHistogram") -> None:
+        """Accumulate another histogram with identical parameters."""
+        if (other.precision, other.min_value) != (self.precision, self.min_value):
+            raise EvaluationError("cannot merge histograms with different shapes")
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self.total += other.total

@@ -1,0 +1,63 @@
+"""Parser for iPerf interval output.
+
+"Researchers can add their own parsers to support other packet
+generators or output formats" (Sec. 4.4) — this is such an added
+parser, registered alongside the MoonGen one, covering the format of
+:func:`repro.loadgen.iperf.format_iperf_report`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.errors import ParseError
+
+__all__ = ["IperfOutput", "parse_iperf_output"]
+
+_INTERVAL_RE = re.compile(
+    r"^\[\s*\d+\]\s+(?P<start>[\d.]+)-\s*(?P<end>[\d.]+) sec\s+"
+    r"(?P<bytes>\d+) Bytes\s+(?P<mbits>[\d.]+) Mbits/sec$"
+)
+_SUMMARY_RE = re.compile(
+    r"^\[\s*\d+\]\s+(?P<start>[\d.]+)-(?P<end>[\d.]+) sec\s+"
+    r"(?P<bytes>\d+) Bytes\s+(?P<mbits>[\d.]+) Mbits/sec \(summary\)$"
+)
+
+
+@dataclass
+class IperfOutput:
+    """Structured view of one iPerf run."""
+
+    interval_mbits: List[float] = field(default_factory=list)
+    total_bytes: int = 0
+    summary_mbits: Optional[float] = None
+
+    @property
+    def throughput_mbits(self) -> float:
+        if self.summary_mbits is None:
+            raise ParseError("iperf output has no summary line")
+        return self.summary_mbits
+
+
+def parse_iperf_output(text: str) -> IperfOutput:
+    """Parse an iPerf log; banner lines are skipped, junk lines raise."""
+    output = IperfOutput()
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line.strip():
+            continue
+        if line.startswith("---") or line.startswith("Client connecting"):
+            continue
+        match = _SUMMARY_RE.match(line)
+        if match:
+            output.summary_mbits = float(match.group("mbits"))
+            output.total_bytes = int(match.group("bytes"))
+            continue
+        match = _INTERVAL_RE.match(line)
+        if match:
+            output.interval_mbits.append(float(match.group("mbits")))
+            continue
+        raise ParseError(f"line {number}: unrecognized iperf output: {line!r}")
+    return output

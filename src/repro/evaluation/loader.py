@@ -1,0 +1,185 @@
+"""Result-tree loader.
+
+Walks the central result layout written by
+:mod:`repro.core.results` and joins every run's captured outputs with
+its loop-parameter metadata: "pos creates separate result files for
+each measurement run.  Additionally, pos creates metadata for each run
+… Based on this metadata, the evaluation script can filter or
+aggregate specific parameters and values."
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core import yamlite
+from repro.core.errors import ResultError
+from repro.evaluation.moongen_parser import MoonGenOutput, parse_moongen_output
+
+__all__ = [
+    "RunResult",
+    "ExperimentResults",
+    "load_experiment",
+    "extract_command_output",
+]
+
+
+def extract_command_output(commands_log: str, command_name: str) -> Optional[str]:
+    """Pull one command's captured output out of a ``commands.log``.
+
+    The capture format interleaves ``$ <command>``, the output lines,
+    and ``(exit N)``.  Returns the output of the *first* successful
+    invocation whose command line starts with ``command_name``, or None.
+    """
+    lines = commands_log.splitlines()
+    index = 0
+    while index < len(lines):
+        line = lines[index]
+        if line.startswith("$ ") and line[2:].split(None, 1)[0] == command_name:
+            body: List[str] = []
+            index += 1
+            while index < len(lines) and not lines[index].startswith("(exit "):
+                body.append(lines[index])
+                index += 1
+            exit_ok = index < len(lines) and lines[index] == "(exit 0)"
+            if exit_ok and body:
+                return "\n".join(body) + "\n"
+        index += 1
+    return None
+
+
+@dataclass
+class RunResult:
+    """One measurement run: metadata plus everything each role uploaded."""
+
+    index: int
+    loop: Dict[str, Any]
+    #: role → filename → content
+    outputs: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    #: role → parsed status.yml
+    status: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """A run is good when every recorded role reported ok."""
+        return all(entry.get("ok", False) for entry in self.status.values())
+
+    def output(self, role: str, name: str) -> str:
+        """Fetch one captured file; raises with a helpful message."""
+        files = self.outputs.get(role)
+        if files is None:
+            raise ResultError(
+                f"run {self.index}: no outputs for role {role!r} "
+                f"(roles: {', '.join(sorted(self.outputs)) or 'none'})"
+            )
+        if name not in files:
+            raise ResultError(
+                f"run {self.index}: role {role!r} has no file {name!r} "
+                f"(files: {', '.join(sorted(files))})"
+            )
+        return files[name]
+
+    def moongen(self, role: str = "loadgen", name: str = "moongen.log") -> MoonGenOutput:
+        """Parse the run's MoonGen log.
+
+        Python-scripted experiments upload ``moongen.log`` explicitly;
+        pure command-script experiments run the ``moongen`` command,
+        whose output lands in the captured ``commands.log`` — when the
+        named file is absent, the MoonGen block is extracted from there.
+        """
+        files = self.outputs.get(role, {})
+        if name in files:
+            return parse_moongen_output(files[name])
+        if "commands.log" in files:
+            block = extract_command_output(files["commands.log"], "moongen")
+            if block is not None:
+                return parse_moongen_output(block)
+        # Fall through to the precise missing-file error.
+        return parse_moongen_output(self.output(role, name))
+
+
+@dataclass
+class ExperimentResults:
+    """A fully loaded experiment result folder."""
+
+    path: str
+    metadata: Dict[str, Any]
+    variables: Dict[str, Any]
+    inventory: Dict[str, Any]
+    runs: List[RunResult] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return str(self.metadata.get("name", os.path.basename(self.path)))
+
+    def successful_runs(self) -> List[RunResult]:
+        return [run for run in self.runs if run.ok]
+
+    def filter(self, **loop_values: Any) -> List[RunResult]:
+        """Runs whose loop parameters match every given value."""
+        matched = []
+        for run in self.runs:
+            if all(run.loop.get(key) == value for key, value in loop_values.items()):
+                matched.append(run)
+        return matched
+
+    def loop_values(self, key: str) -> List[Any]:
+        """Distinct values a loop parameter took, in first-seen order."""
+        seen: List[Any] = []
+        for run in self.runs:
+            value = run.loop.get(key)
+            if value not in seen:
+                seen.append(value)
+        return seen
+
+
+def _load_yaml_if_present(path: str) -> dict:
+    if not os.path.isfile(path):
+        return {}
+    loaded = yamlite.load_file(path)
+    return loaded if isinstance(loaded, dict) else {}
+
+
+def _load_role_dirs(run_path: str, run: RunResult) -> None:
+    for entry in sorted(os.listdir(run_path)):
+        role_path = os.path.join(run_path, entry)
+        if not os.path.isdir(role_path):
+            continue
+        files: Dict[str, str] = {}
+        for filename in sorted(os.listdir(role_path)):
+            file_path = os.path.join(role_path, filename)
+            if not os.path.isfile(file_path):
+                continue
+            if filename == "status.yml":
+                run.status[entry] = _load_yaml_if_present(file_path)
+                continue
+            with open(file_path, "r", encoding="utf-8") as handle:
+                files[filename] = handle.read()
+        run.outputs[entry] = files
+
+
+def load_experiment(path: str) -> ExperimentResults:
+    """Load one experiment result folder (the ``[timestamp]`` directory)."""
+    if not os.path.isdir(path):
+        raise ResultError(f"no such result folder: {path}")
+    results = ExperimentResults(
+        path=path,
+        metadata=_load_yaml_if_present(os.path.join(path, "experiment.yml")),
+        variables=_load_yaml_if_present(os.path.join(path, "variables.yml")),
+        inventory=_load_yaml_if_present(os.path.join(path, "inventory.yml")),
+    )
+    run_entries = sorted(
+        entry for entry in os.listdir(path)
+        if entry.startswith("run-") and os.path.isdir(os.path.join(path, entry))
+    )
+    for entry in run_entries:
+        run_path = os.path.join(path, entry)
+        metadata = _load_yaml_if_present(os.path.join(run_path, "metadata.yml"))
+        index = int(metadata.get("run", entry.split("-", 1)[1]))
+        run = RunResult(index=index, loop=dict(metadata.get("loop", {})))
+        _load_role_dirs(run_path, run)
+        results.runs.append(run)
+    results.runs.sort(key=lambda run: run.index)
+    return results

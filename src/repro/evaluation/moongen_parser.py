@@ -1,0 +1,169 @@
+"""Parser for MoonGen text output and latency histogram CSVs.
+
+"We integrated a parser for MoonGen's output into our plotting scripts.
+The MoonGen output, in conjunction with the available metadata, allows
+the automated evaluation of experiments."  (Sec. 4.4)
+
+The grammar matches what :func:`repro.loadgen.moongen.format_report`
+emits (and is a faithful subset of real MoonGen throughput output):
+
+* per-interval lines::
+
+    [Device: id=0] TX: 0.100000 Mpps, 51.20 Mbit/s (67.20 Mbit/s with framing)
+
+* run-summary lines::
+
+    [Device: id=0] TX: 0.099990 Mpps (total 49995 packets with 3199680 bytes payload)
+
+* an optional latency summary::
+
+    [Latency] min: 0.721 us, avg: 0.812 us, max: 9.313 us, samples: 500
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.errors import ParseError
+
+__all__ = [
+    "DeviceSummary",
+    "LatencySummary",
+    "MoonGenOutput",
+    "parse_moongen_output",
+    "parse_histogram_csv",
+]
+
+_INTERVAL_RE = re.compile(
+    r"^\[Device: id=(?P<dev>\d+)\] (?P<dir>TX|RX): (?P<mpps>[\d.]+) Mpps, "
+    r"(?P<mbit>[\d.]+) Mbit/s \((?P<framed>[\d.]+) Mbit/s with framing\)$"
+)
+_SUMMARY_RE = re.compile(
+    r"^\[Device: id=(?P<dev>\d+)\] (?P<dir>TX|RX): (?P<mpps>[\d.]+) Mpps "
+    r"\(total (?P<packets>\d+) packets with (?P<bytes>\d+) bytes payload\)$"
+)
+_LATENCY_RE = re.compile(
+    r"^\[Latency\] min: (?P<min>[\d.]+) us, avg: (?P<avg>[\d.]+) us, "
+    r"max: (?P<max>[\d.]+) us, samples: (?P<samples>\d+)$"
+)
+
+
+@dataclass
+class DeviceSummary:
+    """Run totals for one direction (TX or RX)."""
+
+    device: int
+    direction: str
+    mpps: float
+    packets: int
+    payload_bytes: int
+
+
+@dataclass
+class LatencySummary:
+    """The latency footer of a run with hardware timestamping."""
+
+    min_us: float
+    avg_us: float
+    max_us: float
+    samples: int
+
+
+@dataclass
+class MoonGenOutput:
+    """Structured view of one MoonGen run's output."""
+
+    tx_interval_mpps: List[float] = field(default_factory=list)
+    rx_interval_mpps: List[float] = field(default_factory=list)
+    tx_summary: Optional[DeviceSummary] = None
+    rx_summary: Optional[DeviceSummary] = None
+    latency: Optional[LatencySummary] = None
+
+    @property
+    def tx_mpps(self) -> float:
+        """Overall transmit rate; raises if the run has no TX summary."""
+        if self.tx_summary is None:
+            raise ParseError("MoonGen output has no TX summary line")
+        return self.tx_summary.mpps
+
+    @property
+    def rx_mpps(self) -> float:
+        """Overall receive rate; raises if the run has no RX summary."""
+        if self.rx_summary is None:
+            raise ParseError("MoonGen output has no RX summary line")
+        return self.rx_summary.mpps
+
+    @property
+    def loss_fraction(self) -> float:
+        """Fraction of transmitted packets that were not received back."""
+        if self.tx_summary is None or self.rx_summary is None:
+            raise ParseError("MoonGen output lacks TX/RX summaries")
+        if self.tx_summary.packets == 0:
+            return 0.0
+        return 1.0 - self.rx_summary.packets / self.tx_summary.packets
+
+
+def parse_moongen_output(text: str) -> MoonGenOutput:
+    """Parse a MoonGen log; unknown non-blank lines raise ParseError."""
+    output = MoonGenOutput()
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        match = _INTERVAL_RE.match(line)
+        if match:
+            mpps = float(match.group("mpps"))
+            if match.group("dir") == "TX":
+                output.tx_interval_mpps.append(mpps)
+            else:
+                output.rx_interval_mpps.append(mpps)
+            continue
+        match = _SUMMARY_RE.match(line)
+        if match:
+            summary = DeviceSummary(
+                device=int(match.group("dev")),
+                direction=match.group("dir"),
+                mpps=float(match.group("mpps")),
+                packets=int(match.group("packets")),
+                payload_bytes=int(match.group("bytes")),
+            )
+            if summary.direction == "TX":
+                output.tx_summary = summary
+            else:
+                output.rx_summary = summary
+            continue
+        match = _LATENCY_RE.match(line)
+        if match:
+            output.latency = LatencySummary(
+                min_us=float(match.group("min")),
+                avg_us=float(match.group("avg")),
+                max_us=float(match.group("max")),
+                samples=int(match.group("samples")),
+            )
+            continue
+        raise ParseError(f"line {number}: unrecognized MoonGen output: {line!r}")
+    return output
+
+
+def parse_histogram_csv(text: str) -> Dict[int, int]:
+    """Parse a ``latency_ns,count`` histogram CSV into a bucket map."""
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ParseError("empty histogram CSV")
+    if lines[0] != "latency_ns,count":
+        raise ParseError(f"unexpected histogram header: {lines[0]!r}")
+    buckets: Dict[int, int] = {}
+    for number, line in enumerate(lines[1:], start=2):
+        parts = line.split(",")
+        if len(parts) != 2:
+            raise ParseError(f"line {number}: expected 'latency_ns,count'")
+        try:
+            bucket, count = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise ParseError(f"line {number}: non-integer field: {line!r}") from exc
+        if count < 0:
+            raise ParseError(f"line {number}: negative count")
+        buckets[bucket] = buckets.get(bucket, 0) + count
+    return buckets

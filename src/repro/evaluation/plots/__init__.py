@@ -1,0 +1,85 @@
+"""Plotting library: figure model, chart builders, and exporters.
+
+Build a figure with one of the chart builders, then :func:`export` it
+to any combination of svg, tex, and pdf::
+
+    from repro.evaluation.plots import line_plot, export
+
+    fig = line_plot({"64B": points}, xlabel="offered rate", ylabel="Mpps")
+    export(fig, "figures/throughput", formats=("svg", "tex", "pdf"))
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List
+
+from repro.core.errors import PlotError
+from repro.evaluation.plots.charts import cdf, hdr_plot, histogram, line_plot, violin
+from repro.evaluation.plots.figure import Figure, Series, build_scene, nice_ticks
+from repro.evaluation.plots.pdf import scene_to_pdf
+from repro.evaluation.plots.scene import PALETTE, Scene
+from repro.evaluation.plots.svg import scene_to_svg
+from repro.evaluation.plots.tex import figure_to_tex
+
+__all__ = [
+    "Figure",
+    "Series",
+    "Scene",
+    "PALETTE",
+    "build_scene",
+    "nice_ticks",
+    "line_plot",
+    "histogram",
+    "cdf",
+    "hdr_plot",
+    "violin",
+    "scene_to_svg",
+    "scene_to_pdf",
+    "figure_to_tex",
+    "export",
+]
+
+_FORMATS = ("svg", "tex", "pdf")
+
+
+def export(
+    figure: Figure,
+    basepath: str,
+    formats: Iterable[str] = _FORMATS,
+) -> List[str]:
+    """Write the figure as ``basepath.<fmt>`` for each requested format.
+
+    Returns the list of paths written.  Unknown formats raise before
+    anything is written.
+    """
+    wanted = list(formats)
+    unknown = [fmt for fmt in wanted if fmt not in _FORMATS]
+    if unknown:
+        raise PlotError(
+            f"unknown export formats: {', '.join(unknown)} "
+            f"(supported: {', '.join(_FORMATS)})"
+        )
+    directory = os.path.dirname(basepath)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    scene = None
+    if "svg" in wanted or "pdf" in wanted:
+        scene = build_scene(figure)
+    if "svg" in wanted:
+        path = basepath + ".svg"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(scene_to_svg(scene))
+        written.append(path)
+    if "tex" in wanted:
+        path = basepath + ".tex"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(figure_to_tex(figure))
+        written.append(path)
+    if "pdf" in wanted:
+        path = basepath + ".pdf"
+        with open(path, "wb") as handle:
+            handle.write(scene_to_pdf(scene))
+        written.append(path)
+    return written

@@ -1,0 +1,325 @@
+"""Figure model and layout engine.
+
+A :class:`Figure` is a backend-independent description of a chart: the
+axes, the data series, and how each series should be drawn.  The
+layout engine maps data coordinates onto the canvas, places axes,
+ticks, grid lines and the legend, and emits a
+:class:`~repro.evaluation.plots.scene.Scene` that the SVG/PDF backends
+render verbatim.
+
+Supported series kinds cover the representations the pos plotting
+scripts offer out of the box: ``line`` (with markers), ``step`` (CDFs),
+``bars`` (histograms), and ``shape`` (violin bodies).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.errors import PlotError
+from repro.evaluation.plots.scene import (
+    PALETTE,
+    Line,
+    Polygon,
+    Polyline,
+    Rect,
+    Scene,
+    Text,
+)
+
+__all__ = ["Series", "Figure", "nice_ticks", "log_ticks", "build_scene"]
+
+_MARGIN_LEFT = 62.0
+_MARGIN_RIGHT = 18.0
+_MARGIN_TOP = 34.0
+_MARGIN_BOTTOM = 48.0
+
+
+@dataclass
+class Series:
+    """One data series of a figure."""
+
+    label: str
+    points: List[Tuple[float, float]]
+    kind: str = "line"  # line | step | bars | shape
+    color: Optional[str] = None
+    dash: Optional[Sequence[float]] = None
+    #: bar width in data units (bars), or shape polygon closed flag.
+    bar_width: Optional[float] = None
+    markers: bool = True
+
+
+@dataclass
+class Figure:
+    """Backend-independent chart description."""
+
+    title: str = ""
+    xlabel: str = ""
+    ylabel: str = ""
+    series: List[Series] = field(default_factory=list)
+    width: float = 460.0
+    height: float = 300.0
+    x_log: bool = False
+    y_log: bool = False
+    xlim: Optional[Tuple[float, float]] = None
+    ylim: Optional[Tuple[float, float]] = None
+    #: Explicit ticks [(position, label)]; None derives them automatically.
+    x_ticks: Optional[List[Tuple[float, str]]] = None
+    y_ticks: Optional[List[Tuple[float, str]]] = None
+    legend: bool = True
+    grid: bool = True
+
+    def add(self, series: Series) -> Series:
+        self.series.append(series)
+        return series
+
+
+def nice_ticks(low: float, high: float, target: int = 6) -> List[float]:
+    """Nice-number tick positions covering [low, high].
+
+    Classic Heckbert algorithm: steps are 1, 2 or 5 times a power of
+    ten.
+    """
+    if high < low:
+        low, high = high, low
+    if math.isclose(high, low):
+        high = low + (abs(low) if low else 1.0)
+    span = high - low
+    raw_step = span / max(target - 1, 1)
+    magnitude = 10.0 ** math.floor(math.log10(raw_step))
+    residual = raw_step / magnitude
+    if residual < 1.5:
+        step = magnitude
+    elif residual < 3.0:
+        step = 2.0 * magnitude
+    elif residual < 7.0:
+        step = 5.0 * magnitude
+    else:
+        step = 10.0 * magnitude
+    first = math.floor(low / step) * step
+    ticks = []
+    value = first
+    while value <= high + step * 1e-9:
+        if value >= low - step * 1e-9:
+            ticks.append(round(value, 12))
+        value += step
+    return ticks
+
+
+def log_ticks(low: float, high: float) -> List[float]:
+    """Decade tick positions for a log axis."""
+    if low <= 0:
+        raise PlotError(f"log axis requires positive range, got low={low}")
+    start = math.floor(math.log10(low))
+    stop = math.ceil(math.log10(high))
+    return [10.0 ** exponent for exponent in range(int(start), int(stop) + 1)]
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e6 or abs(value) < 1e-3:
+        return f"{value:.0e}".replace("e+0", "e").replace("e-0", "e-")
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:g}"
+
+
+class _AxisMapper:
+    """Maps one data axis onto a pixel interval, linear or log."""
+
+    def __init__(self, low: float, high: float, pix_a: float, pix_b: float, log: bool):
+        if log and low <= 0:
+            raise PlotError("log axis with non-positive limit")
+        if math.isclose(high, low):
+            pad = abs(low) * 0.5 if low else 0.5
+            low, high = low - pad, high + pad
+            if log:
+                low = max(low, high / 10.0)
+        self.low = low
+        self.high = high
+        self.pix_a = pix_a
+        self.pix_b = pix_b
+        self.log = log
+
+    def __call__(self, value: float) -> float:
+        if self.log:
+            if value <= 0:
+                raise PlotError(f"cannot place non-positive value {value} on log axis")
+            fraction = (math.log10(value) - math.log10(self.low)) / (
+                math.log10(self.high) - math.log10(self.low)
+            )
+        else:
+            fraction = (value - self.low) / (self.high - self.low)
+        return self.pix_a + fraction * (self.pix_b - self.pix_a)
+
+
+def _data_limits(figure: Figure) -> Tuple[float, float, float, float]:
+    xs: List[float] = []
+    ys: List[float] = []
+    for series in figure.series:
+        for x, y in series.points:
+            xs.append(x)
+            ys.append(y)
+        if series.kind == "bars" and series.bar_width:
+            half = series.bar_width / 2.0
+            xs.extend([x - half for x, __ in series.points])
+            xs.extend([x + half for x, __ in series.points])
+    if not xs:
+        raise PlotError(f"figure {figure.title!r} has no data points")
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if figure.xlim:
+        x_low, x_high = figure.xlim
+    if figure.ylim:
+        y_low, y_high = figure.ylim
+    else:
+        if not figure.y_log:
+            # Start bar/line charts at zero when the data allows it.
+            if y_low > 0 and y_low / max(y_high, 1e-30) < 0.5:
+                y_low = 0.0
+            pad = (y_high - y_low) * 0.06 or 1.0
+            y_high += pad
+    return x_low, x_high, y_low, y_high
+
+
+def _marker(x: float, y: float, color: str, index: int) -> List[object]:
+    """Small per-series marker shapes: square, diamond, triangle…"""
+    size = 3.2
+    shape = index % 3
+    if shape == 0:  # square
+        return [Rect(x - size / 1.4, y - size / 1.4, size * 1.4, size * 1.4,
+                     fill=color, stroke=None)]
+    if shape == 1:  # diamond
+        return [Polygon(
+            [(x, y - size * 1.2), (x + size * 1.2, y), (x, y + size * 1.2),
+             (x - size * 1.2, y)], fill=color, stroke=None)]
+    return [Polygon(  # triangle
+        [(x, y - size * 1.2), (x + size * 1.2, y + size), (x - size * 1.2, y + size)],
+        fill=color, stroke=None)]
+
+
+def build_scene(figure: Figure) -> Scene:
+    """Lay the figure out into canvas-space primitives."""
+    if not figure.series:
+        raise PlotError(f"figure {figure.title!r} has no series")
+    scene = Scene(width=figure.width, height=figure.height)
+    plot_left = _MARGIN_LEFT
+    plot_right = figure.width - _MARGIN_RIGHT
+    plot_top = _MARGIN_TOP
+    plot_bottom = figure.height - _MARGIN_BOTTOM
+
+    x_low, x_high, y_low, y_high = _data_limits(figure)
+
+    # Tick positions (may widen the limits so ticks sit on the frame).
+    if figure.x_ticks is not None:
+        x_tick_list = figure.x_ticks
+    elif figure.x_log:
+        x_tick_list = [(t, _format_tick(t)) for t in log_ticks(x_low, x_high)]
+    else:
+        x_tick_list = [(t, _format_tick(t)) for t in nice_ticks(x_low, x_high)]
+    if figure.y_ticks is not None:
+        y_tick_list = figure.y_ticks
+    elif figure.y_log:
+        y_tick_list = [(t, _format_tick(t)) for t in log_ticks(max(y_low, 1e-12), y_high)]
+    else:
+        y_tick_list = [(t, _format_tick(t)) for t in nice_ticks(y_low, y_high)]
+    if figure.xlim is None and x_tick_list:
+        x_low = min(x_low, x_tick_list[0][0])
+        x_high = max(x_high, x_tick_list[-1][0])
+    if figure.ylim is None and y_tick_list:
+        y_low = min(y_low, y_tick_list[0][0]) if not figure.y_log else y_low
+        y_high = max(y_high, y_tick_list[-1][0])
+
+    map_x = _AxisMapper(x_low, x_high, plot_left, plot_right, figure.x_log)
+    map_y = _AxisMapper(y_low, y_high, plot_bottom, plot_top, figure.y_log)
+
+    # Grid + ticks.
+    for position, label in x_tick_list:
+        if position < x_low - 1e-12 or position > x_high + 1e-12:
+            continue
+        x = map_x(position)
+        if figure.grid:
+            scene.add(Line(x, plot_top, x, plot_bottom, stroke="#dddddd", width=0.6))
+        scene.add(Line(x, plot_bottom, x, plot_bottom + 4, width=0.9))
+        scene.add(Text(x, plot_bottom + 16, label, size=10, anchor="middle"))
+    for position, label in y_tick_list:
+        if position < y_low - 1e-12 or position > y_high + 1e-12:
+            continue
+        y = map_y(position)
+        if figure.grid:
+            scene.add(Line(plot_left, y, plot_right, y, stroke="#dddddd", width=0.6))
+        scene.add(Line(plot_left - 4, y, plot_left, y, width=0.9))
+        scene.add(Text(plot_left - 7, y + 3.5, label, size=10, anchor="end"))
+
+    # Series.
+    for index, series in enumerate(figure.series):
+        color = series.color or PALETTE[index % len(PALETTE)]
+        if not series.points:
+            raise PlotError(
+                f"series {series.label!r} of figure {figure.title!r} is empty"
+            )
+        if series.kind == "line":
+            pts = [(map_x(x), map_y(y)) for x, y in series.points]
+            scene.add(Polyline(pts, stroke=color, dash=series.dash))
+            if series.markers and len(pts) <= 80:
+                for x, y in pts:
+                    scene.extend(_marker(x, y, color, index))
+        elif series.kind == "step":
+            pts: List[Tuple[float, float]] = []
+            previous_y: Optional[float] = None
+            for x, y in series.points:
+                cx, cy = map_x(x), map_y(y)
+                if previous_y is not None:
+                    pts.append((cx, previous_y))
+                pts.append((cx, cy))
+                previous_y = cy
+            scene.add(Polyline(pts, stroke=color, dash=series.dash))
+        elif series.kind == "bars":
+            width = series.bar_width
+            if width is None:
+                raise PlotError(f"bar series {series.label!r} needs bar_width")
+            base_y = map_y(max(y_low, 0.0) if not figure.y_log else y_low)
+            for x, y in series.points:
+                left = map_x(x - width / 2.0)
+                right = map_x(x + width / 2.0)
+                top = map_y(y)
+                scene.add(Rect(left, top, right - left, base_y - top,
+                               fill=color, stroke="#333333", opacity=0.85))
+        elif series.kind == "shape":
+            pts = [(map_x(x), map_y(y)) for x, y in series.points]
+            scene.add(Polygon(pts, fill=color, stroke="#333333", opacity=0.65))
+        else:
+            raise PlotError(f"unknown series kind {series.kind!r}")
+
+    # Frame on top of data.
+    scene.add(Rect(plot_left, plot_top, plot_right - plot_left,
+                   plot_bottom - plot_top, fill="none", stroke="#000000", width=1.2))
+
+    # Labels & title.
+    if figure.title:
+        scene.add(Text(figure.width / 2, 18, figure.title, size=13,
+                       anchor="middle", bold=True))
+    if figure.xlabel:
+        scene.add(Text((plot_left + plot_right) / 2, figure.height - 12,
+                       figure.xlabel, size=11, anchor="middle"))
+    if figure.ylabel:
+        scene.add(Text(14, (plot_top + plot_bottom) / 2, figure.ylabel,
+                       size=11, anchor="middle", rotate=-90))
+
+    # Legend (top-left inside the frame).
+    visible = [s for s in figure.series if s.label and s.kind != "shape"]
+    if figure.legend and visible:
+        legend_x = plot_left + 10
+        legend_y = plot_top + 12
+        for index, series in enumerate(figure.series):
+            if not series.label or series.kind == "shape":
+                continue
+            color = series.color or PALETTE[index % len(PALETTE)]
+            scene.add(Line(legend_x, legend_y - 3, legend_x + 18, legend_y - 3,
+                           stroke=color, width=2.0, dash=series.dash))
+            scene.add(Text(legend_x + 24, legend_y, series.label, size=10))
+            legend_y += 15
+    return scene

@@ -1,0 +1,198 @@
+"""Minimal PDF backend, written from scratch.
+
+The pos plotting scripts export figures "to multiple formats, e.g.,
+tex, svg, and pdf".  No PDF library is available offline, so this
+module implements the small subset of PDF 1.4 a vector chart needs:
+one page, path-painting operators for lines/polygons/rectangles, the
+built-in Helvetica fonts for text, and a correct cross-reference
+table.  Output validates against strict readers (object offsets are
+byte-accurate).
+
+PDF uses a bottom-left origin; the scene uses top-left, so all y
+coordinates are flipped during emission.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Tuple
+
+from repro.core.errors import PlotError
+from repro.evaluation.plots.scene import Line, Polygon, Polyline, Rect, Scene, Text
+
+__all__ = ["scene_to_pdf"]
+
+
+def _color_ops(color: str, stroke: bool) -> str:
+    if color in ("none", ""):
+        raise PlotError("cannot emit PDF color 'none'")
+    value = color.lstrip("#")
+    if len(value) != 6:
+        raise PlotError(f"unsupported color {color!r}")
+    r = int(value[0:2], 16) / 255.0
+    g = int(value[2:4], 16) / 255.0
+    b = int(value[4:6], 16) / 255.0
+    operator = "RG" if stroke else "rg"
+    return f"{r:.3f} {g:.3f} {b:.3f} {operator}"
+
+
+def _dash_op(dash) -> str:
+    if not dash:
+        return "[] 0 d"
+    return "[" + " ".join(f"{value:g}" for value in dash) + "] 0 d"
+
+
+def _escape_pdf_text(text: str) -> str:
+    out = []
+    for char in text:
+        if char in "()\\":
+            out.append("\\" + char)
+        elif ord(char) < 32 or ord(char) > 126:
+            out.append("?")  # Helvetica WinAnsi subset only
+        else:
+            out.append(char)
+    return "".join(out)
+
+
+def _content_stream(scene: Scene) -> str:
+    height = scene.height
+
+    def fy(y: float) -> float:
+        return height - y
+
+    ops: List[str] = []
+    for item in scene.items:
+        if isinstance(item, Line):
+            ops.append("q")
+            ops.append(_color_ops(item.stroke, stroke=True))
+            ops.append(f"{item.width:.2f} w")
+            ops.append(_dash_op(item.dash))
+            ops.append(f"{item.x1:.2f} {fy(item.y1):.2f} m {item.x2:.2f} {fy(item.y2):.2f} l S")
+            ops.append("Q")
+        elif isinstance(item, Polyline):
+            if len(item.points) < 2:
+                continue
+            ops.append("q")
+            ops.append(_color_ops(item.stroke, stroke=True))
+            ops.append(f"{item.width:.2f} w")
+            ops.append(_dash_op(item.dash))
+            ops.append("1 j 1 J")  # round joins/caps
+            x0, y0 = item.points[0]
+            ops.append(f"{x0:.2f} {fy(y0):.2f} m")
+            for x, y in item.points[1:]:
+                ops.append(f"{x:.2f} {fy(y):.2f} l")
+            ops.append("S")
+            ops.append("Q")
+        elif isinstance(item, Polygon):
+            if len(item.points) < 3:
+                continue
+            ops.append("q")
+            ops.append(_color_ops(item.fill, stroke=False))
+            paint = "f"
+            if item.stroke:
+                ops.append(_color_ops(item.stroke, stroke=True))
+                ops.append(f"{item.width:.2f} w")
+                paint = "B"
+            x0, y0 = item.points[0]
+            ops.append(f"{x0:.2f} {fy(y0):.2f} m")
+            for x, y in item.points[1:]:
+                ops.append(f"{x:.2f} {fy(y):.2f} l")
+            ops.append(f"h {paint}")
+            ops.append("Q")
+        elif isinstance(item, Rect):
+            ops.append("q")
+            paint = None
+            if item.fill not in ("none", ""):
+                ops.append(_color_ops(item.fill, stroke=False))
+                paint = "f"
+            if item.stroke:
+                ops.append(_color_ops(item.stroke, stroke=True))
+                ops.append(f"{item.width:.2f} w")
+                paint = "B" if paint else "S"
+            if paint is None:
+                ops.append("Q")
+                continue
+            ops.append(
+                f"{item.x:.2f} {fy(item.y) - item.h:.2f} {item.w:.2f} {item.h:.2f} re {paint}"
+            )
+            ops.append("Q")
+        elif isinstance(item, Text):
+            font = "/F2" if item.bold else "/F1"
+            # Approximate Helvetica advance width for anchoring.
+            advance = 0.52 * item.size * len(item.text)
+            x = item.x
+            if item.anchor == "middle":
+                x -= advance / 2.0
+            elif item.anchor == "end":
+                x -= advance
+            ops.append("q")
+            ops.append(_color_ops(item.color, stroke=False))
+            ops.append("BT")
+            ops.append(f"{font} {item.size:.1f} Tf")
+            if item.rotate:
+                import math
+
+                angle = math.radians(item.rotate)
+                cos_a, sin_a = math.cos(angle), math.sin(angle)
+                ops.append(
+                    f"{cos_a:.4f} {sin_a:.4f} {-sin_a:.4f} {cos_a:.4f} "
+                    f"{item.x:.2f} {fy(item.y):.2f} Tm"
+                )
+            else:
+                ops.append(f"{x:.2f} {fy(item.y):.2f} Td")
+            ops.append(f"({_escape_pdf_text(item.text)}) Tj")
+            ops.append("ET")
+            ops.append("Q")
+        else:
+            raise PlotError(f"PDF backend cannot render {type(item).__name__}")
+    return "\n".join(ops)
+
+
+def scene_to_pdf(scene: Scene) -> bytes:
+    """Serialize a scene into a single-page PDF document."""
+    content = _content_stream(scene).encode("latin-1")
+    compressed = zlib.compress(content)
+
+    objects: List[bytes] = []
+
+    def obj(body: str) -> int:
+        objects.append(body.encode("latin-1"))
+        return len(objects)
+
+    catalog = obj("<< /Type /Catalog /Pages 2 0 R >>")
+    pages = obj("<< /Type /Pages /Kids [3 0 R] /Count 1 >>")
+    page = obj(
+        "<< /Type /Page /Parent 2 0 R "
+        f"/MediaBox [0 0 {scene.width:.2f} {scene.height:.2f}] "
+        "/Resources << /Font << /F1 5 0 R /F2 6 0 R >> >> "
+        "/Contents 4 0 R >>"
+    )
+    objects.append(
+        (
+            f"<< /Length {len(compressed)} /Filter /FlateDecode >>\nstream\n"
+        ).encode("latin-1")
+        + compressed
+        + b"\nendstream"
+    )
+    obj("<< /Type /Font /Subtype /Type1 /BaseFont /Helvetica >>")
+    obj("<< /Type /Font /Subtype /Type1 /BaseFont /Helvetica-Bold >>")
+
+    # Assemble with a byte-accurate xref table.
+    out = bytearray()
+    out += b"%PDF-1.4\n%\xe2\xe3\xcf\xd3\n"
+    offsets: List[int] = []
+    for index, body in enumerate(objects, start=1):
+        offsets.append(len(out))
+        out += f"{index} 0 obj\n".encode("latin-1")
+        out += body
+        out += b"\nendobj\n"
+    xref_offset = len(out)
+    out += f"xref\n0 {len(objects) + 1}\n".encode("latin-1")
+    out += b"0000000000 65535 f \n"
+    for offset in offsets:
+        out += f"{offset:010d} 00000 n \n".encode("latin-1")
+    out += (
+        f"trailer\n<< /Size {len(objects) + 1} /Root {catalog} 0 R >>\n"
+        f"startxref\n{xref_offset}\n%%EOF\n"
+    ).encode("latin-1")
+    return bytes(out)

@@ -1,0 +1,92 @@
+"""Drawing primitives shared by the SVG and PDF backends.
+
+A figure is first laid out into a :class:`Scene` — a flat list of
+primitives in canvas coordinates (origin top-left, y growing downward,
+units are points) — and each backend renders the same scene.  This
+keeps the exporters trivially consistent: what the SVG shows is what
+the PDF shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["Line", "Polyline", "Polygon", "Rect", "Text", "Scene", "PALETTE"]
+
+#: Default categorical palette (colour-blind friendly).
+PALETTE = [
+    "#1f77b4",  # blue
+    "#d62728",  # red
+    "#2ca02c",  # green
+    "#ff7f0e",  # orange
+    "#9467bd",  # purple
+    "#8c564b",  # brown
+]
+
+
+@dataclass
+class Line:
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+    stroke: str = "#000000"
+    width: float = 1.0
+    dash: Optional[Sequence[float]] = None
+
+
+@dataclass
+class Polyline:
+    points: List[Tuple[float, float]]
+    stroke: str = "#000000"
+    width: float = 1.5
+    dash: Optional[Sequence[float]] = None
+
+
+@dataclass
+class Polygon:
+    points: List[Tuple[float, float]]
+    fill: str = "#cccccc"
+    stroke: Optional[str] = "#000000"
+    width: float = 0.75
+    opacity: float = 1.0
+
+
+@dataclass
+class Rect:
+    x: float
+    y: float
+    w: float
+    h: float
+    fill: str = "#cccccc"
+    stroke: Optional[str] = "#000000"
+    width: float = 0.75
+    opacity: float = 1.0
+
+
+@dataclass
+class Text:
+    x: float
+    y: float
+    text: str
+    size: float = 11.0
+    anchor: str = "start"  # start | middle | end
+    rotate: float = 0.0
+    color: str = "#000000"
+    bold: bool = False
+
+
+@dataclass
+class Scene:
+    """A sized canvas plus its primitives, in paint order."""
+
+    width: float
+    height: float
+    items: List[object] = field(default_factory=list)
+
+    def add(self, item: object) -> None:
+        self.items.append(item)
+
+    def extend(self, items: Sequence[object]) -> None:
+        self.items.extend(items)

@@ -1,0 +1,95 @@
+"""SVG backend: renders a laid-out scene to an SVG document."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.errors import PlotError
+from repro.evaluation.plots.scene import Line, Polygon, Polyline, Rect, Scene, Text
+
+__all__ = ["scene_to_svg"]
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _dash_attr(dash) -> str:
+    if not dash:
+        return ""
+    return f' stroke-dasharray="{" ".join(f"{value:g}" for value in dash)}"'
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def scene_to_svg(scene: Scene) -> str:
+    """Serialize a scene as a standalone SVG document."""
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_fmt(scene.width)}" '
+        f'height="{_fmt(scene.height)}" '
+        f'viewBox="0 0 {_fmt(scene.width)} {_fmt(scene.height)}">',
+        '<rect width="100%" height="100%" fill="#ffffff"/>',
+    ]
+    for item in scene.items:
+        if isinstance(item, Line):
+            parts.append(
+                f'<line x1="{_fmt(item.x1)}" y1="{_fmt(item.y1)}" '
+                f'x2="{_fmt(item.x2)}" y2="{_fmt(item.y2)}" '
+                f'stroke="{item.stroke}" stroke-width="{_fmt(item.width)}"'
+                f"{_dash_attr(item.dash)}/>"
+            )
+        elif isinstance(item, Polyline):
+            points = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in item.points)
+            parts.append(
+                f'<polyline points="{points}" fill="none" '
+                f'stroke="{item.stroke}" stroke-width="{_fmt(item.width)}"'
+                f"{_dash_attr(item.dash)}/>"
+            )
+        elif isinstance(item, Polygon):
+            points = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in item.points)
+            stroke = (
+                f'stroke="{item.stroke}" stroke-width="{_fmt(item.width)}"'
+                if item.stroke
+                else 'stroke="none"'
+            )
+            parts.append(
+                f'<polygon points="{points}" fill="{item.fill}" {stroke} '
+                f'fill-opacity="{item.opacity:g}"/>'
+            )
+        elif isinstance(item, Rect):
+            stroke = (
+                f'stroke="{item.stroke}" stroke-width="{_fmt(item.width)}"'
+                if item.stroke
+                else 'stroke="none"'
+            )
+            parts.append(
+                f'<rect x="{_fmt(item.x)}" y="{_fmt(item.y)}" '
+                f'width="{_fmt(item.w)}" height="{_fmt(item.h)}" '
+                f'fill="{item.fill}" {stroke} fill-opacity="{item.opacity:g}"/>'
+            )
+        elif isinstance(item, Text):
+            anchor = {"start": "start", "middle": "middle", "end": "end"}[item.anchor]
+            transform = (
+                f' transform="rotate({item.rotate:g} {_fmt(item.x)} {_fmt(item.y)})"'
+                if item.rotate
+                else ""
+            )
+            weight = ' font-weight="bold"' if item.bold else ""
+            parts.append(
+                f'<text x="{_fmt(item.x)}" y="{_fmt(item.y)}" '
+                f'font-family="Helvetica, Arial, sans-serif" '
+                f'font-size="{item.size:g}" fill="{item.color}" '
+                f'text-anchor="{anchor}"{weight}{transform}>'
+                f"{_escape(item.text)}</text>"
+            )
+        else:
+            raise PlotError(f"SVG backend cannot render {type(item).__name__}")
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,130 @@
+"""Replication checking: compare two result trees run by run.
+
+The ACM ladder the paper builds on — repeatability, reproducibility,
+replicability — is ultimately a *comparison* between experiment
+executions.  This module performs that comparison mechanically: two
+result trees (original vs. rerun) are joined on their loop-parameter
+instances, each shared run's throughput metrics are diffed against a
+tolerance, and the verdict states whether the rerun repeats the
+original within it.
+
+Structural differences (missing runs, different loop grids) are
+reported separately from metric deviations, because they mean the
+*experiment* differed, not just the measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import EvaluationError
+from repro.evaluation.loader import ExperimentResults
+
+__all__ = ["RunComparison", "ReplicationReport", "compare_experiments"]
+
+
+def _loop_key(loop: Dict) -> Tuple:
+    return tuple(sorted(loop.items()))
+
+
+@dataclass
+class RunComparison:
+    """Metric diff of one shared loop instance."""
+
+    loop: Dict
+    original_rx_mpps: float
+    rerun_rx_mpps: float
+    original_tx_mpps: float
+    rerun_tx_mpps: float
+
+    @property
+    def rx_deviation(self) -> float:
+        """Relative RX deviation of the rerun against the original."""
+        reference = max(abs(self.original_rx_mpps), 1e-12)
+        return abs(self.rerun_rx_mpps - self.original_rx_mpps) / reference
+
+
+@dataclass
+class ReplicationReport:
+    """Overall verdict of a replication attempt."""
+
+    tolerance: float
+    comparisons: List[RunComparison] = field(default_factory=list)
+    only_in_original: List[Dict] = field(default_factory=list)
+    only_in_rerun: List[Dict] = field(default_factory=list)
+
+    @property
+    def structurally_identical(self) -> bool:
+        return not self.only_in_original and not self.only_in_rerun
+
+    @property
+    def deviating_runs(self) -> List[RunComparison]:
+        return [
+            comparison
+            for comparison in self.comparisons
+            if comparison.rx_deviation > self.tolerance
+        ]
+
+    @property
+    def repeats(self) -> bool:
+        """True when every shared run agrees within the tolerance and
+        the loop grids match."""
+        return self.structurally_identical and not self.deviating_runs
+
+    def summary(self) -> str:
+        lines = [
+            f"replication check (tolerance {self.tolerance * 100:.0f}%):",
+            f"  shared runs: {len(self.comparisons)}",
+            f"  structural differences: "
+            f"{len(self.only_in_original) + len(self.only_in_rerun)}",
+            f"  deviating runs: {len(self.deviating_runs)}",
+        ]
+        for comparison in self.deviating_runs:
+            lines.append(
+                f"    {comparison.loop}: rx {comparison.original_rx_mpps:.4f}"
+                f" -> {comparison.rerun_rx_mpps:.4f} Mpps "
+                f"({comparison.rx_deviation * 100:.1f}%)"
+            )
+        lines.append(f"  verdict: {'REPEATS' if self.repeats else 'DIFFERS'}")
+        return "\n".join(lines) + "\n"
+
+
+def compare_experiments(
+    original: ExperimentResults,
+    rerun: ExperimentResults,
+    tolerance: float = 0.05,
+    role: str = "loadgen",
+) -> ReplicationReport:
+    """Join two result trees on loop instances and diff their metrics."""
+    if tolerance <= 0:
+        raise EvaluationError(f"tolerance must be positive, got {tolerance}")
+    report = ReplicationReport(tolerance=tolerance)
+    original_by_loop = {_loop_key(run.loop): run for run in original.runs}
+    rerun_by_loop = {_loop_key(run.loop): run for run in rerun.runs}
+
+    for key in sorted(set(original_by_loop) - set(rerun_by_loop)):
+        report.only_in_original.append(dict(key))
+    for key in sorted(set(rerun_by_loop) - set(original_by_loop)):
+        report.only_in_rerun.append(dict(key))
+
+    for key in sorted(set(original_by_loop) & set(rerun_by_loop)):
+        run_a = original_by_loop[key]
+        run_b = rerun_by_loop[key]
+        try:
+            moongen_a = run_a.moongen(role)
+            moongen_b = run_b.moongen(role)
+        except Exception as exc:  # noqa: BLE001 - missing logs are structural
+            raise EvaluationError(
+                f"run {dict(key)}: cannot parse MoonGen output: {exc}"
+            ) from exc
+        report.comparisons.append(
+            RunComparison(
+                loop=dict(key),
+                original_rx_mpps=moongen_a.rx_mpps,
+                rerun_rx_mpps=moongen_b.rx_mpps,
+                original_tx_mpps=moongen_a.tx_mpps,
+                rerun_tx_mpps=moongen_b.tx_mpps,
+            )
+        )
+    return report

@@ -1,0 +1,105 @@
+"""Robustness scanning: detecting brittle parameter regions.
+
+Section 2 of the paper cites Zilberman's NDP artifact study: "low
+robustness, i.e., small variation from the original input, such as the
+investigated packet size, could lead to a significantly different
+performance."  The pos answer is full automation — sweeping the
+neighbourhood of every published operating point is cheap when the
+experiment is a loop variable away.
+
+This module provides that sweep as a first-class evaluation step:
+measure a metric over a parameter range, compute the discrete
+sensitivity between adjacent points, and flag *cliffs* — places where a
+minimal input change moves the result by more than a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.core.errors import EvaluationError
+
+__all__ = ["Cliff", "scan", "find_cliffs", "robustness_report"]
+
+
+@dataclass(frozen=True)
+class Cliff:
+    """A brittle transition between two adjacent parameter values."""
+
+    parameter_before: float
+    parameter_after: float
+    value_before: float
+    value_after: float
+
+    @property
+    def relative_change(self) -> float:
+        """Relative change of the metric across the transition."""
+        reference = max(abs(self.value_before), abs(self.value_after))
+        if reference == 0:
+            return 0.0
+        return (self.value_after - self.value_before) / reference
+
+
+def scan(
+    parameters: Sequence[float],
+    measure: Callable[[float], float],
+) -> List[Tuple[float, float]]:
+    """Measure ``measure(p)`` for every parameter, in order."""
+    if not parameters:
+        raise EvaluationError("robustness scan needs at least one parameter")
+    return [(float(parameter), float(measure(parameter))) for parameter in parameters]
+
+
+def find_cliffs(
+    points: Sequence[Tuple[float, float]],
+    tolerance: float = 0.10,
+) -> List[Cliff]:
+    """Transitions whose relative metric change exceeds ``tolerance``.
+
+    Points must be sorted by parameter; the scan output already is.
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise EvaluationError(f"tolerance must be in (0, 1), got {tolerance}")
+    cliffs: List[Cliff] = []
+    for (param_a, value_a), (param_b, value_b) in zip(points, points[1:]):
+        if param_b <= param_a:
+            raise EvaluationError("scan points must be strictly increasing")
+        reference = max(abs(value_a), abs(value_b))
+        if reference == 0:
+            continue
+        if abs(value_b - value_a) / reference > tolerance:
+            cliffs.append(Cliff(param_a, param_b, value_a, value_b))
+    return cliffs
+
+
+def robustness_report(
+    points: Sequence[Tuple[float, float]],
+    parameter_name: str = "parameter",
+    metric_name: str = "metric",
+    tolerance: float = 0.10,
+) -> str:
+    """Human-readable robustness summary of a scan."""
+    cliffs = find_cliffs(points, tolerance=tolerance)
+    lines = [f"robustness scan: {metric_name} over {parameter_name} "
+             f"({len(points)} points, tolerance {tolerance * 100:.0f}%)"]
+    for parameter, value in points:
+        marker = ""
+        for cliff in cliffs:
+            if parameter in (cliff.parameter_before, cliff.parameter_after):
+                marker = "   <-- cliff"
+                break
+        lines.append(f"  {parameter_name}={parameter:g}: "
+                     f"{metric_name}={value:g}{marker}")
+    if cliffs:
+        lines.append(f"{len(cliffs)} brittle transition(s):")
+        for cliff in cliffs:
+            lines.append(
+                f"  {parameter_name} {cliff.parameter_before:g} -> "
+                f"{cliff.parameter_after:g}: {metric_name} "
+                f"{cliff.value_before:g} -> {cliff.value_after:g} "
+                f"({cliff.relative_change * 100:+.1f}%)"
+            )
+    else:
+        lines.append("no brittle transitions found")
+    return "\n".join(lines) + "\n"

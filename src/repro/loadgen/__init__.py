@@ -1,0 +1,33 @@
+"""Load generators: MoonGen (primary), iPerf, OSNT, and pcap replay."""
+
+from repro.loadgen.iperf import Iperf, IperfJob, format_iperf_report
+from repro.loadgen.moongen import (
+    MoonGen,
+    MoonGenJob,
+    format_report,
+    latency_histogram_csv,
+)
+from repro.loadgen.osnt import Osnt
+from repro.loadgen.pcap import (
+    PcapRecord,
+    PcapRecorder,
+    PcapReplayer,
+    read_pcap,
+    write_pcap,
+)
+
+__all__ = [
+    "Iperf",
+    "IperfJob",
+    "format_iperf_report",
+    "MoonGen",
+    "MoonGenJob",
+    "format_report",
+    "latency_histogram_csv",
+    "Osnt",
+    "PcapRecord",
+    "PcapRecorder",
+    "PcapReplayer",
+    "read_pcap",
+    "write_pcap",
+]

@@ -1,0 +1,57 @@
+"""Discrete-event network simulation substrate.
+
+Replaces the paper's physical hardware: NICs, links, switches, the
+Linux-router DuT model, the virtualization overlay, and the simulated
+live-booted Linux hosts pos manages.
+"""
+
+from repro.netsim.bridge import LinuxBridge
+from repro.netsim.engine import Event, PeriodicTimer, Process, Simulator
+from repro.netsim.host import CommandResult, Interface, SimHost
+from repro.netsim.link import CutThroughSwitchPort, DirectWire, OpticalL1Switch
+from repro.netsim.nic import HardwareNic, Nic, NicStats, VirtioNic
+from repro.netsim.packet import (
+    ETHERNET_OVERHEAD_BYTES,
+    MAX_FRAME_SIZE,
+    MIN_FRAME_SIZE,
+    Packet,
+    line_rate_pps,
+    wire_bits,
+)
+from repro.netsim.asicswitch import AsicSwitch, attach_http_control
+from repro.netsim.multicore import MultiCoreRouter
+from repro.netsim.router import BARE_METAL_PROFILE, ForwardingDevice, LinuxRouter
+from repro.netsim.vm import VM_PROFILE, Hypervisor, VirtualizedLinuxRouter
+
+__all__ = [
+    "LinuxBridge",
+    "Event",
+    "PeriodicTimer",
+    "Process",
+    "Simulator",
+    "CommandResult",
+    "Interface",
+    "SimHost",
+    "CutThroughSwitchPort",
+    "DirectWire",
+    "OpticalL1Switch",
+    "HardwareNic",
+    "Nic",
+    "NicStats",
+    "VirtioNic",
+    "ETHERNET_OVERHEAD_BYTES",
+    "MAX_FRAME_SIZE",
+    "MIN_FRAME_SIZE",
+    "Packet",
+    "line_rate_pps",
+    "wire_bits",
+    "BARE_METAL_PROFILE",
+    "ForwardingDevice",
+    "LinuxRouter",
+    "MultiCoreRouter",
+    "AsicSwitch",
+    "attach_http_control",
+    "VM_PROFILE",
+    "Hypervisor",
+    "VirtualizedLinuxRouter",
+]

@@ -1,0 +1,130 @@
+"""ASIC switch experiment host (Tofino-class).
+
+Section 4.2: "Hardware packet generators may also come in the form of
+tightly integrated systems, e.g., Intel's Tofino ASIC built into
+switches.  In that case, the entire device can be added to the testbed
+as a new experiment host and managed through the provided configuration
+APIs."
+
+The model: a match-action pipeline forwarding at line rate with a
+small, constant pipeline latency (no CPU on the data path — its
+ceiling is the port speed, not a service rate).  The control plane is
+an HTTP API (the runtime agent of a real programmable switch), which is
+how an experiment's scripts configure it through pos'
+:class:`~repro.testbed.transport.HttpTransport`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import TopologyError
+from repro.netsim.engine import Simulator
+from repro.netsim.nic import HardwareNic, Nic
+from repro.netsim.packet import Packet
+
+__all__ = ["AsicSwitch", "attach_http_control"]
+
+#: Pipeline traversal latency of a Tofino-class ASIC.
+PIPELINE_LATENCY_S = 400e-9
+
+
+class AsicSwitch:
+    """Match-action forwarding at line rate.
+
+    Forwarding rules map a destination key to an egress port index.
+    Packets with no matching rule are dropped (the default-deny of a
+    freshly booted pipeline) and counted — configuring the table is the
+    experiment's setup script's job.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "tofino", ports: int = 4):
+        if ports < 2:
+            raise TopologyError("a switch needs at least two ports")
+        self.sim = sim
+        self.name = name
+        self.ports: List[Nic] = []
+        for index in range(ports):
+            nic = HardwareNic(sim, f"{name}.p{index}", line_rate_bps=100e9)
+            nic.set_rx_handler(
+                lambda packet, port_index=index: self._process(port_index, packet)
+            )
+            self.ports.append(nic)
+        self._table: Dict[str, int] = {}
+        self.matched = 0
+        self.missed = 0
+
+    # -- control plane -----------------------------------------------------
+
+    def add_rule(self, dst_key: str, egress_port: int) -> None:
+        if not 0 <= egress_port < len(self.ports):
+            raise TopologyError(
+                f"{self.name}: egress port {egress_port} out of range"
+            )
+        self._table[dst_key] = egress_port
+
+    def remove_rule(self, dst_key: str) -> bool:
+        return self._table.pop(dst_key, None) is not None
+
+    def rules(self) -> Dict[str, int]:
+        return dict(self._table)
+
+    # -- data plane ----------------------------------------------------------
+
+    def _process(self, ingress: int, packet: Packet) -> None:
+        egress = self._table.get(packet.dst)
+        if egress is None or egress == ingress:
+            self.missed += 1
+            return
+        self.matched += 1
+        packet.hops += 1
+        self.sim.schedule(
+            PIPELINE_LATENCY_S, self.ports[egress].transmit, packet
+        )
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "model": "AsicSwitch",
+            "ports": len(self.ports),
+            "rules": len(self._table),
+            "pipeline_latency_s": PIPELINE_LATENCY_S,
+        }
+
+
+def attach_http_control(switch: AsicSwitch, transport) -> None:
+    """Expose the switch's table on an HttpTransport.
+
+    Endpoints (the runtime-agent shape):
+
+    * ``GET /tables/forward`` — list rules as ``key->port`` lines,
+    * ``POST /tables/forward KEY PORT`` — insert a rule,
+    * ``POST /tables/forward/delete KEY`` — remove a rule.
+    """
+
+    def list_rules(body: str) -> Tuple[int, str]:
+        lines = [
+            f"{key}->{port}" for key, port in sorted(switch.rules().items())
+        ]
+        return 200, "\n".join(lines)
+
+    def add_rule(body: str) -> Tuple[int, str]:
+        parts = body.split()
+        if len(parts) != 2:
+            return 400, "expected: KEY PORT"
+        try:
+            port = int(parts[1])
+            switch.add_rule(parts[0], port)
+        except (ValueError, TopologyError) as exc:
+            return 400, str(exc)
+        return 200, f"added {parts[0]}->{port}"
+
+    def delete_rule(body: str) -> Tuple[int, str]:
+        key = body.strip()
+        if switch.remove_rule(key):
+            return 200, f"deleted {key}"
+        return 404, f"no rule for {key}"
+
+    transport.register("GET", "/tables/forward", list_rules)
+    transport.register("POST", "/tables/forward", add_rule)
+    transport.register("POST", "/tables/forward/delete", delete_rule)

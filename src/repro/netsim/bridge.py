@@ -1,0 +1,69 @@
+"""Linux software-bridge model.
+
+vpos connects its experiment VMs with Linux bridges on the physical
+host.  A software bridge is itself a store-and-forward element with a
+per-packet CPU cost — far cheaper than a full routing decision inside a
+VM, but not free, and it shares the host CPU with everything else.
+
+The bridge learns which port leads to which destination address the
+first time it sees the address as a source (a minimal MAC-learning
+table); unknown destinations are flooded to all other ports, as a real
+bridge would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.netsim.engine import Simulator
+from repro.netsim.nic import Nic
+from repro.netsim.packet import Packet
+from repro.netsim.router import ForwardingDevice
+
+__all__ = ["LinuxBridge", "BRIDGE_COST_S"]
+
+#: Per-packet forwarding cost of the in-kernel bridge path on the host.
+BRIDGE_COST_S = 2.0e-6
+
+
+class LinuxBridge(ForwardingDevice):
+    """Learning software bridge with N ports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "br0",
+        cost_s: float = BRIDGE_COST_S,
+        backlog_limit: int = 1000,
+    ):
+        super().__init__(sim, name, backlog_limit=backlog_limit)
+        self.cost_s = cost_s
+        self._fdb: Dict[str, Nic] = {}
+
+    def service_time(self, packet: Packet) -> float:
+        return self.cost_s
+
+    def output_port(self, in_port: Nic, packet: Packet) -> Optional[Nic]:
+        if packet.src:
+            self._fdb[packet.src] = in_port
+        known = self._fdb.get(packet.dst)
+        if known is not None and known is not in_port:
+            return known
+        # Flood: deliver to every other port.  The common two-port case
+        # degenerates to "the other port".
+        flooded = [port for port in self.ports if port is not in_port]
+        if not flooded:
+            return None
+        for extra in flooded[1:]:
+            extra.transmit(packet)
+        return flooded[0]
+
+    @property
+    def fdb(self) -> Dict[str, str]:
+        """Forwarding database as address → port-name (for inspection)."""
+        return {addr: port.name for addr, port in self._fdb.items()}
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["cost_s"] = self.cost_s
+        return info

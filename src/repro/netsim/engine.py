@@ -1,0 +1,200 @@
+"""Discrete-event simulation core.
+
+The pos case study measures a load generator and a device under test
+exchanging packets over real hardware.  Our substitute is a classic
+discrete-event simulator: a time-ordered event heap, a simulated clock,
+and helper abstractions (processes, periodic timers) on top.
+
+Determinism is a hard requirement — the whole point of the paper is
+reproducibility — so the engine never consults wall-clock time or global
+random state.  All randomness flows through per-component
+:class:`random.Random` instances seeded from the experiment variables.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterator, Optional
+
+from repro.core.errors import SimulationError
+
+__all__ = ["Event", "Simulator", "Process", "PeriodicTimer"]
+
+
+class Event:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Event-driven simulator with a monotonically advancing clock.
+
+    Events scheduled for the same instant run in scheduling order, which
+    keeps runs bit-for-bit reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (for accounting/tests)."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Run ``callback(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Run ``callback(*args)`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        event = Event(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process events until the heap drains or ``until`` is reached.
+
+        Returns the simulated time when the run stopped.  ``max_events``
+        guards against accidental infinite event loops in tests.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        processed_this_run = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.callback(*event.args)
+                self._processed += 1
+                processed_this_run += 1
+                if max_events is not None and processed_this_run >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; possible event loop"
+                    )
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def process(self, generator: Generator[float, None, None]) -> "Process":
+        """Run a generator-based process; each yielded value is a delay."""
+        return Process(self, generator)
+
+
+class Process:
+    """Generator-based cooperative process.
+
+    The wrapped generator yields non-negative floats; each yield suspends
+    the process for that many simulated seconds.  Returning (or raising
+    ``StopIteration``) ends the process.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator[float, None, None]):
+        self._sim = sim
+        self._generator = generator
+        self._alive = True
+        self._event: Optional[Event] = None
+        self._step()
+
+    @property
+    def alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._alive
+
+    def stop(self) -> None:
+        """Terminate the process before its generator finishes."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        if self._alive:
+            self._generator.close()
+            self._alive = False
+
+    def _step(self) -> None:
+        try:
+            delay = next(self._generator)
+        except StopIteration:
+            self._alive = False
+            self._event = None
+            return
+        if not isinstance(delay, (int, float)) or delay < 0:
+            raise SimulationError(f"process yielded invalid delay {delay!r}")
+        self._event = self._sim.schedule(delay, self._step)
+
+
+class PeriodicTimer:
+    """Invoke a callback every ``interval`` seconds until stopped."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+        start_delay: Optional[float] = None,
+    ):
+        if interval <= 0:
+            raise SimulationError(f"timer interval must be positive, got {interval}")
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._stopped = False
+        first = interval if start_delay is None else start_delay
+        self._event = sim.schedule(first, self._fire)
+
+    def stop(self) -> None:
+        """Cancel future invocations."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._event = self._sim.schedule(self._interval, self._fire)

@@ -1,0 +1,370 @@
+"""Simulated Linux experiment host.
+
+pos boots its experiment hosts from *live images*: every boot starts
+from a pristine, versioned filesystem, so no state can leak between
+experiments (R3).  :class:`SimHost` reproduces exactly that semantics —
+``boot()`` throws away every mutation (files written, sysctls set,
+interfaces configured) and reinstates the image's baseline.
+
+Setup and measurement scripts interact with the host through a small
+shell: a registry of built-in commands covering what the case study's
+scripts need (``ip``, ``sysctl``, ``echo``, file I/O, inventory tools).
+The shell is intentionally strict — unknown commands fail with exit
+code 127 — because silently-succeeding configuration would defeat the
+point of a reproducibility testbed.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import NodeError
+
+__all__ = ["Interface", "CommandResult", "SimHost"]
+
+
+@dataclass
+class Interface:
+    """A network interface of the simulated host."""
+
+    name: str
+    mac: str = ""
+    up: bool = False
+    addresses: List[str] = field(default_factory=list)
+    nic: object = None  # the netsim Nic backing this interface, if any
+
+    def reset(self) -> None:
+        self.up = False
+        self.addresses = []
+
+
+@dataclass
+class CommandResult:
+    """Outcome of one shell command on a host."""
+
+    command: str
+    exit_code: int
+    stdout: str
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == 0
+
+
+class SimHost:
+    """A live-booted Linux host with a minimal, strict shell."""
+
+    def __init__(
+        self,
+        name: str,
+        interfaces: Optional[List[str]] = None,
+        cpu_model: str = "Intel Xeon Silver 4214",
+        cores: int = 12,
+        memory_gb: int = 64,
+    ):
+        self.name = name
+        self.cpu_model = cpu_model
+        self.cores = cores
+        self.memory_gb = memory_gb
+        self.interfaces: Dict[str, Interface] = {}
+        for index, iface_name in enumerate(interfaces or ["eno1", "eno2"]):
+            self.interfaces[iface_name] = Interface(
+                name=iface_name, mac=self._mac(index)
+            )
+        self.filesystem: Dict[str, str] = {}
+        self.sysctl: Dict[str, str] = {}
+        self.command_log: List[CommandResult] = []
+        self.booted = False
+        self.wedged = False
+        self.image: Optional[str] = None
+        self.image_version: Optional[str] = None
+        self.kernel_version: str = ""
+        self.boot_parameters: Dict[str, str] = {}
+        self.boot_count = 0
+        self._extra_commands: Dict[str, Callable[[List[str]], Tuple[int, str]]] = {}
+
+    def _mac(self, index: int) -> str:
+        stem = abs(hash(self.name)) % 0xFFFF
+        return f"52:54:00:{stem >> 8:02x}:{stem & 0xFF:02x}:{index:02x}"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def boot(
+        self,
+        image: str,
+        image_version: str,
+        kernel_version: str = "4.19.0",
+        boot_parameters: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Boot a live image: all previous state is discarded."""
+        self.filesystem = {}
+        self.sysctl = {"net.ipv4.ip_forward": "0"}
+        for iface in self.interfaces.values():
+            iface.reset()
+        self.command_log = []
+        self.image = image
+        self.image_version = image_version
+        self.kernel_version = kernel_version
+        self.boot_parameters = dict(boot_parameters or {})
+        self.booted = True
+        self.wedged = False
+        self.boot_count += 1
+
+    def shutdown(self) -> None:
+        """Power the host off."""
+        self.booted = False
+
+    def wedge(self) -> None:
+        """Failure injection: the OS stops responding to the transport.
+
+        Only an out-of-band power cycle (pos' initialization interface)
+        can recover a wedged host — exactly requirement R3.
+        """
+        self.wedged = True
+
+    @property
+    def reachable(self) -> bool:
+        """Whether in-band configuration (SSH) can reach the host."""
+        return self.booted and not self.wedged
+
+    # -- domain predicates ---------------------------------------------------
+
+    @property
+    def forwarding_enabled(self) -> bool:
+        """True when the host is set up to route packets."""
+        if not self.reachable:
+            return False
+        if self.sysctl.get("net.ipv4.ip_forward") != "1":
+            return False
+        return all(iface.up for iface in self.interfaces.values())
+
+    def interfaces_up(self) -> bool:
+        return all(iface.up for iface in self.interfaces.values())
+
+    # -- files ---------------------------------------------------------------
+
+    def write_file(self, path: str, content: str) -> None:
+        if not self.reachable:
+            raise NodeError(f"{self.name}: host not reachable")
+        self.filesystem[path] = content
+
+    def read_file(self, path: str) -> str:
+        if not self.reachable:
+            raise NodeError(f"{self.name}: host not reachable")
+        if path not in self.filesystem:
+            raise NodeError(f"{self.name}: no such file {path}")
+        return self.filesystem[path]
+
+    # -- shell -----------------------------------------------------------------
+
+    def register_command(
+        self, name: str, handler: Callable[[List[str]], Tuple[int, str]]
+    ) -> None:
+        """Add a host-specific command (used to expose tools like MoonGen)."""
+        self._extra_commands[name] = handler
+
+    def run_command(self, command: str) -> CommandResult:
+        """Execute one shell command line; never raises for command errors."""
+        if not self.reachable:
+            raise NodeError(f"{self.name}: host not reachable")
+        try:
+            argv = shlex.split(command)
+        except ValueError as exc:
+            result = CommandResult(command, 2, f"parse error: {exc}")
+            self.command_log.append(result)
+            return result
+        if not argv:
+            result = CommandResult(command, 0, "")
+            self.command_log.append(result)
+            return result
+        exit_code, stdout = self._dispatch(argv)
+        result = CommandResult(command, exit_code, stdout)
+        self.command_log.append(result)
+        return result
+
+    def _dispatch(self, argv: List[str]) -> Tuple[int, str]:
+        name, args = argv[0], argv[1:]
+        if name in self._extra_commands:
+            return self._extra_commands[name](args)
+        builtin = getattr(self, f"_cmd_{name.replace('-', '_')}", None)
+        if builtin is None:
+            return 127, f"{name}: command not found"
+        return builtin(args)
+
+    # -- builtin commands -------------------------------------------------------
+
+    def _cmd_true(self, args: List[str]) -> Tuple[int, str]:
+        return 0, ""
+
+    def _cmd_false(self, args: List[str]) -> Tuple[int, str]:
+        return 1, ""
+
+    def _cmd_echo(self, args: List[str]) -> Tuple[int, str]:
+        return 0, " ".join(args)
+
+    def _cmd_hostname(self, args: List[str]) -> Tuple[int, str]:
+        return 0, self.name
+
+    def _cmd_uname(self, args: List[str]) -> Tuple[int, str]:
+        if "-r" in args:
+            return 0, self.kernel_version
+        return 0, f"Linux {self.name} {self.kernel_version} x86_64 GNU/Linux"
+
+    def _cmd_sleep(self, args: List[str]) -> Tuple[int, str]:
+        if not args:
+            return 1, "sleep: missing operand"
+        try:
+            float(args[0])
+        except ValueError:
+            return 1, f"sleep: invalid time interval '{args[0]}'"
+        return 0, ""
+
+    def _cmd_cat(self, args: List[str]) -> Tuple[int, str]:
+        if not args:
+            return 1, "cat: missing operand"
+        chunks = []
+        for path in args:
+            if path not in self.filesystem:
+                return 1, f"cat: {path}: No such file or directory"
+            chunks.append(self.filesystem[path])
+        return 0, "".join(chunks)
+
+    def _cmd_write_file(self, args: List[str]) -> Tuple[int, str]:
+        if len(args) < 1:
+            return 1, "write-file: usage: write-file PATH [CONTENT…]"
+        path, content = args[0], " ".join(args[1:])
+        self.filesystem[path] = content
+        return 0, ""
+
+    def _cmd_rm(self, args: List[str]) -> Tuple[int, str]:
+        paths = [arg for arg in args if not arg.startswith("-")]
+        force = "-f" in args
+        for path in paths:
+            if path in self.filesystem:
+                del self.filesystem[path]
+            elif not force:
+                return 1, f"rm: cannot remove '{path}': No such file or directory"
+        return 0, ""
+
+    def _cmd_sysctl(self, args: List[str]) -> Tuple[int, str]:
+        if not args:
+            return 1, "sysctl: missing operand"
+        if args[0] == "-w":
+            if len(args) < 2 or "=" not in args[1]:
+                return 1, "sysctl: -w expects key=value"
+            key, value = args[1].split("=", 1)
+            self.sysctl[key] = value
+            return 0, f"{key} = {value}"
+        key = args[0]
+        if key not in self.sysctl:
+            return 255, f'sysctl: cannot stat /proc/sys/{key.replace(".", "/")}'
+        return 0, f"{key} = {self.sysctl[key]}"
+
+    def _cmd_ip(self, args: List[str]) -> Tuple[int, str]:
+        if not args:
+            return 1, "ip: missing object"
+        obj = args[0]
+        if obj == "link":
+            return self._ip_link(args[1:])
+        if obj in ("addr", "address"):
+            return self._ip_addr(args[1:])
+        return 1, f'ip: unknown object "{obj}"'
+
+    def _ip_link(self, args: List[str]) -> Tuple[int, str]:
+        if not args or args[0] == "show":
+            lines = []
+            for index, iface in enumerate(self.interfaces.values(), start=2):
+                state = "UP" if iface.up else "DOWN"
+                lines.append(
+                    f"{index}: {iface.name}: <BROADCAST,MULTICAST> state {state}"
+                )
+                lines.append(f"    link/ether {iface.mac}")
+            return 0, "\n".join(lines)
+        if args[0] == "set":
+            if len(args) < 3:
+                return 1, "ip link set: usage: ip link set DEV up|down"
+            dev, action = args[1], args[2]
+            iface = self.interfaces.get(dev)
+            if iface is None:
+                return 1, f'Cannot find device "{dev}"'
+            if action == "up":
+                iface.up = True
+            elif action == "down":
+                iface.up = False
+            else:
+                return 1, f'ip link set: unknown action "{action}"'
+            return 0, ""
+        return 1, f'ip link: unknown command "{args[0]}"'
+
+    def _ip_addr(self, args: List[str]) -> Tuple[int, str]:
+        if not args or args[0] == "show":
+            lines = []
+            for iface in self.interfaces.values():
+                for address in iface.addresses:
+                    lines.append(f"    inet {address} dev {iface.name}")
+            return 0, "\n".join(lines)
+        if args[0] == "add":
+            if len(args) < 4 or args[2] != "dev":
+                return 1, "ip addr add: usage: ip addr add CIDR dev DEV"
+            cidr, dev = args[1], args[3]
+            iface = self.interfaces.get(dev)
+            if iface is None:
+                return 1, f'Cannot find device "{dev}"'
+            if cidr in iface.addresses:
+                return 2, "RTNETLINK answers: File exists"
+            iface.addresses.append(cidr)
+            return 0, ""
+        return 1, f'ip addr: unknown command "{args[0]}"'
+
+    def _cmd_ethtool(self, args: List[str]) -> Tuple[int, str]:
+        if not args:
+            return 1, "ethtool: missing device"
+        iface = self.interfaces.get(args[0])
+        if iface is None:
+            return 1, f"Cannot get device settings: No such device {args[0]}"
+        speed = "Unknown!"
+        if iface.nic is not None:
+            speed = f"{int(iface.nic.line_rate_bps / 1e6)}Mb/s"
+        state = "yes" if iface.up else "no"
+        return 0, (
+            f"Settings for {args[0]}:\n\tSpeed: {speed}\n\tLink detected: {state}"
+        )
+
+    def _cmd_lscpu(self, args: List[str]) -> Tuple[int, str]:
+        return 0, (
+            f"Model name: {self.cpu_model}\n"
+            f"CPU(s): {self.cores}\n"
+            f"Thread(s) per core: 1"
+        )
+
+    def _cmd_free(self, args: List[str]) -> Tuple[int, str]:
+        total_kb = self.memory_gb * 1024 * 1024
+        return 0, f"Mem: {total_kb} total"
+
+    def _cmd_modprobe(self, args: List[str]) -> Tuple[int, str]:
+        if not args:
+            return 1, "modprobe: missing module name"
+        self.filesystem.setdefault("/proc/modules", "")
+        self.filesystem["/proc/modules"] += args[0] + "\n"
+        return 0, ""
+
+    # -- inventory ----------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Hardware/software inventory recorded with every experiment (R5)."""
+        return {
+            "hostname": self.name,
+            "cpu": self.cpu_model,
+            "cores": self.cores,
+            "memory_gb": self.memory_gb,
+            "image": self.image,
+            "image_version": self.image_version,
+            "kernel": self.kernel_version,
+            "boot_parameters": dict(self.boot_parameters),
+            "interfaces": [
+                {"name": iface.name, "mac": iface.mac, "up": iface.up}
+                for iface in self.interfaces.values()
+            ],
+        }

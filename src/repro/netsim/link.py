@@ -1,0 +1,121 @@
+"""Links and interconnect models.
+
+pos isolates experiments by wiring hosts directly (R2).  Section 7 of
+the paper quantifies the alternatives: an optical L1 switch adds a
+constant delay below 15 ns, an L2 cut-through switch roughly 300 ns.
+All three interconnects are modelled here so the isolation ablation and
+the switch-latency bench can compare them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.errors import TopologyError
+from repro.netsim.engine import Simulator
+from repro.netsim.nic import Nic
+from repro.netsim.packet import Packet
+
+__all__ = [
+    "DirectWire",
+    "OpticalL1Switch",
+    "CutThroughSwitchPort",
+    "PROPAGATION_DELAY_PER_METER",
+]
+
+#: Signal propagation in copper/fibre, ~5 ns per metre.
+PROPAGATION_DELAY_PER_METER = 5e-9
+
+
+class DirectWire:
+    """Point-to-point cable between exactly two NIC ports."""
+
+    #: Extra constant delay introduced by the interconnect itself.
+    switching_delay = 0.0
+
+    def __init__(self, sim: Simulator, a: Nic, b: Nic, length_m: float = 2.0):
+        if a is b:
+            raise TopologyError("cannot wire a port to itself")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.length_m = length_m
+        self.propagation_delay = length_m * PROPAGATION_DELAY_PER_METER
+        a.attach_link(self)
+        b.attach_link(self)
+
+    def peer(self, port: Nic) -> Nic:
+        """The NIC on the far end of ``port``."""
+        if port is self.a:
+            return self.b
+        if port is self.b:
+            return self.a
+        raise TopologyError(f"port {port.name} is not an endpoint of this link")
+
+    def carry(self, sender: Nic, packet: Packet) -> None:
+        """Propagate a fully-serialized frame to the peer port."""
+        receiver = self.peer(sender)
+        delay = self.propagation_delay + self.switching_delay
+        self.sim.schedule(delay, receiver.deliver, packet)
+
+    def describe(self) -> dict:
+        """Topology description for the experiment inventory."""
+        return {
+            "kind": type(self).__name__,
+            "endpoints": [self.a.name, self.b.name],
+            "length_m": self.length_m,
+            "switching_delay_s": self.switching_delay,
+        }
+
+
+class OpticalL1Switch(DirectWire):
+    """Optical patch through an L1 switch: constant sub-15 ns offset.
+
+    The paper cites Molex PXC systems with a forwarding-delay impact
+    below 15 ns caused by the internal fibre path of the switch.
+    """
+
+    switching_delay = 14e-9
+
+
+class CutThroughSwitchPort(DirectWire):
+    """Path through a shared L2 cut-through switch.
+
+    Adds ~300 ns of switching latency (Sella et al., cited in Sec. 7)
+    and, unlike the L1 options, is *shared*: background traffic from
+    other testbed users contends for the egress port, adding queueing
+    jitter.  ``background_load`` in [0, 1) is the fraction of egress
+    capacity consumed by foreign traffic.
+    """
+
+    switching_delay = 300e-9
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: Nic,
+        b: Nic,
+        length_m: float = 2.0,
+        background_load: float = 0.0,
+        seed: int = 0,
+    ):
+        super().__init__(sim, a, b, length_m=length_m)
+        if not 0.0 <= background_load < 1.0:
+            raise TopologyError(
+                f"background_load must be in [0, 1), got {background_load}"
+            )
+        self.background_load = background_load
+        self._rng = random.Random(seed)
+
+    def carry(self, sender: Nic, packet: Packet) -> None:
+        receiver = self.peer(sender)
+        delay = self.propagation_delay + self.switching_delay
+        if self.background_load > 0.0:
+            # M/M/1-style queueing jitter on the contended egress port:
+            # mean waiting time grows with rho / (1 - rho) service times.
+            rho = self.background_load
+            service = packet.wire_bits / sender.line_rate_bps
+            mean_wait = service * rho / (1.0 - rho)
+            delay += self._rng.expovariate(1.0 / mean_wait) if mean_wait > 0 else 0.0
+        self.sim.schedule(delay, receiver.deliver, packet)

@@ -1,0 +1,179 @@
+"""Network interface card model.
+
+A :class:`Nic` serializes frames onto an attached link at its configured
+line rate and delivers received frames to a handler.  Transmit and
+receive sides each have a bounded descriptor ring; frames arriving at a
+full ring are dropped and counted, which is the loss mechanism behind
+the case study's throughput ceilings.
+
+The model distinguishes *hardware* NICs (e.g. the Intel 82599 of the
+paper's DuT), which support hardware timestamping and therefore latency
+measurements, from *paravirtual* NICs (virtio in the vpos VMs), which do
+not — mirroring Appendix A: "in our VM, we cannot generate latency
+measurements, due to the limited hardware support".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.core.errors import SimulationError, TopologyError
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+
+__all__ = ["NicStats", "Nic", "HardwareNic", "VirtioNic"]
+
+
+class NicStats:
+    """Per-NIC counters mirroring what ethtool would report."""
+
+    def __init__(self) -> None:
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.tx_dropped = 0
+        self.rx_dropped = 0
+
+    def snapshot(self) -> dict:
+        """Counters as a plain dict for result files."""
+        return {
+            "tx_packets": self.tx_packets,
+            "tx_bytes": self.tx_bytes,
+            "rx_packets": self.rx_packets,
+            "rx_bytes": self.rx_bytes,
+            "tx_dropped": self.tx_dropped,
+            "rx_dropped": self.rx_dropped,
+        }
+
+
+class Nic:
+    """A single network port with bounded TX/RX rings.
+
+    ``transmit`` enqueues a frame for serialization; the frame reaches
+    the peer after the serialization delay dictated by the line rate
+    plus the link's propagation delay.  ``deliver`` is called by the
+    link when a frame arrives; it hands the frame to the receive handler
+    installed by the owning device.
+    """
+
+    #: Whether MoonGen-style hardware timestamping is available.
+    supports_timestamping = False
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        line_rate_bps: float = 10e9,
+        tx_ring_size: int = 512,
+        rx_ring_size: int = 512,
+    ):
+        if line_rate_bps <= 0:
+            raise SimulationError(f"line rate must be positive, got {line_rate_bps}")
+        self.sim = sim
+        self.name = name
+        self.line_rate_bps = line_rate_bps
+        self.tx_ring_size = tx_ring_size
+        self.rx_ring_size = rx_ring_size
+        self.stats = NicStats()
+        self.link = None  # type: Optional["object"]
+        self._tx_queue: deque = deque()
+        self._tx_busy = False
+        self._rx_handler: Optional[Callable[[Packet], None]] = None
+        self._rx_backlog = 0
+
+    def attach_link(self, link) -> None:
+        """Connect this port to a link endpoint.  One link per port."""
+        if self.link is not None:
+            raise TopologyError(f"port {self.name} already wired to a link")
+        self.link = link
+
+    def set_rx_handler(self, handler: Callable[[Packet], None]) -> None:
+        """Install the device-side receive callback."""
+        self._rx_handler = handler
+
+    # -- transmit path ---------------------------------------------------
+
+    def transmit(self, packet: Packet) -> bool:
+        """Queue a frame for transmission.
+
+        Returns False (and counts a drop) when the TX ring is full or the
+        port is not wired.
+        """
+        if self.link is None:
+            self.stats.tx_dropped += 1
+            return False
+        if len(self._tx_queue) >= self.tx_ring_size:
+            self.stats.tx_dropped += 1
+            return False
+        self._tx_queue.append(packet)
+        if not self._tx_busy:
+            self._tx_busy = True
+            self._serialize_next()
+        return True
+
+    def _serialize_next(self) -> None:
+        if not self._tx_queue:
+            self._tx_busy = False
+            return
+        packet = self._tx_queue.popleft()
+        delay = packet.wire_bits / self.line_rate_bps
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += packet.frame_size
+        self.sim.schedule(delay, self._finish_serialization, packet)
+
+    def _finish_serialization(self, packet: Packet) -> None:
+        if self.link is not None:
+            self.link.carry(self, packet)
+        self._serialize_next()
+
+    # -- receive path ----------------------------------------------------
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the link when a frame arrives at this port."""
+        if self._rx_backlog >= self.rx_ring_size or self._rx_handler is None:
+            self.stats.rx_dropped += 1
+            return
+        self.stats.rx_packets += 1
+        self.stats.rx_bytes += packet.frame_size
+        self._rx_handler(packet)
+
+    def rx_backlog_add(self, count: int = 1) -> None:
+        """Devices servicing the ring asynchronously report backlog here."""
+        self._rx_backlog += count
+
+    def rx_backlog_remove(self, count: int = 1) -> None:
+        """Inverse of :meth:`rx_backlog_add`."""
+        self._rx_backlog = max(0, self._rx_backlog - count)
+
+    def describe(self) -> dict:
+        """Hardware description recorded in the experiment inventory."""
+        return {
+            "name": self.name,
+            "model": type(self).__name__,
+            "line_rate_bps": self.line_rate_bps,
+            "tx_ring_size": self.tx_ring_size,
+            "rx_ring_size": self.rx_ring_size,
+            "timestamping": self.supports_timestamping,
+        }
+
+
+class HardwareNic(Nic):
+    """Physical NIC (Intel 82599 class): hardware timestamping available."""
+
+    supports_timestamping = True
+
+
+class VirtioNic(Nic):
+    """Paravirtual NIC as seen inside a vpos VM: no hardware timestamps.
+
+    The advertised line rate of virtio devices is nominal; the actual
+    ceiling comes from the virtualization CPU cost modelled in
+    :mod:`repro.netsim.vm`.
+    """
+
+    supports_timestamping = False
+
+    def __init__(self, sim: Simulator, name: str, line_rate_bps: float = 10e9, **kwargs):
+        super().__init__(sim, name, line_rate_bps=line_rate_bps, **kwargs)

@@ -1,0 +1,16 @@
+"""Publication phase: artifact bundling and website generation (R5)."""
+
+from repro.publication.bundle import build_manifest, bundle_artifacts, verify_bundle
+from repro.publication.publish import PublicationReport, publish
+from repro.publication.website import generate_html, generate_readme, generate_website
+
+__all__ = [
+    "build_manifest",
+    "bundle_artifacts",
+    "verify_bundle",
+    "PublicationReport",
+    "publish",
+    "generate_html",
+    "generate_readme",
+    "generate_website",
+]

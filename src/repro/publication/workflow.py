@@ -1,0 +1,115 @@
+"""Fig. 2 style experimental-workflow diagram.
+
+The paper's Fig. 2 shows the file types flowing through the three
+phases: the experiment script and variable files feed the setup phase,
+setup/measurement scripts run per host, results and metadata flow into
+the evaluation phase, and the publication script bundles everything.
+This module renders that diagram for a *concrete* experiment — the
+boxes are the experiment's actual scripts, variables, and phases — as
+SVG and as an indented text outline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.experiment import Experiment
+
+__all__ = ["workflow_outline", "workflow_svg"]
+
+_PHASES = ("setup", "measurement", "evaluation")
+
+
+def workflow_outline(experiment: Experiment) -> str:
+    """Textual rendering of the experiment's workflow structure."""
+    lines: List[str] = [f"experiment: {experiment.name}"]
+    lines.append("  phase: setup")
+    lines.append("    controller: allocate "
+                 + ", ".join(role.node for role in experiment.roles))
+    lines.append("    variables: global, loop"
+                 + ("".join(f", local[{r.name}]" for r in experiment.roles)))
+    for role in experiment.roles:
+        image = "@".join(role.image)
+        lines.append(f"    {role.name}: boot {image} on {role.node}")
+        lines.append(f"    {role.name}: run {role.setup.name}")
+    lines.append("  phase: measurement")
+    lines.append(f"    runs: {experiment.variables.run_count()} "
+                 "(cross product of loop variables)")
+    for role in experiment.roles:
+        lines.append(f"    {role.name}: run {role.measurement.name} per run")
+    lines.append("    controller: collect results + metadata per run")
+    lines.append("  phase: evaluation")
+    lines.append("    evaluation script: parse results, filter by metadata, plot")
+    lines.append("    publication script: bundle artifacts, generate website")
+    return "\n".join(lines) + "\n"
+
+
+def workflow_svg(experiment: Experiment, width: int = 560) -> str:
+    """SVG rendering: one band per phase, file boxes inside."""
+    rows: List[Tuple[str, List[str]]] = [
+        (
+            "setup",
+            [f"{experiment.name}.sh (experiment script)", "variable files"]
+            + [f"{role.setup.name} @ {role.node}" for role in experiment.roles],
+        ),
+        (
+            "measurement",
+            [f"{role.measurement.name} @ {role.node}" for role in experiment.roles]
+            + [f"{experiment.variables.run_count()} runs: results + metadata"],
+        ),
+        ("evaluation", ["evaluation script", "plots (svg/tex/pdf)",
+                        "publication script: archive + website"]),
+    ]
+    box_h = 24
+    pad = 10
+    band_gap = 18
+    y = pad
+    parts = []
+    body: List[str] = []
+    for phase, boxes in rows:
+        band_top = y
+        body.append(
+            f'<text x="{pad + 4}" y="{y + 16}" font-weight="bold">'
+            f"{phase} phase</text>"
+        )
+        y += 24
+        for label in boxes:
+            body.append(
+                f'<rect x="{pad + 16}" y="{y}" width="{width - 2 * pad - 32}" '
+                f'height="{box_h}" rx="4" class="file"/>'
+            )
+            body.append(
+                f'<text x="{pad + 26}" y="{y + 16}">{_escape(label)}</text>'
+            )
+            y += box_h + 6
+        body.append(
+            f'<rect x="{pad}" y="{band_top - 6}" width="{width - 2 * pad}" '
+            f'height="{y - band_top + 8}" rx="8" class="band"/>'
+        )
+        # Arrow to next band.
+        y += band_gap
+        body.append(
+            f'<line x1="{width / 2}" y1="{y - band_gap + 4}" '
+            f'x2="{width / 2}" y2="{y - 4}" class="arrow"/>'
+        )
+    height = y
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+    )
+    parts.append(
+        "<style>text{font-family:sans-serif;font-size:12px;}"
+        ".file{fill:#f7f7f7;stroke:#555;}"
+        ".band{fill:none;stroke:#334;stroke-width:1.4;}"
+        ".arrow{stroke:#334;stroke-width:2;marker-end:url(#tip);}</style>"
+        '<defs><marker id="tip" markerWidth="8" markerHeight="8" refX="6" '
+        'refY="3" orient="auto"><path d="M0,0 L6,3 L0,6 z" fill="#334"/>'
+        "</marker></defs>"
+    )
+    parts.extend(body[:-1])  # drop the trailing arrow below the last band
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")

@@ -1,0 +1,221 @@
+"""BIOS/firmware configuration — the paper's stated limitation, built.
+
+Section 7: "there may be configurations that influence the packet
+processing performance, such as BIOS settings or NIC firmware.  Setting
+these configurations via pos would be possible.  However, BIOS
+configurations or flashing firmware differs across different
+manufacturers.  Currently, due to the lack of standardized interfaces,
+pos does not support automated configurations."
+
+This module supplies what the paper describes as future work: a
+*vendor-adapter* layer.  Each manufacturer exposes its own incompatible
+dialect (modelled faithfully: different command names, different value
+spellings); the :class:`FirmwareManager` maps a vendor-neutral setting
+name onto whichever adapter a node's hardware has — and reports
+*unsupported* rather than silently skipping when no adapter exists,
+because an unmanaged BIOS knob is precisely the hidden state that
+breaks reproducibility.
+
+Unlike OS state, firmware settings survive live-boot reboots (they live
+in NVRAM) — the property that makes them dangerous and worth managing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import PosError
+
+__all__ = [
+    "FirmwareError",
+    "BiosAdapter",
+    "DellBiosAdapter",
+    "SupermicroBiosAdapter",
+    "FirmwareManager",
+    "NEUTRAL_SETTINGS",
+]
+
+
+class FirmwareError(PosError):
+    """A firmware setting is unknown, unsupported, or rejected."""
+
+
+#: Vendor-neutral setting names and their allowed values.
+NEUTRAL_SETTINGS: Dict[str, Tuple[str, ...]] = {
+    "turbo_boost": ("enabled", "disabled"),
+    "hyper_threading": ("enabled", "disabled"),
+    "c_states": ("enabled", "disabled"),
+    "sr_iov": ("enabled", "disabled"),
+}
+
+
+class BiosAdapter:
+    """Base vendor adapter: translates neutral names to the dialect.
+
+    Firmware state is stored on the adapter (NVRAM), *not* on the
+    simulated host — a live-boot reset does not touch it.
+    """
+
+    vendor = "generic"
+    #: neutral name → (vendor token, {neutral value → vendor value})
+    dialect: Dict[str, Tuple[str, Dict[str, str]]] = {}
+
+    def __init__(self, defaults: Optional[Dict[str, str]] = None):
+        self._nvram: Dict[str, str] = {}
+        for neutral, values in NEUTRAL_SETTINGS.items():
+            if neutral in self.dialect:
+                self._nvram[neutral] = (defaults or {}).get(neutral, values[0])
+
+    def supports(self, neutral_name: str) -> bool:
+        return neutral_name in self.dialect
+
+    def set(self, neutral_name: str, neutral_value: str) -> str:
+        """Apply a setting; returns the vendor command line issued."""
+        if neutral_name not in NEUTRAL_SETTINGS:
+            raise FirmwareError(f"unknown firmware setting {neutral_name!r}")
+        if neutral_value not in NEUTRAL_SETTINGS[neutral_name]:
+            allowed = ", ".join(NEUTRAL_SETTINGS[neutral_name])
+            raise FirmwareError(
+                f"{neutral_name}: invalid value {neutral_value!r} "
+                f"(allowed: {allowed})"
+            )
+        if not self.supports(neutral_name):
+            raise FirmwareError(
+                f"{self.vendor}: no interface for setting {neutral_name!r}"
+            )
+        token, value_map = self.dialect[neutral_name]
+        self._nvram[neutral_name] = neutral_value
+        return self._format_command(token, value_map[neutral_value])
+
+    def get(self, neutral_name: str) -> str:
+        if neutral_name not in self._nvram:
+            raise FirmwareError(
+                f"{self.vendor}: no interface for setting {neutral_name!r}"
+            )
+        return self._nvram[neutral_name]
+
+    def snapshot(self) -> Dict[str, str]:
+        """All managed settings (recorded in the experiment inventory)."""
+        return dict(self._nvram)
+
+    def _format_command(self, token: str, value: str) -> str:
+        raise NotImplementedError
+
+
+class DellBiosAdapter(BiosAdapter):
+    """Dell's racadm-style dialect."""
+
+    vendor = "dell"
+    dialect = {
+        "turbo_boost": ("BIOS.ProcSettings.ProcTurboMode", {
+            "enabled": "Enabled", "disabled": "Disabled",
+        }),
+        "hyper_threading": ("BIOS.ProcSettings.LogicalProc", {
+            "enabled": "Enabled", "disabled": "Disabled",
+        }),
+        "c_states": ("BIOS.SysProfileSettings.ProcCStates", {
+            "enabled": "Enabled", "disabled": "Disabled",
+        }),
+        "sr_iov": ("BIOS.IntegratedDevices.SriovGlobalEnable", {
+            "enabled": "Enabled", "disabled": "Disabled",
+        }),
+    }
+
+    def _format_command(self, token: str, value: str) -> str:
+        return f"racadm set {token} {value}"
+
+
+class SupermicroBiosAdapter(BiosAdapter):
+    """Supermicro's sum-style dialect (no SR-IOV knob exposed)."""
+
+    vendor = "supermicro"
+    dialect = {
+        "turbo_boost": ("Turbo_Mode", {
+            "enabled": "Enable", "disabled": "Disable",
+        }),
+        "hyper_threading": ("Hyper_Threading", {
+            "enabled": "Enable", "disabled": "Disable",
+        }),
+        "c_states": ("CPU_C_States", {
+            "enabled": "Enable", "disabled": "Disable",
+        }),
+        # sr_iov deliberately absent: real vendor coverage is spotty.
+    }
+
+    def _format_command(self, token: str, value: str) -> str:
+        return f"sum -c ChangeBiosCfg --setting {token}={value}"
+
+
+@dataclass
+class FirmwareReport:
+    """Outcome of applying a firmware profile to a set of nodes."""
+
+    applied: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    unsupported: Dict[str, List[str]] = field(default_factory=dict)
+    commands: List[str] = field(default_factory=list)
+
+    @property
+    def fully_applied(self) -> bool:
+        return not self.unsupported
+
+
+class FirmwareManager:
+    """Applies vendor-neutral firmware profiles across heterogeneous nodes."""
+
+    def __init__(self) -> None:
+        self._adapters: Dict[str, BiosAdapter] = {}
+
+    def register(self, node_name: str, adapter: BiosAdapter) -> None:
+        self._adapters[node_name] = adapter
+
+    def adapter_for(self, node_name: str) -> Optional[BiosAdapter]:
+        return self._adapters.get(node_name)
+
+    def apply_profile(
+        self,
+        profile: Dict[str, str],
+        node_names: List[str],
+        strict: bool = True,
+    ) -> FirmwareReport:
+        """Apply the neutral profile to every node.
+
+        ``strict`` raises when any node lacks an interface for a
+        requested setting — silently unmanaged firmware is the failure
+        mode this layer exists to prevent.  ``strict=False`` records
+        the gaps in the report instead.
+        """
+        report = FirmwareReport()
+        for node_name in node_names:
+            adapter = self._adapters.get(node_name)
+            if adapter is None:
+                if strict:
+                    raise FirmwareError(
+                        f"node {node_name!r} has no firmware adapter; "
+                        "its BIOS state is unmanaged"
+                    )
+                report.unsupported[node_name] = sorted(profile)
+                continue
+            for neutral_name, neutral_value in profile.items():
+                try:
+                    command = adapter.set(neutral_name, neutral_value)
+                except FirmwareError:
+                    if strict:
+                        raise
+                    report.unsupported.setdefault(node_name, []).append(
+                        neutral_name
+                    )
+                    continue
+                report.applied.setdefault(node_name, {})[neutral_name] = (
+                    neutral_value
+                )
+                report.commands.append(f"{node_name}: {command}")
+        return report
+
+    def inventory(self) -> Dict[str, Dict[str, str]]:
+        """Firmware snapshot of every managed node (published as R5
+        artifact metadata)."""
+        return {
+            node_name: adapter.snapshot()
+            for node_name, adapter in sorted(self._adapters.items())
+        }

@@ -1,0 +1,111 @@
+"""Live-image registry with snapshot pinning.
+
+pos boots experiment hosts from live images so that every run starts
+from a clean, *versioned* state: "Utilizing the Debian snapshot
+project, we can create live images with specific version numbers for
+the kernel and the installed packages."
+
+The registry models exactly that: named images, each available in one
+or more snapshot versions carrying a kernel version and a package set.
+An experiment pins ``(image, version)``; booting resolves the pin and
+records it in the run's inventory, so a published experiment states
+precisely which software it ran on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.errors import ImageError
+
+__all__ = ["ImageSpec", "ImageRegistry", "default_registry"]
+
+
+@dataclass(frozen=True)
+class ImageSpec:
+    """One concrete, immutable live image."""
+
+    name: str
+    version: str
+    kernel: str
+    packages: tuple = ()
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "kernel": self.kernel,
+            "packages": list(self.packages),
+        }
+
+
+class ImageRegistry:
+    """Named live images, each with ordered snapshot versions."""
+
+    def __init__(self) -> None:
+        self._images: Dict[str, List[ImageSpec]] = {}
+
+    def register(
+        self,
+        name: str,
+        version: str,
+        kernel: str,
+        packages: Optional[List[str]] = None,
+    ) -> ImageSpec:
+        """Add a snapshot version of an image.  Versions must be unique."""
+        versions = self._images.setdefault(name, [])
+        if any(spec.version == version for spec in versions):
+            raise ImageError(f"image {name}@{version} already registered")
+        spec = ImageSpec(
+            name=name, version=version, kernel=kernel, packages=tuple(packages or ())
+        )
+        versions.append(spec)
+        return spec
+
+    def resolve(self, name: str, version: str = "latest") -> ImageSpec:
+        """Look up an image pin; 'latest' resolves to the newest snapshot."""
+        versions = self._images.get(name)
+        if not versions:
+            raise ImageError(f"unknown image {name!r}")
+        if version == "latest":
+            return versions[-1]
+        for spec in versions:
+            if spec.version == version:
+                return spec
+        known = ", ".join(spec.version for spec in versions)
+        raise ImageError(f"image {name} has no version {version!r} (known: {known})")
+
+    def names(self) -> List[str]:
+        """All registered image names."""
+        return sorted(self._images)
+
+    def versions(self, name: str) -> List[str]:
+        """All snapshot versions of ``name``, oldest first."""
+        if name not in self._images:
+            raise ImageError(f"unknown image {name!r}")
+        return [spec.version for spec in self._images[name]]
+
+
+def default_registry() -> ImageRegistry:
+    """The image set of the paper's testbed (Debian Buster era)."""
+    registry = ImageRegistry()
+    registry.register(
+        "debian-buster",
+        version="20200908T000000Z",
+        kernel="4.19.0-10",
+        packages=["linux-image-4.19", "iproute2", "ethtool"],
+    )
+    registry.register(
+        "debian-buster",
+        version="20201012T000000Z",
+        kernel="4.19.0-11",
+        packages=["linux-image-4.19", "iproute2", "ethtool", "moongen"],
+    )
+    registry.register(
+        "debian-bullseye",
+        version="20211024T000000Z",
+        kernel="5.10.0-8",
+        packages=["linux-image-5.10", "iproute2", "ethtool"],
+    )
+    return registry

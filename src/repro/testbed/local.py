@@ -1,0 +1,80 @@
+"""Local experiment nodes: orchestrate real subprocesses.
+
+pos scripts "can be any executable"; this module lets the controller
+drive actual programs on the controller machine itself, which is how
+the orchestration layer is exercised against reality rather than the
+simulator.  Each local node owns a sandbox directory; the node's
+"power cycle" wipes the sandbox — the closest local analogue of a
+live-boot reset: after a reset, no file state survives (R3).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from typing import Optional
+
+from repro.testbed.images import ImageRegistry
+from repro.testbed.node import Node
+from repro.testbed.power import PowerControl
+from repro.testbed.transport import LocalTransport
+
+__all__ = ["SandboxPowerControl", "make_local_node", "local_image_registry"]
+
+
+class _LocalHostState:
+    """Duck-typed host state for :class:`PowerControl`."""
+
+    def __init__(self) -> None:
+        self.booted = False
+        self.wedged = False
+
+    def shutdown(self) -> None:
+        self.booted = False
+
+
+class SandboxPowerControl(PowerControl):
+    """'Power' for a local node: cycling wipes the sandbox directory."""
+
+    protocol = "sandbox"
+
+    def __init__(self, state: _LocalHostState, sandbox_dir: str):
+        super().__init__(state)  # type: ignore[arg-type]
+        self._sandbox_dir = sandbox_dir
+
+    def power_on(self) -> None:
+        # Live-boot semantics: start from an empty, well-defined state.
+        if os.path.isdir(self._sandbox_dir):
+            for entry in os.listdir(self._sandbox_dir):
+                path = os.path.join(self._sandbox_dir, entry)
+                if os.path.isdir(path):
+                    shutil.rmtree(path)
+                else:
+                    os.unlink(path)
+        else:
+            os.makedirs(self._sandbox_dir, exist_ok=True)
+        super().power_on()
+
+
+def local_image_registry() -> ImageRegistry:
+    """A registry with the pseudo-image local nodes 'boot'."""
+    registry = ImageRegistry()
+    registry.register(
+        "local-sandbox", version="v1", kernel="host-kernel",
+        packages=["sh", "coreutils"],
+    )
+    return registry
+
+
+def make_local_node(name: str, sandbox_dir: Optional[str] = None) -> Node:
+    """Build an experiment node that executes real subprocesses."""
+    if sandbox_dir is None:
+        sandbox_dir = tempfile.mkdtemp(prefix=f"pos-{name}-")
+    state = _LocalHostState()
+    return Node(
+        name,
+        host=None,
+        power=SandboxPowerControl(state, sandbox_dir),
+        transport=LocalTransport(sandbox_dir=sandbox_dir),
+    )

@@ -1,0 +1,167 @@
+"""Experiment-host abstraction.
+
+A :class:`Node` glues together the four things pos needs to know about
+an experiment host:
+
+* the host itself (a :class:`~repro.netsim.host.SimHost` or, for
+  LocalTransport nodes, just a name),
+* its out-of-band initialization interface (power control, R3),
+* its in-band configuration interface (transport, R1/R4),
+* the live image and boot parameters selected for the experiment.
+
+The node exposes the small lifecycle the controller drives: configure
+image → reset (power-cycle + live boot) → execute scripts → release.
+Power operations retry transient management-plane failures, which is
+what keeps experiments alive on flaky BMCs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.core.errors import NodeError, PowerError, TransportError
+from repro.netsim.host import CommandResult, SimHost
+from repro.testbed.images import ImageSpec
+from repro.testbed.power import PowerControl
+from repro.testbed.transport import Transport
+
+__all__ = ["NodeState", "Node"]
+
+
+class NodeState(enum.Enum):
+    """Lifecycle of an experiment host within one allocation."""
+
+    FREE = "free"
+    ALLOCATED = "allocated"
+    READY = "ready"
+    FAILED = "failed"
+
+
+class Node:
+    """One experiment host managed by the testbed controller."""
+
+    #: How often power operations are retried before giving up.
+    POWER_RETRIES = 3
+
+    def __init__(
+        self,
+        name: str,
+        host: Optional[SimHost] = None,
+        power: Optional[PowerControl] = None,
+        transport: Optional[Transport] = None,
+    ):
+        self.name = name
+        self.host = host
+        self.power = power
+        self.transport = transport
+        self.state = NodeState.FREE
+        self.owner: Optional[str] = None
+        self.image: Optional[ImageSpec] = None
+        self.boot_parameters: Dict[str, str] = {}
+        self.reset_count = 0
+
+    # -- allocation bookkeeping (driven by repro.core.allocation) -----------
+
+    def mark_allocated(self, owner: str) -> None:
+        if self.state is not NodeState.FREE:
+            raise NodeError(f"{self.name}: cannot allocate node in state {self.state}")
+        self.state = NodeState.ALLOCATED
+        self.owner = owner
+
+    def release(self) -> None:
+        """Return the node to the free pool; in-band session is closed."""
+        if self.transport is not None:
+            self.transport.close()
+        self.state = NodeState.FREE
+        self.owner = None
+        self.image = None
+        self.boot_parameters = {}
+
+    # -- image & boot configuration -----------------------------------------
+
+    def set_image(self, image: ImageSpec) -> None:
+        """Pin the live image this node boots for the experiment."""
+        self.image = image
+
+    def set_boot_parameters(self, parameters: Dict[str, str]) -> None:
+        """Kernel command-line parameters for the next boot."""
+        self.boot_parameters = dict(parameters)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Power-cycle out of band and live-boot the pinned image.
+
+        This works from *any* prior state — fully configured,
+        misconfigured, or wedged (R3) — because the power path does not
+        depend on the OS.  Transient power failures are retried.
+        """
+        if self.image is None:
+            raise NodeError(f"{self.name}: no image selected before reset")
+        if self.power is None:
+            raise NodeError(f"{self.name}: node has no power control")
+        last_error: Optional[PowerError] = None
+        for __ in range(self.POWER_RETRIES):
+            try:
+                self.power.power_cycle()
+                last_error = None
+                break
+            except PowerError as exc:
+                last_error = exc
+        if last_error is not None:
+            self.state = NodeState.FAILED
+            raise NodeError(
+                f"{self.name}: power cycle failed after "
+                f"{self.POWER_RETRIES} attempts: {last_error}"
+            )
+        if self.host is not None:
+            self.host.boot(
+                image=self.image.name,
+                image_version=self.image.version,
+                kernel_version=self.image.kernel,
+                boot_parameters=self.boot_parameters,
+            )
+        self.reset_count += 1
+        if self.transport is not None:
+            try:
+                self.transport.connect()
+            except TransportError as exc:
+                self.state = NodeState.FAILED
+                raise NodeError(f"{self.name}: unreachable after boot: {exc}") from exc
+        self.state = NodeState.READY
+
+    # -- script/command surface ----------------------------------------------
+
+    def execute(self, command: str, timeout_s: Optional[float] = None) -> CommandResult:
+        """Run one command over the configuration interface."""
+        if self.transport is None:
+            raise NodeError(f"{self.name}: node has no transport")
+        return self.transport.execute(command, timeout_s=timeout_s)
+
+    def put_file(self, path: str, content: str) -> None:
+        if self.transport is None:
+            raise NodeError(f"{self.name}: node has no transport")
+        self.transport.put_file(path, content)
+
+    def get_file(self, path: str) -> str:
+        if self.transport is None:
+            raise NodeError(f"{self.name}: node has no transport")
+        return self.transport.get_file(path)
+
+    # -- inventory ----------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Full node description for the experiment's artifact record."""
+        info: dict = {"name": self.name, "state": self.state.value}
+        if self.host is not None:
+            info["hardware"] = self.host.describe()
+        if self.power is not None:
+            info["power"] = self.power.describe()
+        if self.transport is not None:
+            info["transport"] = self.transport.describe()
+        if self.image is not None:
+            info["image"] = self.image.describe()
+        if self.boot_parameters:
+            info["boot_parameters"] = dict(self.boot_parameters)
+        return info

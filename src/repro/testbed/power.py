@@ -1,0 +1,132 @@
+"""Out-of-band initialization interfaces (R3).
+
+pos resets and boots servers through management APIs — IPMI in the
+common case, "Intel's vPro or AMD's Pro features, or a remotely
+switchable power plug" as alternatives.  The crucial property is that
+these interfaces work *out of band*: they recover a host whose OS has
+wedged, because they talk to the baseboard controller or the power
+rail, not to the OS.
+
+All controllers implement the :class:`PowerControl` protocol; the node
+layer is indifferent to which one a device uses (R1).  A deliberately
+flaky variant is provided for failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.errors import PowerError
+from repro.netsim.host import SimHost
+
+__all__ = [
+    "PowerControl",
+    "IpmiController",
+    "VProController",
+    "AmdProController",
+    "SwitchablePowerPlug",
+    "FlakyPowerControl",
+]
+
+
+class PowerControl:
+    """Common protocol for out-of-band power/initialization APIs."""
+
+    #: Human-readable protocol name recorded in the inventory.
+    protocol = "abstract"
+
+    #: Whether the API can report chassis power status.
+    supports_status = True
+
+    def __init__(self, host: SimHost):
+        self._host = host
+        self.power_cycles = 0
+
+    def power_on(self) -> None:
+        """Apply power.  The node layer performs the actual image boot."""
+        self._host.wedged = False
+        self._host.booted = True
+
+    def power_off(self) -> None:
+        """Cut power.  Works regardless of OS state — this is the R3 path."""
+        self._host.shutdown()
+        self._host.wedged = False
+
+    def power_cycle(self) -> None:
+        """Hard reset: off, then on."""
+        self.power_off()
+        self.power_on()
+        self.power_cycles += 1
+
+    def status(self) -> str:
+        """Chassis power status, 'on' or 'off'."""
+        if not self.supports_status:
+            raise PowerError(f"{self.protocol}: status query not supported")
+        return "on" if self._host.booted else "off"
+
+    def describe(self) -> dict:
+        return {"protocol": self.protocol, "supports_status": self.supports_status}
+
+
+class IpmiController(PowerControl):
+    """Baseboard-management controller speaking IPMI."""
+
+    protocol = "ipmi"
+
+
+class VProController(PowerControl):
+    """Intel AMT/vPro out-of-band management."""
+
+    protocol = "intel-vpro"
+
+
+class AmdProController(PowerControl):
+    """AMD Pro manageability."""
+
+    protocol = "amd-pro"
+
+
+class SwitchablePowerPlug(PowerControl):
+    """Remotely switchable power socket.
+
+    The cheapest initialization interface: it can only toggle the rail
+    and cannot report status, so the node layer must assume the boot
+    succeeded (or verify in-band).
+    """
+
+    protocol = "power-plug"
+    supports_status = False
+
+
+class FlakyPowerControl(PowerControl):
+    """Failure injection: the first ``failures`` operations raise.
+
+    Models a BMC that needs retries — the controller's recovery logic
+    must keep the experiment alive through transient management-plane
+    errors.
+    """
+
+    protocol = "flaky-ipmi"
+
+    def __init__(self, host: SimHost, failures: int = 1):
+        super().__init__(host)
+        self._remaining_failures = failures
+
+    def _maybe_fail(self, operation: str) -> None:
+        if self._remaining_failures > 0:
+            self._remaining_failures -= 1
+            raise PowerError(f"{self.protocol}: transient failure during {operation}")
+
+    def power_on(self) -> None:
+        self._maybe_fail("power_on")
+        super().power_on()
+
+    def power_off(self) -> None:
+        self._maybe_fail("power_off")
+        super().power_off()
+
+    def power_cycle(self) -> None:
+        # Fail atomically *before* touching the rail, so a failed cycle
+        # leaves the host in its previous state.
+        self._maybe_fail("power_cycle")
+        super().power_cycle()

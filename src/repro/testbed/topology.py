@@ -1,0 +1,187 @@
+"""Experiment topology: direct wiring of experiment hosts (R2).
+
+pos isolates experiments by wiring experiment hosts directly, without
+switches.  The topology object records which node ports are connected
+by which interconnect (direct wire, optical L1 switch, or — for the
+isolation ablation — a shared cut-through switch), validates the
+wiring, instantiates the simulator links, and renders the whole thing
+as the kind of entity diagram shown in Fig. 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import TopologyError
+from repro.netsim.engine import Simulator
+from repro.netsim.link import CutThroughSwitchPort, DirectWire, OpticalL1Switch
+from repro.testbed.node import Node
+
+__all__ = ["Wire", "Topology", "LINK_KINDS"]
+
+LINK_KINDS = {
+    "direct": DirectWire,
+    "optical-l1": OpticalL1Switch,
+    "cut-through": CutThroughSwitchPort,
+}
+
+
+@dataclass
+class Wire:
+    """One cable in the topology."""
+
+    node_a: str
+    port_a: str
+    node_b: str
+    port_b: str
+    kind: str
+    link: object
+
+    def describe(self) -> dict:
+        return {
+            "a": f"{self.node_a}:{self.port_a}",
+            "b": f"{self.node_b}:{self.port_b}",
+            "kind": self.kind,
+        }
+
+
+class Topology:
+    """Nodes plus the physical wiring between their ports."""
+
+    def __init__(self, sim: Simulator, controller_name: str = "controller"):
+        self.sim = sim
+        self.controller_name = controller_name
+        self.nodes: Dict[str, Node] = {}
+        self.wires: List[Wire] = []
+        self._used_ports: set = set()
+
+    def add_node(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise TopologyError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def _resolve_port(self, node_name: str, port_name: str):
+        node = self.nodes.get(node_name)
+        if node is None:
+            raise TopologyError(f"unknown node {node_name!r}")
+        if node.host is None:
+            raise TopologyError(f"node {node_name} has no simulated host to wire")
+        iface = node.host.interfaces.get(port_name)
+        if iface is None:
+            raise TopologyError(f"node {node_name} has no port {port_name!r}")
+        if iface.nic is None:
+            raise TopologyError(
+                f"port {node_name}:{port_name} has no NIC backing it"
+            )
+        return iface.nic
+
+    def wire(
+        self,
+        node_a: str,
+        port_a: str,
+        node_b: str,
+        port_b: str,
+        kind: str = "direct",
+        **link_kwargs,
+    ) -> Wire:
+        """Connect two ports.  Each port carries at most one cable."""
+        if kind not in LINK_KINDS:
+            known = ", ".join(sorted(LINK_KINDS))
+            raise TopologyError(f"unknown link kind {kind!r} (known: {known})")
+        for endpoint in ((node_a, port_a), (node_b, port_b)):
+            if endpoint in self._used_ports:
+                raise TopologyError(
+                    f"port {endpoint[0]}:{endpoint[1]} is already wired"
+                )
+        nic_a = self._resolve_port(node_a, port_a)
+        nic_b = self._resolve_port(node_b, port_b)
+        link = LINK_KINDS[kind](self.sim, nic_a, nic_b, **link_kwargs)
+        wire = Wire(node_a, port_a, node_b, port_b, kind, link)
+        self.wires.append(wire)
+        self._used_ports.add((node_a, port_a))
+        self._used_ports.add((node_b, port_b))
+        return wire
+
+    def validate(self) -> None:
+        """Check every experiment node is reachable through the wiring."""
+        if not self.nodes:
+            raise TopologyError("topology has no nodes")
+        wired_nodes = set()
+        for wire in self.wires:
+            wired_nodes.add(wire.node_a)
+            wired_nodes.add(wire.node_b)
+        lonely = sorted(set(self.nodes) - wired_nodes)
+        if lonely and len(self.nodes) > 1:
+            raise TopologyError(f"unwired nodes: {', '.join(lonely)}")
+
+    def describe(self) -> dict:
+        """Topology record stored with the experiment artifacts (R5)."""
+        return {
+            "controller": self.controller_name,
+            "nodes": sorted(self.nodes),
+            "wires": [wire.describe() for wire in self.wires],
+        }
+
+    # -- Fig. 1 style rendering ---------------------------------------------
+
+    def to_svg(self, width: int = 640, box_w: int = 150, box_h: int = 56) -> str:
+        """Render the entity diagram: controller on top, hosts below."""
+        names = sorted(self.nodes)
+        columns = max(len(names), 1)
+        height = 240
+        gap = (width - columns * box_w) / (columns + 1)
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}">',
+            '<style>text{font-family:sans-serif;font-size:13px;}'
+            ".box{fill:#f5f5f5;stroke:#333;stroke-width:1.5;}"
+            ".ctrl{fill:#e3ecf7;stroke:#335;}"
+            ".wire{stroke:#333;stroke-width:1.5;}"
+            ".mgmt{stroke:#888;stroke-width:1;stroke-dasharray:4 3;}</style>",
+        ]
+        ctrl_x = (width - box_w) / 2
+        parts.append(
+            f'<rect class="box ctrl" x="{ctrl_x:.1f}" y="20" '
+            f'width="{box_w}" height="{box_h}" rx="6"/>'
+        )
+        parts.append(
+            f'<text x="{width / 2:.1f}" y="52" text-anchor="middle">'
+            f"{_escape(self.controller_name)}</text>"
+        )
+        positions: Dict[str, Tuple[float, float]] = {}
+        for index, name in enumerate(names):
+            x = gap + index * (box_w + gap)
+            y = 150.0
+            positions[name] = (x, y)
+            parts.append(
+                f'<rect class="box" x="{x:.1f}" y="{y:.1f}" '
+                f'width="{box_w}" height="{box_h}" rx="6"/>'
+            )
+            parts.append(
+                f'<text x="{x + box_w / 2:.1f}" y="{y + 33:.1f}" '
+                f'text-anchor="middle">{_escape(name)}</text>'
+            )
+            # Management connection from the controller (dashed).
+            parts.append(
+                f'<line class="mgmt" x1="{width / 2:.1f}" y1="{20 + box_h}" '
+                f'x2="{x + box_w / 2:.1f}" y2="{y:.1f}"/>'
+            )
+        for wire in self.wires:
+            ax, ay = positions[wire.node_a]
+            bx, by = positions[wire.node_b]
+            parts.append(
+                f'<line class="wire" x1="{ax + box_w / 2:.1f}" '
+                f'y1="{ay + box_h:.1f}" x2="{bx + box_w / 2:.1f}" '
+                f'y2="{by + box_h:.1f}" '
+                f'transform="translate(0,8)"/>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

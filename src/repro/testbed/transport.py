@@ -1,0 +1,284 @@
+"""In-band configuration interfaces (R1, R4).
+
+After a host has been initialized out of band, pos configures it and
+runs experiment scripts over a *configuration interface* — "for a
+typical Linux server, we use SSH".  SNMP and HTTP are supported for
+devices that speak those instead, and new protocols can be added by
+implementing the same small surface.
+
+Four transports are provided:
+
+* :class:`SshTransport` — command execution and file transfer against a
+  simulated :class:`~repro.netsim.host.SimHost`.
+* :class:`SnmpTransport` — OID get/set mapped onto the host's sysctl
+  tree, for switch-like devices that only expose management variables.
+* :class:`HttpTransport` — a REST-style endpoint map, for appliances
+  managed through an HTTP API (e.g. a Tofino switch's runtime agent).
+* :class:`LocalTransport` — *real* subprocess execution on the machine
+  running the controller, so the orchestration layer can be exercised
+  against actual processes, not just the simulator.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.errors import TransportError, TransportTimeout
+from repro.netsim.host import CommandResult, SimHost
+
+__all__ = [
+    "Transport",
+    "SshTransport",
+    "SnmpTransport",
+    "HttpTransport",
+    "LocalTransport",
+]
+
+
+class Transport:
+    """Common protocol for in-band configuration interfaces."""
+
+    protocol = "abstract"
+
+    def connect(self) -> None:
+        """Establish the session; raises TransportError if unreachable."""
+        raise NotImplementedError
+
+    def execute(self, command: str, timeout_s: Optional[float] = None) -> CommandResult:
+        """Run a command and capture exit code and output."""
+        raise NotImplementedError
+
+    def put_file(self, path: str, content: str) -> None:
+        """Upload a file to the device."""
+        raise NotImplementedError
+
+    def get_file(self, path: str) -> str:
+        """Download a file from the device."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Tear the session down.  Idempotent."""
+
+    def describe(self) -> dict:
+        return {"protocol": self.protocol}
+
+
+class SshTransport(Transport):
+    """SSH to a simulated live-booted Linux host."""
+
+    protocol = "ssh"
+
+    def __init__(self, host: SimHost):
+        self._host = host
+        self._connected = False
+
+    def connect(self) -> None:
+        if not self._host.reachable:
+            raise TransportError(
+                f"ssh: connect to host {self._host.name} port 22: No route to host"
+            )
+        self._connected = True
+
+    def _require_session(self) -> None:
+        if not self._connected:
+            raise TransportError(f"ssh: no session to {self._host.name}")
+        if not self._host.reachable:
+            self._connected = False
+            raise TransportError(
+                f"ssh: connection to {self._host.name} lost (host down or wedged)"
+            )
+
+    def execute(self, command: str, timeout_s: Optional[float] = None) -> CommandResult:
+        self._require_session()
+        return self._host.run_command(command)
+
+    def put_file(self, path: str, content: str) -> None:
+        self._require_session()
+        self._host.write_file(path, content)
+
+    def get_file(self, path: str) -> str:
+        self._require_session()
+        return self._host.read_file(path)
+
+    def close(self) -> None:
+        self._connected = False
+
+
+class SnmpTransport(Transport):
+    """SNMP-style management: typed get/set on an OID tree.
+
+    Commands take the form ``get OID`` / ``set OID VALUE``; the OID tree
+    is backed by the host's sysctl dictionary plus a read-only system
+    group, which is all a managed switch exposes.
+    """
+
+    protocol = "snmp"
+
+    SYSTEM_GROUP = "1.3.6.1.2.1.1"
+
+    def __init__(self, host: SimHost, community: str = "public"):
+        self._host = host
+        self.community = community
+        self._connected = False
+
+    def connect(self) -> None:
+        if not self._host.reachable:
+            raise TransportError(f"snmp: timeout contacting {self._host.name}")
+        self._connected = True
+
+    def execute(self, command: str, timeout_s: Optional[float] = None) -> CommandResult:
+        if not self._connected:
+            raise TransportError(f"snmp: no session to {self._host.name}")
+        parts = command.split()
+        if not parts:
+            return CommandResult(command, 1, "snmp: empty request")
+        verb = parts[0]
+        if verb == "get" and len(parts) == 2:
+            oid = parts[1]
+            if oid == f"{self.SYSTEM_GROUP}.5.0":  # sysName
+                return CommandResult(command, 0, self._host.name)
+            value = self._host.sysctl.get(oid)
+            if value is None:
+                return CommandResult(command, 2, f"snmp: no such OID {oid}")
+            return CommandResult(command, 0, value)
+        if verb == "set" and len(parts) >= 3:
+            oid, value = parts[1], " ".join(parts[2:])
+            if oid.startswith(self.SYSTEM_GROUP):
+                return CommandResult(command, 2, f"snmp: {oid} is read-only")
+            self._host.sysctl[oid] = value
+            return CommandResult(command, 0, value)
+        return CommandResult(command, 1, f"snmp: bad request {command!r}")
+
+    def put_file(self, path: str, content: str) -> None:
+        raise TransportError("snmp: file transfer not supported")
+
+    def get_file(self, path: str) -> str:
+        raise TransportError("snmp: file transfer not supported")
+
+    def close(self) -> None:
+        self._connected = False
+
+
+class HttpTransport(Transport):
+    """REST-style management endpoint map.
+
+    Commands take the form ``GET /path`` / ``POST /path BODY``; the
+    endpoint table maps paths to handler callables.  Used for devices
+    like ASIC switches whose runtime is driven over HTTP.
+    """
+
+    protocol = "http"
+
+    def __init__(self, host: SimHost):
+        self._host = host
+        self._connected = False
+        self._endpoints: Dict[Tuple[str, str], Callable[[str], Tuple[int, str]]] = {}
+        self.register("GET", "/status", lambda body: (200, "ok"))
+        self.register("GET", "/hostname", lambda body: (200, self._host.name))
+
+    def register(
+        self, method: str, path: str, handler: Callable[[str], Tuple[int, str]]
+    ) -> None:
+        """Expose an endpoint; handlers return (http_status, body)."""
+        self._endpoints[(method.upper(), path)] = handler
+
+    def connect(self) -> None:
+        if not self._host.reachable:
+            raise TransportError(f"http: connection refused by {self._host.name}")
+        self._connected = True
+
+    def execute(self, command: str, timeout_s: Optional[float] = None) -> CommandResult:
+        if not self._connected:
+            raise TransportError(f"http: no session to {self._host.name}")
+        parts = command.split(None, 2)
+        if len(parts) < 2:
+            return CommandResult(command, 1, "http: expected 'METHOD /path [body]'")
+        method, path = parts[0].upper(), parts[1]
+        body = parts[2] if len(parts) > 2 else ""
+        handler = self._endpoints.get((method, path))
+        if handler is None:
+            return CommandResult(command, 4, f"404 Not Found: {method} {path}")
+        status, response = handler(body)
+        exit_code = 0 if 200 <= status < 300 else status // 100
+        return CommandResult(command, exit_code, response)
+
+    def put_file(self, path: str, content: str) -> None:
+        self._host.write_file(path, content)
+
+    def get_file(self, path: str) -> str:
+        return self._host.read_file(path)
+
+    def close(self) -> None:
+        self._connected = False
+
+
+class LocalTransport(Transport):
+    """Real subprocess execution on the controller machine.
+
+    This is what makes the orchestration layer testable against actual
+    programs: scripts run through ``/bin/sh``, files live under a
+    sandbox directory, and timeouts map to killed processes.
+    """
+
+    protocol = "local"
+
+    def __init__(self, sandbox_dir: Optional[str] = None):
+        import os
+        import tempfile
+
+        self._connected = False
+        if sandbox_dir is None:
+            sandbox_dir = tempfile.mkdtemp(prefix="pos-local-")
+        os.makedirs(sandbox_dir, exist_ok=True)
+        self.sandbox_dir = sandbox_dir
+
+    def connect(self) -> None:
+        self._connected = True
+
+    def execute(self, command: str, timeout_s: Optional[float] = None) -> CommandResult:
+        if not self._connected:
+            raise TransportError("local: transport not connected")
+        try:
+            completed = subprocess.run(
+                command,
+                shell=True,
+                cwd=self.sandbox_dir,
+                capture_output=True,
+                text=True,
+                timeout=timeout_s,
+            )
+        except subprocess.TimeoutExpired as exc:
+            raise TransportTimeout(
+                f"local: command {command!r} exceeded {timeout_s}s"
+            ) from exc
+        output = completed.stdout
+        if completed.stderr:
+            output = output + completed.stderr
+        return CommandResult(command, completed.returncode, output.rstrip("\n"))
+
+    def _resolve(self, path: str) -> str:
+        import os
+
+        resolved = os.path.normpath(os.path.join(self.sandbox_dir, path.lstrip("/")))
+        if not resolved.startswith(os.path.abspath(self.sandbox_dir)):
+            raise TransportError(f"local: path {path!r} escapes the sandbox")
+        return resolved
+
+    def put_file(self, path: str, content: str) -> None:
+        import os
+
+        resolved = self._resolve(path)
+        os.makedirs(os.path.dirname(resolved), exist_ok=True)
+        with open(resolved, "w", encoding="utf-8") as handle:
+            handle.write(content)
+
+    def get_file(self, path: str) -> str:
+        try:
+            with open(self._resolve(path), "r", encoding="utf-8") as handle:
+                return handle.read()
+        except FileNotFoundError as exc:
+            raise TransportError(f"local: no such file {path}") from exc
+
+    def close(self) -> None:
+        self._connected = False

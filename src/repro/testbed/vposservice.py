@@ -1,0 +1,148 @@
+"""The vpos web service (Sec. 8 / Appendix A.1).
+
+"We operate a virtual testbed as a service to enable other researchers
+to try out pos in their browsers … This web service allows the
+creation of separate vpos instances with a single click.  After booting
+one of these instances, a connection to this instance can be
+established with a second click that starts the web shell of our
+virtual testbed controller host called vkaunas."
+
+:class:`VposService` models that provisioning layer: per-user isolated
+vpos instances (each with its own simulator, nodes, calendar, allocator
+and controller), lifecycle management (create → connect → destroy),
+and a per-service instance quota.  The "web shell" is the returned
+:class:`~repro.casestudy.experiment.CaseStudyEnvironment`, ready to run
+experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.errors import PosError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoided at runtime
+    from repro.casestudy.experiment import CaseStudyEnvironment
+
+__all__ = ["VposInstance", "VposService"]
+
+
+class VposServiceError(PosError):
+    """Instance lifecycle violation (quota, unknown id, double destroy)."""
+
+
+@dataclass
+class VposInstance:
+    """One provisioned virtual testbed."""
+
+    instance_id: str
+    owner: str
+    environment: "CaseStudyEnvironment"
+    booted: bool = True
+    destroyed: bool = False
+
+    def describe(self) -> dict:
+        return {
+            "id": self.instance_id,
+            "owner": self.owner,
+            "booted": self.booted,
+            "destroyed": self.destroyed,
+            "nodes": sorted(self.environment.setup.nodes),
+            "controller": self.environment.setup.topology.controller_name,
+        }
+
+
+class VposService:
+    """Provision isolated vpos instances on demand."""
+
+    def __init__(
+        self,
+        result_root: str,
+        max_instances_per_user: int = 3,
+        seed: int = 0,
+    ):
+        self._result_root = result_root
+        self._max_per_user = max_instances_per_user
+        self._seed = seed
+        self._counter = itertools.count(1)
+        self._instances: Dict[str, VposInstance] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def create_instance(self, owner: str) -> VposInstance:
+        """The "first click": boot a fresh vpos for ``owner``.
+
+        Every instance is fully isolated — its own simulator, nodes,
+        calendar, and result store subtree — so experiments of
+        different users can never interact.
+        """
+        active = [
+            instance
+            for instance in self._instances.values()
+            if instance.owner == owner and not instance.destroyed
+        ]
+        if len(active) >= self._max_per_user:
+            raise VposServiceError(
+                f"user {owner!r} already has {len(active)} active instances "
+                f"(limit {self._max_per_user})"
+            )
+        # Imported lazily: the case-study module builds on the testbed
+        # package, so a module-level import would be circular.
+        from repro.casestudy.experiment import build_environment
+
+        number = next(self._counter)
+        instance_id = f"vpos-{number:04d}"
+        environment = build_environment(
+            "vpos",
+            os.path.join(self._result_root, instance_id),
+            seed=self._seed + number,
+        )
+        instance = VposInstance(
+            instance_id=instance_id, owner=owner, environment=environment
+        )
+        self._instances[instance_id] = instance
+        return instance
+
+    def connect(self, instance_id: str) -> "CaseStudyEnvironment":
+        """The "second click": the instance's controller shell."""
+        instance = self._get(instance_id)
+        if instance.destroyed:
+            raise VposServiceError(f"instance {instance_id} was destroyed")
+        return instance.environment
+
+    def destroy_instance(self, instance_id: str) -> None:
+        """Tear an instance down; its hypervisor stops scheduling."""
+        instance = self._get(instance_id)
+        if instance.destroyed:
+            raise VposServiceError(f"instance {instance_id} already destroyed")
+        if instance.environment.setup.hypervisor is not None:
+            instance.environment.setup.hypervisor.stop()
+        instance.destroyed = True
+        instance.booted = False
+
+    # -- queries ---------------------------------------------------------------
+
+    def instances_for(self, owner: str) -> List[VposInstance]:
+        """Active instances of one user, oldest first."""
+        return [
+            instance
+            for instance in self._instances.values()
+            if instance.owner == owner and not instance.destroyed
+        ]
+
+    def describe(self) -> dict:
+        """Service state (for a `pos vpos list`-style view)."""
+        return {
+            "instances": [
+                instance.describe() for instance in self._instances.values()
+            ]
+        }
+
+    def _get(self, instance_id: str) -> VposInstance:
+        instance = self._instances.get(instance_id)
+        if instance is None:
+            raise VposServiceError(f"unknown instance {instance_id!r}")
+        return instance

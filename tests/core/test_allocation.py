@@ -1,0 +1,109 @@
+"""Tests for calendar-backed node allocation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import Allocator
+from repro.core.calendar import Calendar
+from repro.core.errors import AllocationError
+from repro.testbed.node import Node, NodeState
+
+
+def make_allocator(node_names=("riga", "tartu", "vilnius")):
+    nodes = {name: Node(name) for name in node_names}
+    calendar = Calendar(clock=lambda: 1000.0)
+    return Allocator(calendar, nodes), nodes, calendar
+
+
+class TestAllocate:
+    def test_allocates_and_marks_nodes(self):
+        allocator, nodes, __ = make_allocator()
+        allocation = allocator.allocate("alice", ["riga", "tartu"], duration=60.0)
+        assert set(allocation.nodes) == {"riga", "tartu"}
+        assert nodes["riga"].state is NodeState.ALLOCATED
+        assert nodes["riga"].owner == "alice"
+        assert nodes["vilnius"].state is NodeState.FREE
+
+    def test_unknown_node_rejected(self):
+        allocator, __, __ = make_allocator()
+        with pytest.raises(AllocationError, match="unknown"):
+            allocator.allocate("alice", ["riga", "nonexistent"], duration=60.0)
+
+    def test_empty_request_rejected(self):
+        allocator, __, __ = make_allocator()
+        with pytest.raises(AllocationError, match="at least one"):
+            allocator.allocate("alice", [], duration=60.0)
+
+    def test_duplicate_nodes_rejected(self):
+        allocator, __, __ = make_allocator()
+        with pytest.raises(AllocationError, match="duplicate"):
+            allocator.allocate("alice", ["riga", "riga"], duration=60.0)
+
+    def test_busy_node_rejected(self):
+        allocator, __, __ = make_allocator()
+        allocator.allocate("alice", ["riga"], duration=60.0)
+        with pytest.raises(AllocationError, match="in use"):
+            allocator.allocate("bob", ["riga", "tartu"], duration=60.0)
+
+    def test_calendar_conflict_rolls_back_atomically(self):
+        """If one node's booking conflicts, no booking survives and no
+        node changes state — all-or-nothing allocation."""
+        allocator, nodes, calendar = make_allocator()
+        calendar.book("tartu", "carol", duration=600.0)  # future conflict
+        with pytest.raises(AllocationError):
+            allocator.allocate("alice", ["riga", "tartu"], duration=60.0)
+        assert nodes["riga"].state is NodeState.FREE
+        assert calendar.bookings_for_node("riga") == []
+        # The slot is genuinely still free for someone else:
+        allocator.allocate("bob", ["riga"], duration=60.0)
+
+    def test_free_nodes_listing(self):
+        allocator, __, __ = make_allocator()
+        allocator.allocate("alice", ["riga"], duration=60.0)
+        assert allocator.free_nodes() == ["tartu", "vilnius"]
+
+
+class TestRelease:
+    def test_release_frees_nodes_and_bookings(self):
+        allocator, nodes, calendar = make_allocator()
+        allocation = allocator.allocate("alice", ["riga", "tartu"], duration=60.0)
+        allocator.release(allocation)
+        assert nodes["riga"].state is NodeState.FREE
+        assert nodes["riga"].owner is None
+        assert calendar.bookings_for_node("riga") == []
+        assert allocation.released
+
+    def test_release_is_idempotent(self):
+        allocator, __, __ = make_allocator()
+        allocation = allocator.allocate("alice", ["riga"], duration=60.0)
+        allocator.release(allocation)
+        allocator.release(allocation)  # no error
+
+    def test_reallocation_after_release(self):
+        allocator, __, __ = make_allocator()
+        allocation = allocator.allocate("alice", ["riga"], duration=60.0)
+        allocator.release(allocation)
+        again = allocator.allocate("bob", ["riga"], duration=60.0)
+        assert again.user == "bob"
+
+
+class TestAllocationObject:
+    def test_node_accessor(self):
+        allocator, nodes, __ = make_allocator()
+        allocation = allocator.allocate("alice", ["riga"], duration=60.0)
+        assert allocation.node("riga") is nodes["riga"]
+
+    def test_node_accessor_outside_allocation(self):
+        allocator, __, __ = make_allocator()
+        allocation = allocator.allocate("alice", ["riga"], duration=60.0)
+        with pytest.raises(AllocationError, match="not part"):
+            allocation.node("tartu")
+
+    def test_describe(self):
+        allocator, __, __ = make_allocator()
+        allocation = allocator.allocate("alice", ["riga", "tartu"], duration=60.0)
+        described = allocation.describe()
+        assert described["user"] == "alice"
+        assert described["nodes"] == ["riga", "tartu"]
+        assert len(described["bookings"]) == 2

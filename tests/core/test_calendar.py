@@ -1,0 +1,144 @@
+"""Tests for the booking calendar."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calendar import Booking, Calendar
+from repro.core.errors import CalendarError
+
+
+def make_calendar(start: float = 1000.0):
+    times = {"now": start}
+    return Calendar(clock=lambda: times["now"]), times
+
+
+class TestBooking:
+    def test_half_open_overlap(self):
+        booking = Booking(1, "n", "u", 10.0, 20.0)
+        assert booking.overlaps(15.0, 25.0)
+        assert booking.overlaps(5.0, 15.0)
+        assert booking.overlaps(12.0, 13.0)
+        assert not booking.overlaps(20.0, 30.0)  # back-to-back is fine
+        assert not booking.overlaps(0.0, 10.0)
+
+
+class TestCalendar:
+    def test_book_and_query(self):
+        calendar, __ = make_calendar()
+        booking = calendar.book("tartu", "alice", duration=100.0)
+        assert booking.node == "tartu"
+        assert calendar.bookings_for_node("tartu") == [booking]
+        assert calendar.bookings_for_user("alice") == [booking]
+
+    def test_conflict_same_user_rejected(self):
+        """Using a node in more than one experiment at once is
+        prohibited, even for one user (Sec. 4.4)."""
+        calendar, __ = make_calendar()
+        calendar.book("tartu", "alice", duration=100.0)
+        with pytest.raises(CalendarError, match="booked"):
+            calendar.book("tartu", "alice", duration=50.0)
+
+    def test_conflict_other_user_rejected(self):
+        calendar, __ = make_calendar()
+        calendar.book("tartu", "alice", duration=100.0)
+        with pytest.raises(CalendarError, match="alice"):
+            calendar.book("tartu", "bob", duration=10.0)
+
+    def test_different_nodes_no_conflict(self):
+        calendar, __ = make_calendar()
+        calendar.book("tartu", "alice", duration=100.0)
+        calendar.book("riga", "bob", duration=100.0)
+        assert len(calendar.active_bookings()) == 2
+
+    def test_back_to_back_bookings_allowed(self):
+        calendar, __ = make_calendar()
+        first = calendar.book("tartu", "alice", duration=100.0)
+        second = calendar.book("tartu", "bob", duration=50.0, start=first.end)
+        assert second.start == first.end
+
+    def test_future_booking_then_conflicting_now(self):
+        calendar, __ = make_calendar()
+        calendar.book("tartu", "alice", duration=100.0, start=1050.0)
+        with pytest.raises(CalendarError):
+            calendar.book("tartu", "bob", duration=100.0)  # 1000-1100 overlaps
+
+    def test_cancel_frees_slot(self):
+        calendar, __ = make_calendar()
+        booking = calendar.book("tartu", "alice", duration=100.0)
+        calendar.cancel(booking)
+        calendar.book("tartu", "bob", duration=100.0)
+
+    def test_cancel_unknown_raises(self):
+        calendar, __ = make_calendar()
+        stray = Booking(99, "tartu", "mallory", 0.0, 1.0)
+        with pytest.raises(CalendarError, match="not found"):
+            calendar.cancel(stray)
+
+    def test_is_free(self):
+        calendar, __ = make_calendar()
+        assert calendar.is_free("tartu", duration=10.0)
+        calendar.book("tartu", "alice", duration=100.0)
+        assert not calendar.is_free("tartu", duration=10.0)
+        assert calendar.is_free("tartu", duration=10.0, start=1100.0)
+
+    def test_non_positive_duration_rejected(self):
+        calendar, __ = make_calendar()
+        with pytest.raises(CalendarError, match="positive"):
+            calendar.book("tartu", "alice", duration=0.0)
+
+    def test_next_free_slot_skips_bookings(self):
+        calendar, __ = make_calendar()
+        calendar.book("tartu", "alice", duration=100.0)  # 1000-1100
+        calendar.book("tartu", "bob", duration=50.0, start=1100.0)  # 1100-1150
+        assert calendar.next_free_slot("tartu", duration=10.0) == 1150.0
+
+    def test_next_free_slot_fits_gap(self):
+        calendar, __ = make_calendar()
+        calendar.book("tartu", "alice", duration=10.0)  # 1000-1010
+        calendar.book("tartu", "bob", duration=10.0, start=1050.0)
+        assert calendar.next_free_slot("tartu", duration=20.0) == 1010.0
+
+    def test_active_bookings_respects_time(self):
+        calendar, times = make_calendar()
+        calendar.book("tartu", "alice", duration=100.0)
+        assert len(calendar.active_bookings()) == 1
+        times["now"] = 2000.0
+        assert calendar.active_bookings() == []
+
+    def test_describe_groups_by_node(self):
+        calendar, __ = make_calendar()
+        calendar.book("tartu", "alice", duration=10.0)
+        calendar.book("riga", "bob", duration=10.0)
+        described = calendar.describe()
+        assert set(described) == {"riga", "tartu"}
+        assert described["tartu"][0]["user"] == "alice"
+
+
+@given(
+    requests=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1000.0),
+            st.floats(min_value=1.0, max_value=200.0),
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_no_accepted_bookings_ever_overlap_property(requests):
+    """Whatever sequence of booking attempts is made, the set of accepted
+    bookings for a node is pairwise non-overlapping."""
+    calendar = Calendar(clock=lambda: 0.0)
+    accepted = []
+    for start, duration in requests:
+        try:
+            accepted.append(calendar.book("node", "user", duration, start=start))
+        except CalendarError:
+            pass
+    assert accepted  # the first request always succeeds
+    for i, a in enumerate(accepted):
+        for b in accepted[i + 1 :]:
+            assert not a.overlaps(b.start, b.end)

@@ -1,0 +1,225 @@
+"""Tests for the file-defined experiment layout (pos-artifacts style)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import yamlite
+from repro.core.errors import ExperimentError
+from repro.core.expdir import (
+    load_experiment_dir,
+    load_script_file,
+    write_experiment_dir,
+)
+from repro.core.experiment import Experiment, Role
+from repro.core.scripts import CommandScript, PythonScript
+from repro.core.variables import Variables
+
+
+def sample_experiment() -> Experiment:
+    return Experiment(
+        name="router-study",
+        roles=[
+            Role(
+                name="loadgen",
+                node="riga",
+                setup=CommandScript("loadgen-setup", [
+                    "ip link set $LG_PORT0 up",
+                    "pos barrier setup-done",
+                ]),
+                measurement=CommandScript("loadgen-measurement", [
+                    "echo rate $pkt_rate",
+                    "pos barrier run-done",
+                ]),
+                image=("debian-buster", "20201012T000000Z"),
+            ),
+            Role(
+                name="dut",
+                node="tartu",
+                setup=CommandScript("dut-setup", [
+                    "sysctl -w net.ipv4.ip_forward=1",
+                    "-ethtool eno1",
+                    "pos barrier setup-done",
+                ]),
+                measurement=CommandScript("dut-measurement", [
+                    "ip link show",
+                    "pos barrier run-done",
+                ]),
+                boot_parameters={"isolcpus": "1-11"},
+            ),
+        ],
+        variables=Variables(
+            global_vars={"duration": 0.5},
+            local_vars={"loadgen": {"LG_PORT0": "eno1"}},
+            loop_vars={"pkt_rate": [10000, 20000], "pkt_sz": [64, 1500]},
+        ),
+        duration_s=1800.0,
+        description="case study",
+    )
+
+
+class TestScriptFiles:
+    def test_load_skips_comments_blanks_and_shebang(self, tmp_path):
+        path = tmp_path / "setup.sh"
+        path.write_text(
+            "#!/bin/sh\n"
+            "# configure forwarding\n"
+            "\n"
+            "sysctl -w net.ipv4.ip_forward=1\n"
+            "  ip link set eno1 up  \n"
+        )
+        script = load_script_file(str(path))
+        assert script.name == "setup"
+        assert script.commands == [
+            "sysctl -w net.ipv4.ip_forward=1",
+            "ip link set eno1 up",
+        ]
+
+    def test_tolerance_prefix_preserved(self, tmp_path):
+        path = tmp_path / "s.sh"
+        path.write_text("-ethtool eno1\n")
+        assert load_script_file(str(path)).commands == ["-ethtool eno1"]
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(ExperimentError, match="not found"):
+            load_script_file("/nope/absent.sh")
+
+
+class TestRoundTrip:
+    def test_write_then_load_is_identical(self, tmp_path):
+        original = sample_experiment()
+        write_experiment_dir(original, str(tmp_path / "exp"))
+        loaded = load_experiment_dir(str(tmp_path / "exp"))
+        assert loaded.name == original.name
+        assert loaded.description == original.description
+        assert loaded.duration_s == original.duration_s
+        assert loaded.variables.describe() == original.variables.describe()
+        for role_a, role_b in zip(original.roles, loaded.roles):
+            assert role_a.name == role_b.name
+            assert role_a.node == role_b.node
+            assert role_a.image == role_b.image
+            assert role_a.boot_parameters == role_b.boot_parameters
+            assert role_a.setup.commands == role_b.setup.commands
+            assert role_a.measurement.commands == role_b.measurement.commands
+
+    def test_written_layout_matches_artifact_convention(self, tmp_path):
+        write_experiment_dir(sample_experiment(), str(tmp_path / "exp"))
+        entries = sorted(os.listdir(tmp_path / "exp"))
+        assert entries == [
+            "experiment.yml",
+            "global-variables.yml",
+            "loadgen-variables.yml",
+            "loop-variables.yml",
+            "scripts",
+        ]
+        scripts = sorted(os.listdir(tmp_path / "exp" / "scripts"))
+        assert scripts == [
+            "dut-measurement.sh",
+            "dut-setup.sh",
+            "loadgen-measurement.sh",
+            "loadgen-setup.sh",
+        ]
+
+    def test_python_scripts_cannot_be_exported(self, tmp_path):
+        experiment = sample_experiment()
+        experiment.roles[0].measurement = PythonScript("m", lambda ctx: None)
+        with pytest.raises(ExperimentError, match="CommandScript"):
+            write_experiment_dir(experiment, str(tmp_path / "exp"))
+
+
+class TestLoadValidation:
+    def write_minimal(self, tmp_path, meta=None):
+        exp = tmp_path / "exp"
+        (exp / "scripts").mkdir(parents=True)
+        (exp / "scripts" / "dut-setup.sh").write_text("true\n")
+        (exp / "scripts" / "dut-measurement.sh").write_text("true\n")
+        yamlite.dump_file(
+            meta
+            or {
+                "name": "minimal",
+                "roles": [{"role": "dut", "node": "tartu"}],
+            },
+            exp / "experiment.yml",
+        )
+        return str(exp)
+
+    def test_minimal_experiment_loads_with_defaults(self, tmp_path):
+        experiment = load_experiment_dir(self.write_minimal(tmp_path))
+        assert experiment.name == "minimal"
+        assert experiment.roles[0].image == ("debian-buster", "latest")
+        assert experiment.duration_s == 3600.0
+        assert experiment.variables.run_count() == 1
+
+    def test_missing_folder(self):
+        with pytest.raises(ExperimentError, match="no such"):
+            load_experiment_dir("/absent")
+
+    def test_missing_experiment_yml(self, tmp_path):
+        (tmp_path / "exp").mkdir()
+        with pytest.raises(ExperimentError, match="missing required"):
+            load_experiment_dir(str(tmp_path / "exp"))
+
+    def test_missing_name(self, tmp_path):
+        path = self.write_minimal(
+            tmp_path, {"roles": [{"role": "dut", "node": "t"}]}
+        )
+        with pytest.raises(ExperimentError, match="missing 'name'"):
+            load_experiment_dir(path)
+
+    def test_roles_must_be_list(self, tmp_path):
+        path = self.write_minimal(tmp_path, {"name": "x", "roles": "dut"})
+        with pytest.raises(ExperimentError, match="'roles' must be a list"):
+            load_experiment_dir(path)
+
+    def test_bad_image_shape(self, tmp_path):
+        path = self.write_minimal(
+            tmp_path,
+            {"name": "x", "roles": [
+                {"role": "dut", "node": "t", "image": "debian"},
+            ]},
+        )
+        with pytest.raises(ExperimentError, match="image must be"):
+            load_experiment_dir(path)
+
+    def test_missing_script_file(self, tmp_path):
+        exp = tmp_path / "exp"
+        (exp / "scripts").mkdir(parents=True)
+        yamlite.dump_file(
+            {"name": "x", "roles": [{"role": "dut", "node": "t"}]},
+            exp / "experiment.yml",
+        )
+        with pytest.raises(ExperimentError, match="script file not found"):
+            load_experiment_dir(str(exp))
+
+
+class TestEndToEnd:
+    def test_loaded_experiment_runs_on_the_testbed(self, tmp_path):
+        """The artifact folder is executable: write it out, load it
+        back, hand it to the controller."""
+        from repro.core.allocation import Allocator
+        from repro.core.calendar import Calendar
+        from repro.core.controller import Controller
+        from repro.core.results import ResultStore
+        from repro.netsim.host import SimHost
+        from repro.testbed.images import default_registry
+        from repro.testbed.node import Node
+        from repro.testbed.power import IpmiController
+        from repro.testbed.transport import SshTransport
+
+        write_experiment_dir(sample_experiment(), str(tmp_path / "exp"))
+        experiment = load_experiment_dir(str(tmp_path / "exp"))
+
+        nodes = {}
+        for name in ("riga", "tartu"):
+            host = SimHost(name)
+            nodes[name] = Node(name, host=host, power=IpmiController(host),
+                               transport=SshTransport(host))
+        controller = Controller(
+            Allocator(Calendar(clock=lambda: 0.0), nodes),
+            default_registry(),
+            ResultStore(str(tmp_path / "results"), clock=lambda: 1.0),
+        )
+        handle = controller.run(experiment)
+        assert handle.completed_runs == 4  # 2 rates x 2 sizes

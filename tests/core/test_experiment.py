@@ -1,0 +1,86 @@
+"""Tests for the experiment definition and its validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.core.experiment import Experiment, Role
+from repro.core.scripts import CommandScript
+from repro.core.variables import Variables
+
+
+def make_role(name="dut", node="tartu"):
+    return Role(
+        name=name,
+        node=node,
+        setup=CommandScript(f"{name}-setup", ["true"]),
+        measurement=CommandScript(f"{name}-measure", ["true"]),
+    )
+
+
+class TestValidation:
+    def test_valid_experiment_passes(self):
+        experiment = Experiment(
+            name="exp",
+            roles=[make_role("dut", "tartu"), make_role("loadgen", "riga")],
+        )
+        experiment.validate()
+
+    def test_missing_name(self):
+        with pytest.raises(ExperimentError, match="name"):
+            Experiment(name="", roles=[make_role()]).validate()
+
+    def test_no_roles(self):
+        with pytest.raises(ExperimentError, match="no roles"):
+            Experiment(name="exp", roles=[]).validate()
+
+    def test_duplicate_role_names(self):
+        with pytest.raises(ExperimentError, match="duplicate role"):
+            Experiment(
+                name="exp",
+                roles=[make_role("dut", "tartu"), make_role("dut", "riga")],
+            ).validate()
+
+    def test_node_shared_between_roles_prohibited(self):
+        with pytest.raises(ExperimentError, match="prohibited"):
+            Experiment(
+                name="exp",
+                roles=[make_role("dut", "tartu"), make_role("loadgen", "tartu")],
+            ).validate()
+
+    def test_non_positive_duration(self):
+        with pytest.raises(ExperimentError, match="duration"):
+            Experiment(name="exp", roles=[make_role()], duration_s=0).validate()
+
+
+class TestAccessors:
+    def test_role_lookup(self):
+        role = make_role("dut")
+        experiment = Experiment(name="exp", roles=[role])
+        assert experiment.role("dut") is role
+
+    def test_role_lookup_missing(self):
+        experiment = Experiment(name="exp", roles=[make_role("dut")])
+        with pytest.raises(ExperimentError, match="no role"):
+            experiment.role("loadgen")
+
+    def test_node_and_role_names(self):
+        experiment = Experiment(
+            name="exp",
+            roles=[make_role("dut", "tartu"), make_role("loadgen", "riga")],
+        )
+        assert experiment.node_names == ["tartu", "riga"]
+        assert experiment.role_names == ["dut", "loadgen"]
+
+    def test_describe_contains_scripts_and_images(self):
+        experiment = Experiment(
+            name="exp",
+            roles=[make_role("dut")],
+            variables=Variables(loop_vars={"r": [1, 2]}),
+            description="demo",
+        )
+        described = experiment.describe()
+        assert described["name"] == "exp"
+        assert described["roles"][0]["setup"]["commands"] == ["true"]
+        assert described["roles"][0]["image"] == ["debian-buster", "latest"]

@@ -1,0 +1,164 @@
+"""Tests for command and Python experiment scripts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ScriptError
+from repro.core.scripts import CommandScript, PythonScript, ScriptContext
+from repro.core.tools import PosTools, SharedStore
+from repro.netsim.host import SimHost
+from repro.testbed.node import Node
+from repro.testbed.power import IpmiController
+from repro.testbed.transport import SshTransport
+
+
+def make_context(role="dut", variables=None, store=None):
+    host = SimHost(role)
+    host.boot("debian-buster", "v1")
+    node = Node(role, host=host, power=IpmiController(host),
+                transport=SshTransport(host))
+    node.transport.connect()
+    store = store or SharedStore()
+    tools = PosTools(store, node, role)
+    ctx = ScriptContext(
+        node=node,
+        role=role,
+        phase="setup",
+        variables=variables or {},
+        tools=tools,
+    )
+    return ctx, host, store
+
+
+class TestCommandScript:
+    def test_runs_all_commands(self):
+        ctx, host, __ = make_context(variables={"PORT": "eno1"})
+        script = CommandScript("setup", [
+            "sysctl -w net.ipv4.ip_forward=1",
+            "ip link set $PORT up",
+        ])
+        result = script.run(ctx)
+        assert result.ok
+        assert host.sysctl["net.ipv4.ip_forward"] == "1"
+        assert host.interfaces["eno1"].up
+        assert len(result.commands) == 2
+
+    def test_substitution_happens_before_execution(self):
+        ctx, host, __ = make_context(variables={"MSG": "hello"})
+        script = CommandScript("echo", ["echo $MSG world"])
+        result = script.run(ctx)
+        assert result.commands[0].stdout == "hello world"
+
+    def test_failing_command_raises(self):
+        ctx, __, __ = make_context()
+        script = CommandScript("bad", ["false", "echo never-reached"])
+        with pytest.raises(ScriptError, match="exit code 1"):
+            script.run(ctx)
+        # The failing command is still in the captured log.
+        assert len(ctx.tools.command_log) == 1
+
+    def test_unknown_command_raises_with_127(self):
+        ctx, __, __ = make_context()
+        script = CommandScript("bad", ["definitely-not-a-command"])
+        with pytest.raises(ScriptError) as excinfo:
+            script.run(ctx)
+        assert excinfo.value.exit_code == 127
+
+    def test_tolerant_prefix_ignores_failure(self):
+        ctx, __, __ = make_context()
+        script = CommandScript("tolerant", ["-false", "echo reached"])
+        result = script.run(ctx)
+        assert result.ok
+        assert result.commands[1].stdout == "reached"
+
+    def test_pos_tool_commands(self):
+        ctx, __, store = make_context()
+        script = CommandScript("sync", [
+            "pos set dut_ready 1",
+            "pos barrier setup-done",
+            "pos log configured",
+        ])
+        result = script.run(ctx)
+        assert result.ok
+        assert store.get_variable("dut_ready") == "1"
+        assert store.barrier_parties("setup-done") == {"dut"}
+        assert "configured" in result.log_lines
+
+    def test_pos_get_round_trip(self):
+        ctx, __, store = make_context()
+        store.set_variable("peer_mac", "52:54:00:00:00:01")
+        script = CommandScript("read", ["pos get peer_mac"])
+        result = script.run(ctx)
+        assert result.commands[0].stdout == "52:54:00:00:00:01"
+
+    def test_pos_get_missing_fails_script(self):
+        ctx, __, __ = make_context()
+        script = CommandScript("read", ["pos get never-set"])
+        with pytest.raises(ScriptError):
+            script.run(ctx)
+
+    def test_undefined_variable_aborts_before_execution(self):
+        ctx, __, __ = make_context()
+        script = CommandScript("bad", ["echo $UNDEFINED"])
+        with pytest.raises(Exception, match="UNDEFINED"):
+            script.run(ctx)
+        assert ctx.tools.command_log == []
+
+    def test_describe_includes_commands(self):
+        script = CommandScript("setup", ["echo hi"])
+        described = script.describe()
+        assert described["kind"] == "CommandScript"
+        assert described["commands"] == ["echo hi"]
+
+
+class TestPythonScript:
+    def test_return_value_captured(self):
+        ctx, __, __ = make_context()
+        script = PythonScript("measure", lambda c: {"tx": 5})
+        result = script.run(ctx)
+        assert result.ok
+        assert result.return_value == {"tx": 5}
+
+    def test_uploads_and_logs_captured(self):
+        ctx, __, __ = make_context()
+
+        def body(c):
+            c.tools.upload("moongen.log", "data")
+            c.tools.log("note")
+
+        result = PythonScript("measure", body).run(ctx)
+        assert result.uploads == [("moongen.log", "data")]
+        assert result.log_lines == ["note"]
+
+    def test_exception_becomes_script_error(self):
+        ctx, __, __ = make_context()
+
+        def body(c):
+            raise ValueError("boom")
+
+        with pytest.raises(ScriptError, match="boom"):
+            PythonScript("measure", body).run(ctx)
+
+    def test_script_error_passes_through(self):
+        ctx, __, __ = make_context()
+
+        def body(c):
+            raise ScriptError("explicit", exit_code=3)
+
+        with pytest.raises(ScriptError) as excinfo:
+            PythonScript("measure", body).run(ctx)
+        assert excinfo.value.exit_code == 3
+
+    def test_context_var_accessor(self):
+        ctx, __, __ = make_context(variables={"pkt_rate": 10000})
+        assert ctx.var("pkt_rate") == 10000
+        assert ctx.var("missing", 7) == 7
+
+    def test_describe_uses_docstring(self):
+        def documented(c):
+            """Runs the thing."""
+
+        described = PythonScript("m", documented).describe()
+        assert described["callable"] == "documented"
+        assert described["doc"] == "Runs the thing."

@@ -1,0 +1,101 @@
+"""Tests for the shared store and deployed utility tools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import BarrierError
+from repro.core.tools import PosTools, SharedStore
+from repro.netsim.host import SimHost
+from repro.testbed.node import Node
+from repro.testbed.transport import SshTransport
+
+
+def make_tools(role: str, store: SharedStore):
+    host = SimHost(role)
+    host.boot("img", "v1")
+    node = Node(role, host=host, transport=SshTransport(host))
+    node.transport.connect()
+    return PosTools(store, node, role)
+
+
+class TestSharedStore:
+    def test_variable_round_trip(self):
+        store = SharedStore()
+        store.set_variable("k", [1, 2])
+        assert store.get_variable("k") == [1, 2]
+
+    def test_missing_variable_raises(self):
+        store = SharedStore()
+        with pytest.raises(KeyError):
+            store.get_variable("never")
+
+    def test_missing_variable_with_default(self):
+        store = SharedStore()
+        assert store.get_variable("never", default=None) is None
+
+    def test_barriers_complete(self):
+        store = SharedStore()
+        store.barrier_arrive("sync", "dut")
+        store.barrier_arrive("sync", "loadgen")
+        store.check_barriers({"dut", "loadgen"})  # no raise
+
+    def test_barrier_missing_party_detected(self):
+        store = SharedStore()
+        store.barrier_arrive("sync", "dut")
+        with pytest.raises(BarrierError, match="loadgen"):
+            store.check_barriers({"dut", "loadgen"})
+
+    def test_barrier_foreign_party_detected(self):
+        store = SharedStore()
+        store.barrier_arrive("sync", "intruder")
+        store.barrier_arrive("sync", "dut")
+        with pytest.raises(BarrierError, match="intruder"):
+            store.check_barriers({"dut"})
+
+    def test_unused_barriers_pass(self):
+        SharedStore().check_barriers({"dut", "loadgen"})
+
+    def test_reset_clears_ledger(self):
+        store = SharedStore()
+        store.barrier_arrive("sync", "dut")
+        store.reset_barriers()
+        store.check_barriers({"dut", "loadgen"})  # nothing pending
+
+
+class TestPosTools:
+    def test_cross_host_variable_communication(self):
+        store = SharedStore()
+        dut = make_tools("dut", store)
+        loadgen = make_tools("loadgen", store)
+        dut.set_variable("dut_mac", "aa:bb")
+        assert loadgen.get_variable("dut_mac") == "aa:bb"
+
+    def test_get_variable_default(self):
+        store = SharedStore()
+        tools = make_tools("dut", store)
+        assert tools.get_variable("nope", default=3) == 3
+
+    def test_run_captures_output(self):
+        tools = make_tools("dut", SharedStore())
+        result = tools.run("echo captured")
+        assert result.stdout == "captured"
+        assert tools.command_log == [result]
+
+    def test_multiple_hosts_reach_barrier(self):
+        store = SharedStore()
+        for role in ("dut", "loadgen"):
+            make_tools(role, store).barrier("go")
+        store.check_barriers({"dut", "loadgen"})
+
+    def test_upload_accumulates(self):
+        tools = make_tools("dut", SharedStore())
+        tools.upload("a.txt", "1")
+        tools.upload("b.txt", "2")
+        assert tools.uploads == [("a.txt", "1"), ("b.txt", "2")]
+
+    def test_pos_unknown_tool_fails(self):
+        tools = make_tools("dut", SharedStore())
+        result = tools.run("pos frobnicate")
+        assert result.exit_code == 2
+        assert "unknown tool" in result.stdout

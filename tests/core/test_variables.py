@@ -1,0 +1,157 @@
+"""Tests for variable scopes, loop expansion, and substitution."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import yamlite
+from repro.core.errors import VariableError
+from repro.core.variables import (
+    Variables,
+    expand_loop_variables,
+    merge,
+    substitute,
+)
+
+
+class TestExpandLoopVariables:
+    def test_empty_loop_gives_single_empty_run(self):
+        assert expand_loop_variables({}) == [{}]
+
+    def test_scalar_counts_as_single_value(self):
+        assert expand_loop_variables({"a": 5}) == [{"a": 5}]
+
+    def test_single_list(self):
+        assert expand_loop_variables({"a": [1, 2]}) == [{"a": 1}, {"a": 2}]
+
+    def test_cross_product_order_last_varies_fastest(self):
+        runs = expand_loop_variables({"size": [64, 1500], "rate": [1, 2]})
+        assert runs == [
+            {"size": 64, "rate": 1},
+            {"size": 64, "rate": 2},
+            {"size": 1500, "rate": 1},
+            {"size": 1500, "rate": 2},
+        ]
+
+    def test_paper_case_study_is_60_runs(self):
+        """Appendix A: 2 packet sizes x 30 rates = 60 measurements."""
+        rates = [10_000 * step for step in range(1, 31)]
+        runs = expand_loop_variables({"pkt_sz": [64, 1500], "pkt_rate": rates})
+        assert len(runs) == 60
+
+    def test_mixed_scalars_and_lists(self):
+        runs = expand_loop_variables({"a": [1, 2], "b": "x", "c": [True, False]})
+        assert len(runs) == 4
+        assert all(run["b"] == "x" for run in runs)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(VariableError, match="empty list"):
+            expand_loop_variables({"a": []})
+
+
+@given(
+    lengths=st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=4)
+)
+@settings(max_examples=60, deadline=None)
+def test_cross_product_count_and_coverage_property(lengths):
+    """The expansion has exactly prod(len) runs, all distinct, covering
+    every combination."""
+    loop = {f"v{i}": list(range(length)) for i, length in enumerate(lengths)}
+    runs = expand_loop_variables(loop)
+    expected = math.prod(lengths)
+    assert len(runs) == expected
+    as_tuples = {tuple(run[key] for key in loop) for run in runs}
+    assert len(as_tuples) == expected  # all distinct
+    for key, values in loop.items():
+        assert {run[key] for run in runs} == set(values)  # full coverage
+
+
+class TestSubstitute:
+    def test_simple_name(self):
+        assert substitute("ip link set $PORT up", {"PORT": "eno1"}) == (
+            "ip link set eno1 up"
+        )
+
+    def test_braced_name(self):
+        assert substitute("${A}B", {"A": "x"}) == "xB"
+
+    def test_numeric_value_stringified(self):
+        assert substitute("rate=$R", {"R": 10000}) == "rate=10000"
+
+    def test_dollar_escape(self):
+        assert substitute("cost: $$5", {}) == "cost: $5"
+
+    def test_adjacent_text(self):
+        assert substitute("$A$B", {"A": "1", "B": "2"}) == "12"
+
+    def test_undefined_variable_raises(self):
+        with pytest.raises(VariableError, match=r"\$MISSING"):
+            substitute("use $MISSING", {})
+
+    def test_lone_dollar_passes_through(self):
+        assert substitute("a $ b", {}) == "a $ b"
+
+
+class TestVariables:
+    def test_for_host_precedence_global_local_loop(self):
+        variables = Variables(
+            global_vars={"a": 1, "b": 1, "c": 1},
+            local_vars={"dut": {"b": 2, "c": 2}},
+            loop_vars={},
+        )
+        merged = variables.for_host("dut", {"c": 3})
+        assert merged == {"a": 1, "b": 2, "c": 3}
+
+    def test_unknown_host_gets_globals_only(self):
+        variables = Variables(global_vars={"a": 1}, local_vars={"dut": {"b": 2}})
+        assert variables.for_host("loadgen") == {"a": 1}
+
+    def test_run_count_matches_runs(self):
+        variables = Variables(loop_vars={"x": [1, 2, 3], "y": [4, 5]})
+        assert variables.run_count() == 6
+        assert len(variables.runs()) == 6
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(VariableError, match="mapping"):
+            Variables(global_vars=[1, 2])  # type: ignore[arg-type]
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(VariableError, match="strings"):
+            Variables(global_vars={1: "x"})  # type: ignore[dict-item]
+
+    def test_from_files(self, tmp_path):
+        yamlite.dump_file({"duration": 0.5}, tmp_path / "global.yml")
+        yamlite.dump_file({"PORT": "eno1"}, tmp_path / "dut.yml")
+        yamlite.dump_file(
+            {"pkt_sz": [64, 1500], "pkt_rate": [10000, 20000]},
+            tmp_path / "loop.yml",
+        )
+        variables = Variables.from_files(
+            global_path=tmp_path / "global.yml",
+            local_paths={"dut": tmp_path / "dut.yml"},
+            loop_path=tmp_path / "loop.yml",
+        )
+        assert variables.for_host("dut")["PORT"] == "eno1"
+        assert variables.run_count() == 4
+
+    def test_from_files_rejects_list_document(self, tmp_path):
+        (tmp_path / "bad.yml").write_text("- 1\n- 2\n")
+        with pytest.raises(VariableError, match="mapping"):
+            Variables.from_files(global_path=tmp_path / "bad.yml")
+
+    def test_describe_round_trips_through_yaml(self):
+        variables = Variables(
+            global_vars={"duration": 0.5},
+            local_vars={"dut": {"PORT": "eno1"}},
+            loop_vars={"pkt_sz": [64, 1500]},
+        )
+        described = variables.describe()
+        assert yamlite.loads(yamlite.dumps(described)) == described
+
+
+def test_merge_later_wins():
+    assert merge({"a": 1}, {"a": 2, "b": 3}, {"b": 4}) == {"a": 2, "b": 4}

@@ -1,0 +1,199 @@
+"""Unit and property tests for the YAML-subset parser/emitter."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import yamlite
+from repro.core.errors import YamlError
+
+
+class TestScalars:
+    def test_integer(self):
+        assert yamlite.loads("value: 42") == {"value": 42}
+
+    def test_negative_integer(self):
+        assert yamlite.loads("value: -7") == {"value": -7}
+
+    def test_float(self):
+        assert yamlite.loads("value: 3.25") == {"value": 3.25}
+
+    def test_scientific_float(self):
+        assert yamlite.loads("value: 1.5e3") == {"value": 1500.0}
+
+    def test_booleans(self):
+        assert yamlite.loads("a: true\nb: false") == {"a": True, "b": False}
+
+    def test_yes_no_booleans(self):
+        assert yamlite.loads("a: yes\nb: no") == {"a": True, "b": False}
+
+    def test_null_spellings(self):
+        assert yamlite.loads("a: null\nb: ~\nc:") == {"a": None, "b": None, "c": None}
+
+    def test_plain_string(self):
+        assert yamlite.loads("name: eno1") == {"name": "eno1"}
+
+    def test_double_quoted_string_with_escapes(self):
+        assert yamlite.loads(r'text: "line\nbreak"') == {"text": "line\nbreak"}
+
+    def test_single_quoted_string(self):
+        assert yamlite.loads("text: 'it''s'") == {"text": "it's"}
+
+    def test_quoted_number_stays_string(self):
+        assert yamlite.loads('version: "4.19"') == {"version": "4.19"}
+
+    def test_bare_scalar_document(self):
+        assert yamlite.loads("42") == 42
+
+    def test_empty_document_is_none(self):
+        assert yamlite.loads("") is None
+
+    def test_comment_only_document_is_none(self):
+        assert yamlite.loads("# nothing here\n") is None
+
+
+class TestCollections:
+    def test_block_sequence(self):
+        assert yamlite.loads("- 1\n- 2\n- 3") == [1, 2, 3]
+
+    def test_flow_sequence(self):
+        assert yamlite.loads("sizes: [64, 1500]") == {"sizes": [64, 1500]}
+
+    def test_flow_mapping(self):
+        assert yamlite.loads("point: {x: 1, y: 2}") == {"point": {"x": 1, "y": 2}}
+
+    def test_nested_mapping(self):
+        text = "outer:\n  inner:\n    leaf: 1"
+        assert yamlite.loads(text) == {"outer": {"inner": {"leaf": 1}}}
+
+    def test_sequence_of_mappings(self):
+        text = "- name: a\n  value: 1\n- name: b\n  value: 2"
+        assert yamlite.loads(text) == [
+            {"name": "a", "value": 1},
+            {"name": "b", "value": 2},
+        ]
+
+    def test_mapping_with_sequence_value(self):
+        text = "rates:\n  - 10\n  - 20"
+        assert yamlite.loads(text) == {"rates": [10, 20]}
+
+    def test_empty_flow_collections(self):
+        assert yamlite.loads("a: []\nb: {}") == {"a": [], "b": {}}
+
+    def test_nested_flow(self):
+        assert yamlite.loads("m: [[1, 2], [3]]") == {"m": [[1, 2], [3]]}
+
+    def test_comments_are_stripped(self):
+        text = "# header\nkey: value  # trailing\n"
+        assert yamlite.loads(text) == {"key": "value"}
+
+    def test_hash_inside_quotes_kept(self):
+        assert yamlite.loads('key: "a # b"') == {"key": "a # b"}
+
+    def test_dash_item_with_nested_block(self):
+        text = "-\n  a: 1\n- 2"
+        assert yamlite.loads(text) == [{"a": 1}, 2]
+
+
+class TestErrors:
+    def test_tab_indentation_rejected(self):
+        with pytest.raises(YamlError, match="tabs"):
+            yamlite.loads("key:\n\tvalue: 1")
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(YamlError, match="duplicate"):
+            yamlite.loads("a: 1\na: 2")
+
+    def test_duplicate_flow_keys_rejected(self):
+        with pytest.raises(YamlError, match="duplicate"):
+            yamlite.loads("m: {a: 1, a: 2}")
+
+    def test_unterminated_string(self):
+        with pytest.raises(YamlError, match="unterminated"):
+            yamlite.loads('a: "oops')
+
+    def test_unbalanced_brackets(self):
+        with pytest.raises(YamlError, match="unbalanced|malformed"):
+            yamlite.loads("a: [1, 2")
+
+    def test_bad_indentation(self):
+        with pytest.raises(YamlError, match="indentation"):
+            yamlite.loads("a: 1\n   b: 2")
+
+    def test_missing_colon(self):
+        with pytest.raises(YamlError, match="key: value"):
+            yamlite.loads("a: 1\njust-a-word-after-mapping: ok\nbroken line here")
+
+    def test_unknown_escape(self):
+        with pytest.raises(YamlError, match="escape"):
+            yamlite.loads(r'a: "\q"')
+
+    def test_non_string_input(self):
+        with pytest.raises(YamlError):
+            yamlite.loads(42)  # type: ignore[arg-type]
+
+
+class TestDump:
+    def test_dump_simple_mapping(self):
+        assert yamlite.dumps({"a": 1}) == "a: 1\n"
+
+    def test_dump_nested(self):
+        text = yamlite.dumps({"outer": {"inner": [1, 2]}})
+        assert yamlite.loads(text) == {"outer": {"inner": [1, 2]}}
+
+    def test_dump_quotes_ambiguous_strings(self):
+        text = yamlite.dumps({"v": "true"})
+        assert yamlite.loads(text) == {"v": "true"}
+
+    def test_dump_empty_string(self):
+        assert yamlite.loads(yamlite.dumps({"v": ""})) == {"v": ""}
+
+    def test_dump_rejects_unsupported_types(self):
+        with pytest.raises(YamlError):
+            yamlite.dumps({"v": object()})
+
+    def test_file_round_trip(self, tmp_path):
+        data = {"loop": {"pkt_sz": [64, 1500], "pkt_rate": [10000, 20000]}}
+        path = tmp_path / "loop-variables.yml"
+        yamlite.dump_file(data, path)
+        assert yamlite.load_file(path) == data
+
+
+_scalar = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10 ** 12), max_value=10 ** 12),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(
+        alphabet=st.characters(
+            blacklist_categories=("Cs", "Cc"), max_codepoint=0x2FF
+        ),
+        max_size=24,
+    ),
+)
+
+_data = st.recursive(
+    _scalar,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1,
+                max_size=8,
+            ),
+            children,
+            max_size=4,
+        ),
+    ),
+    max_leaves=12,
+)
+
+
+@given(value=_data)
+@settings(max_examples=150, deadline=None)
+def test_round_trip_property(value):
+    """loads(dumps(x)) == x for all supported data."""
+    assert yamlite.loads(yamlite.dumps(value)) == value

@@ -1,0 +1,76 @@
+"""Additional yamlite coverage: sequence/flow interplay, edge shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import yamlite
+from repro.core.errors import YamlError
+
+
+class TestSequenceItems:
+    def test_flow_mapping_as_sequence_item(self):
+        assert yamlite.loads("- {a: 1}\n- {b: 2}") == [{"a": 1}, {"b": 2}]
+
+    def test_flow_list_as_sequence_item(self):
+        assert yamlite.loads("- [1, 2]\n- [3]") == [[1, 2], [3]]
+
+    def test_inline_mapping_item_with_continuation(self):
+        text = "- name: dut\n  ports: [eno1, eno2]\n- name: loadgen"
+        assert yamlite.loads(text) == [
+            {"name": "dut", "ports": ["eno1", "eno2"]},
+            {"name": "loadgen"},
+        ]
+
+    def test_item_with_nested_mapping_value(self):
+        text = "- role: dut\n  image:\n    name: debian\n    version: v1"
+        assert yamlite.loads(text) == [
+            {"role": "dut", "image": {"name": "debian", "version": "v1"}}
+        ]
+
+    def test_bare_dash_null_items(self):
+        assert yamlite.loads("-\n- 1") == [None, 1]
+
+    def test_duplicate_key_in_inline_item(self):
+        with pytest.raises(YamlError, match="duplicate"):
+            yamlite.loads("- a: 1\n  a: 2")
+
+
+class TestDocumentShapes:
+    def test_flow_document(self):
+        assert yamlite.loads("[1, 2, 3]") == [1, 2, 3]
+        assert yamlite.loads("{a: 1}") == {"a": 1}
+
+    def test_quoted_scalar_document(self):
+        assert yamlite.loads('"hello world"') == "hello world"
+
+    def test_trailing_content_rejected(self):
+        with pytest.raises(YamlError, match="unexpected content"):
+            yamlite.loads("a: 1\n- 2")
+
+    def test_deep_nesting_round_trip(self):
+        data = {"a": {"b": {"c": {"d": [1, {"e": [2, 3]}]}}}}
+        assert yamlite.loads(yamlite.dumps(data)) == data
+
+    def test_list_of_lists_round_trip(self):
+        data = [[1, [2, 3]], [], [4]]
+        assert yamlite.loads(yamlite.dumps(data)) == data
+
+    def test_mapping_with_numeric_looking_keys(self):
+        # Keys parse with scalar rules; ints stay ints.
+        assert yamlite.loads("64: small\n1500: big") == {
+            64: "small", 1500: "big",
+        }
+
+    def test_whitespace_only_string_round_trip(self):
+        assert yamlite.loads(yamlite.dumps({"v": "  padded  "})) == {
+            "v": "  padded  "
+        }
+
+    def test_string_with_colon_round_trip(self):
+        data = {"url": "https://example.org:8080/x"}
+        assert yamlite.loads(yamlite.dumps(data)) == data
+
+    def test_colon_no_space_is_plain_scalar(self):
+        # "a:1" has no colon-space, so it is one scalar, not a mapping.
+        assert yamlite.loads("v: a:1") == {"v": "a:1"}

@@ -1,0 +1,174 @@
+"""Tests for statistics, grouping, and the HDR histogram."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import EvaluationError
+from repro.evaluation.aggregate import (
+    HdrHistogram,
+    describe,
+    group_runs,
+    percentile,
+    series_from_runs,
+)
+from repro.evaluation.loader import RunResult
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 0.5) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 0.5) == 2.5
+
+    def test_extremes(self):
+        data = [5, 1, 9]
+        assert percentile(data, 0.0) == 1
+        assert percentile(data, 1.0) == 9
+
+    def test_single_sample(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError, match="empty"):
+            percentile([], 0.5)
+
+    def test_out_of_range_fraction(self):
+        with pytest.raises(EvaluationError):
+            percentile([1], 1.5)
+
+    @given(
+        samples=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1, max_size=50,
+        ),
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_bounded_by_min_max_property(self, samples, fraction):
+        value = percentile(samples, fraction)
+        assert min(samples) <= value <= max(samples)
+
+
+class TestDescribe:
+    def test_basic_statistics(self):
+        stats = describe([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.stddev == pytest.approx(2.0)
+        assert stats.count == 8
+        assert stats.minimum == 2.0 and stats.maximum == 9.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            describe([])
+
+
+def run(index, **loop):
+    return RunResult(index=index, loop=loop)
+
+
+class TestGroupingAndSeries:
+    def test_group_runs_preserves_order(self):
+        runs = [run(0, sz=64), run(1, sz=1500), run(2, sz=64)]
+        groups = group_runs(runs, "sz")
+        assert list(groups) == [64, 1500]
+        assert [r.index for r in groups[64]] == [0, 2]
+
+    def test_series_sorted_by_x(self):
+        runs = [run(0, rate=300), run(1, rate=100), run(2, rate=200)]
+        points = series_from_runs(
+            runs, x=lambda r: r.loop["rate"], y=lambda r: r.index
+        )
+        assert [x for x, __ in points] == [100, 200, 300]
+
+    def test_series_skips_failing_extractors(self):
+        runs = [run(0, rate=100), run(1)]  # second lacks "rate"
+        points = series_from_runs(
+            runs, x=lambda r: r.loop["rate"], y=lambda r: 1.0
+        )
+        assert len(points) == 1
+
+
+class TestHdrHistogram:
+    def test_quantiles_of_known_distribution(self):
+        hist = HdrHistogram(precision=100)
+        hist.record_many(float(value) for value in range(1, 1001))
+        median = hist.value_at_quantile(0.5)
+        assert median == pytest.approx(500, rel=0.05)
+        p99 = hist.value_at_quantile(0.99)
+        assert p99 == pytest.approx(990, rel=0.05)
+
+    def test_relative_precision_bound(self):
+        """Each recorded value lands in a bucket whose bounds are within
+        the configured relative precision."""
+        precision = 32
+        hist = HdrHistogram(precision=precision)
+        for value in (1e-6, 3.3e-5, 0.75, 123.0, 9e5):
+            index = hist._bucket_index(value)
+            low, high = hist.bucket_bounds(index)
+            assert low <= value <= high * (1 + 1e-9)
+            assert high / low <= (1 + 1.0 / precision) * (1 + 1e-9)
+
+    def test_quantile_curve_is_monotone(self):
+        hist = HdrHistogram()
+        hist.record_many([abs(math.sin(i)) * 100 + 1 for i in range(500)])
+        curve = hist.quantile_curve()
+        values = [value for __, value in curve]
+        assert values == sorted(values)
+
+    def test_merge(self):
+        a, b = HdrHistogram(), HdrHistogram()
+        a.record_many([1.0, 2.0])
+        b.record_many([3.0, 4.0])
+        a.merge(b)
+        assert a.total == 4
+
+    def test_merge_shape_mismatch(self):
+        with pytest.raises(EvaluationError):
+            HdrHistogram(precision=32).merge(HdrHistogram(precision=64))
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(EvaluationError):
+            HdrHistogram().record(-1.0)
+
+    def test_empty_quantile_rejected(self):
+        with pytest.raises(EvaluationError, match="empty"):
+            HdrHistogram().value_at_quantile(0.5)
+
+    def test_invalid_quantile_rejected(self):
+        hist = HdrHistogram()
+        hist.record(1.0)
+        with pytest.raises(EvaluationError):
+            hist.value_at_quantile(0.0)
+
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-9, max_value=1e6, allow_nan=False),
+            min_size=1, max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_accuracy_property(self, samples):
+        """The HDR p-quantile is within one bucket's relative precision
+        of the exact empirical quantile."""
+        precision = 64
+        hist = HdrHistogram(precision=precision)
+        hist.record_many(samples)
+        ordered = sorted(samples)
+        for q in (0.5, 0.9, 0.99):
+            # HDR uses the nearest-rank definition: the smallest value
+            # with at least a q fraction of samples at or below it.
+            rank = max(0, math.ceil(q * len(ordered)) - 1)
+            exact = ordered[rank]
+            approx = hist.value_at_quantile(q)
+            # approx is the upper bound of the bucket holding `exact`,
+            # so it is within one bucket width above it (and never below).
+            assert approx >= exact * (1 - 1e-9)
+            assert approx <= max(exact, hist.min_value) * (
+                (1 + 1.0 / precision) * (1 + 1e-9)
+            )

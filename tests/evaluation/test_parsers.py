@@ -1,0 +1,127 @@
+"""Tests for the MoonGen and iPerf output parsers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.evaluation.iperf_parser import parse_iperf_output
+from repro.evaluation.moongen_parser import (
+    parse_histogram_csv,
+    parse_moongen_output,
+)
+
+SAMPLE = """\
+[Device: id=0] TX: 0.100000 Mpps, 51.20 Mbit/s (67.20 Mbit/s with framing)
+[Device: id=1] RX: 0.099000 Mpps, 50.69 Mbit/s (66.53 Mbit/s with framing)
+[Device: id=0] TX: 0.100000 Mpps (total 10000 packets with 640000 bytes payload)
+[Device: id=1] RX: 0.099000 Mpps (total 9900 packets with 633600 bytes payload)
+[Latency] min: 0.721 us, avg: 0.812 us, max: 9.313 us, samples: 100
+"""
+
+
+class TestMoonGenParser:
+    def test_summaries(self):
+        output = parse_moongen_output(SAMPLE)
+        assert output.tx_summary.packets == 10000
+        assert output.rx_summary.packets == 9900
+        assert output.tx_mpps == pytest.approx(0.1)
+        assert output.rx_mpps == pytest.approx(0.099)
+
+    def test_intervals(self):
+        output = parse_moongen_output(SAMPLE)
+        assert output.tx_interval_mpps == [0.1]
+        assert output.rx_interval_mpps == [0.099]
+
+    def test_latency_summary(self):
+        latency = parse_moongen_output(SAMPLE).latency
+        assert latency.min_us == pytest.approx(0.721)
+        assert latency.samples == 100
+
+    def test_loss_fraction(self):
+        output = parse_moongen_output(SAMPLE)
+        assert output.loss_fraction == pytest.approx(0.01)
+
+    def test_no_latency_section_ok(self):
+        text = "\n".join(SAMPLE.splitlines()[:-1])
+        assert parse_moongen_output(text).latency is None
+
+    def test_missing_summary_raises_on_access(self):
+        output = parse_moongen_output(SAMPLE.splitlines()[0])
+        with pytest.raises(ParseError, match="summary"):
+            __ = output.tx_mpps
+
+    def test_junk_line_rejected(self):
+        with pytest.raises(ParseError, match="unrecognized"):
+            parse_moongen_output(SAMPLE + "random garbage\n")
+
+    def test_blank_lines_tolerated(self):
+        padded = "\n" + SAMPLE.replace("\n", "\n\n")
+        assert parse_moongen_output(padded).tx_summary.packets == 10000
+
+    def test_zero_tx_loss_is_zero(self):
+        text = (
+            "[Device: id=0] TX: 0.000000 Mpps (total 0 packets with 0 bytes payload)\n"
+            "[Device: id=1] RX: 0.000000 Mpps (total 0 packets with 0 bytes payload)\n"
+        )
+        assert parse_moongen_output(text).loss_fraction == 0.0
+
+
+class TestHistogramCsv:
+    def test_parse(self):
+        buckets = parse_histogram_csv("latency_ns,count\n1000,5\n2000,3\n")
+        assert buckets == {1000: 5, 2000: 3}
+
+    def test_duplicate_buckets_accumulate(self):
+        buckets = parse_histogram_csv("latency_ns,count\n1000,5\n1000,2\n")
+        assert buckets == {1000: 7}
+
+    def test_bad_header(self):
+        with pytest.raises(ParseError, match="header"):
+            parse_histogram_csv("nanoseconds,count\n1,1\n")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError, match="empty"):
+            parse_histogram_csv("")
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ParseError):
+            parse_histogram_csv("latency_ns,count\nabc,1\n")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ParseError, match="negative"):
+            parse_histogram_csv("latency_ns,count\n1000,-1\n")
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(ParseError):
+            parse_histogram_csv("latency_ns,count\n1000,1,9\n")
+
+
+IPERF_SAMPLE = """\
+------------------------------------------------------------
+Client connecting to DuT, UDP, 1470 byte datagrams
+------------------------------------------------------------
+[  3]  0.0- 1.0 sec   1250000 Bytes    10.00 Mbits/sec
+[  3]  1.0- 2.0 sec   1225000 Bytes     9.80 Mbits/sec
+[  3]  0.0-2.0 sec   2475000 Bytes     9.90 Mbits/sec (summary)
+"""
+
+
+class TestIperfParser:
+    def test_summary_and_intervals(self):
+        output = parse_iperf_output(IPERF_SAMPLE)
+        assert output.throughput_mbits == pytest.approx(9.9)
+        assert output.interval_mbits == [10.0, 9.8]
+        assert output.total_bytes == 2475000
+
+    def test_banner_lines_skipped(self):
+        assert parse_iperf_output(IPERF_SAMPLE).summary_mbits is not None
+
+    def test_missing_summary_raises_on_access(self):
+        text = "\n".join(IPERF_SAMPLE.splitlines()[:-1])
+        with pytest.raises(ParseError, match="summary"):
+            __ = parse_iperf_output(text).throughput_mbits
+
+    def test_junk_rejected(self):
+        with pytest.raises(ParseError, match="unrecognized"):
+            parse_iperf_output("hello world\n")

@@ -1,0 +1,269 @@
+"""Tests for the figure model, chart builders, and exporters."""
+
+from __future__ import annotations
+
+import os
+import zlib
+
+import pytest
+
+from repro.core.errors import PlotError
+from repro.evaluation.plots import (
+    Figure,
+    Series,
+    build_scene,
+    cdf,
+    export,
+    figure_to_tex,
+    hdr_plot,
+    histogram,
+    line_plot,
+    nice_ticks,
+    scene_to_pdf,
+    scene_to_svg,
+    violin,
+)
+from repro.evaluation.plots.scene import Line, Polyline, Rect, Text
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = nice_ticks(0.0, 10.0)
+        assert ticks[0] <= 0.0 and ticks[-1] >= 10.0
+
+    def test_steps_are_1_2_5(self):
+        for low, high in ((0, 7), (0, 23), (0.1, 0.9), (0, 123456)):
+            ticks = nice_ticks(low, high)
+            step = round(ticks[1] - ticks[0], 12)
+            mantissa = step / (10 ** len(str(int(1 / step)) if step < 1 else str(int(step))) )
+            # simpler check: consecutive differences equal
+            diffs = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+            assert len(diffs) == 1
+
+    def test_degenerate_range(self):
+        ticks = nice_ticks(5.0, 5.0)
+        assert len(ticks) >= 2
+
+    def test_reversed_range_handled(self):
+        assert nice_ticks(10.0, 0.0) == nice_ticks(0.0, 10.0)
+
+
+class TestSceneBuilding:
+    def make_figure(self):
+        return line_plot(
+            {"64B": [(0.1, 0.1), (1.0, 1.0), (2.0, 1.75)]},
+            title="throughput", xlabel="rate", ylabel="Mpps",
+        )
+
+    def test_scene_contains_frame_and_series(self):
+        scene = build_scene(self.make_figure())
+        assert any(isinstance(item, Polyline) for item in scene.items)
+        assert any(isinstance(item, Rect) for item in scene.items)
+        texts = [item.text for item in scene.items if isinstance(item, Text)]
+        assert "throughput" in texts
+        assert "rate" in texts and "Mpps" in texts
+
+    def test_legend_entries_present(self):
+        scene = build_scene(self.make_figure())
+        texts = [item.text for item in scene.items if isinstance(item, Text)]
+        assert "64B" in texts
+
+    def test_empty_figure_rejected(self):
+        with pytest.raises(PlotError, match="no series"):
+            build_scene(Figure(title="empty"))
+
+    def test_empty_series_rejected(self):
+        figure = Figure()
+        figure.add(Series(label="x", points=[]))
+        with pytest.raises(PlotError, match="empty|no data"):
+            build_scene(figure)
+
+    def test_bar_series_needs_width(self):
+        figure = Figure()
+        figure.add(Series(label="h", points=[(0, 1)], kind="bars"))
+        with pytest.raises(PlotError, match="bar_width"):
+            build_scene(figure)
+
+    def test_unknown_series_kind(self):
+        figure = Figure()
+        figure.add(Series(label="x", points=[(0, 1)], kind="sparkles"))
+        with pytest.raises(PlotError, match="unknown series kind"):
+            build_scene(figure)
+
+    def test_log_axis_with_nonpositive_rejected(self):
+        figure = Figure(x_log=True)
+        figure.add(Series(label="x", points=[(0.0, 1.0), (1.0, 2.0)]))
+        with pytest.raises(PlotError):
+            build_scene(figure)
+
+    def test_all_points_inside_canvas(self):
+        scene = build_scene(self.make_figure())
+        for item in scene.items:
+            if isinstance(item, Polyline):
+                for x, y in item.points:
+                    assert -1 <= x <= scene.width + 1
+                    assert -1 <= y <= scene.height + 1
+
+
+class TestChartBuilders:
+    def test_histogram_counts(self):
+        figure = histogram([1, 1, 2, 9], bins=4)
+        bars = figure.series[0]
+        assert bars.kind == "bars"
+        assert sum(y for __, y in bars.points) == 4
+
+    def test_histogram_density_integrates_to_one(self):
+        figure = histogram([float(i) for i in range(100)], bins=10, density=True)
+        width = figure.series[0].bar_width
+        total = sum(y * width for __, y in figure.series[0].points)
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_histogram_empty_rejected(self):
+        with pytest.raises(PlotError):
+            histogram([])
+
+    def test_cdf_reaches_one(self):
+        figure = cdf({"a": [1.0, 2.0, 3.0]})
+        points = figure.series[0].points
+        assert points[-1][1] == pytest.approx(1.0)
+        assert points[0][1] == 0.0
+
+    def test_cdf_is_monotone(self):
+        figure = cdf({"a": [5.0, 1.0, 3.0, 3.0]})
+        ys = [y for __, y in figure.series[0].points]
+        assert ys == sorted(ys)
+
+    def test_hdr_plot_has_percentile_ticks(self):
+        figure = hdr_plot({"a": [float(i) for i in range(1, 200)]})
+        labels = [label for __, label in figure.x_ticks]
+        assert "99%" in labels and "50%" in labels
+
+    def test_violin_builds_shape_per_group(self):
+        figure = violin({"64B": [1.0, 2.0, 2.0, 3.0], "1500B": [5.0, 6.0]})
+        shapes = [s for s in figure.series if s.kind == "shape"]
+        assert len(shapes) == 2
+
+    def test_violin_empty_group_rejected(self):
+        with pytest.raises(PlotError):
+            violin({"a": []})
+
+    def test_line_plot_multiple_series_get_distinct_dashes(self):
+        figure = line_plot({"a": [(0, 0)], "b": [(0, 1)]})
+        assert figure.series[0].dash != figure.series[1].dash
+
+
+class TestSvgBackend:
+    def test_valid_xml_shape(self):
+        svg = scene_to_svg(build_scene(line_plot({"a": [(0, 0), (1, 1)]})))
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<polyline") >= 1
+
+    def test_text_is_escaped(self):
+        figure = line_plot({"<&>": [(0, 0), (1, 1)]}, title='q"t')
+        svg = scene_to_svg(build_scene(figure))
+        assert "&lt;&amp;&gt;" in svg
+        assert "&quot;t" in svg
+
+    def test_parses_as_xml(self):
+        import xml.etree.ElementTree as ET
+
+        figure = violin({"a": [1.0, 2.0, 3.0]}, title="latency & co")
+        ET.fromstring(scene_to_svg(build_scene(figure)))
+
+
+class TestPdfBackend:
+    def figure_pdf(self):
+        return scene_to_pdf(build_scene(line_plot(
+            {"64B": [(0, 0), (1, 1)]}, title="t", xlabel="x", ylabel="y",
+        )))
+
+    def test_header_and_eof(self):
+        pdf = self.figure_pdf()
+        assert pdf.startswith(b"%PDF-1.4")
+        assert pdf.rstrip().endswith(b"%%EOF")
+
+    def test_xref_offsets_are_byte_accurate(self):
+        pdf = self.figure_pdf()
+        xref_start = pdf.rindex(b"startxref")
+        offset = int(pdf[xref_start:].split(b"\n")[1])
+        assert pdf[offset : offset + 4] == b"xref"
+        # Each object offset in the table points at "N 0 obj".
+        table = pdf[offset:].split(b"\n")
+        count = int(table[1].split()[1])
+        for index in range(1, count):
+            entry_offset = int(table[2 + index].split()[0])
+            expected = f"{index} 0 obj".encode()
+            assert pdf[entry_offset : entry_offset + len(expected)] == expected
+
+    def test_content_stream_decompresses(self):
+        pdf = self.figure_pdf()
+        start = pdf.index(b"stream\n") + len(b"stream\n")
+        end = pdf.index(b"\nendstream")
+        content = zlib.decompress(pdf[start:end]).decode("latin-1")
+        assert "BT" in content and "Tj" in content  # text ops
+        assert " m" in content and " l" in content  # path ops
+
+    def test_non_ascii_text_replaced_not_crashed(self):
+        figure = line_plot({"µs": [(0, 0), (1, 1)]}, title="café")
+        pdf = scene_to_pdf(build_scene(figure))
+        start = pdf.index(b"stream\n") + len(b"stream\n")
+        end = pdf.index(b"\nendstream")
+        content = zlib.decompress(pdf[start:end])
+        assert b"caf?" in content  # é falls outside the Helvetica subset
+
+
+class TestTexBackend:
+    def test_standalone_document(self):
+        tex = figure_to_tex(line_plot({"a": [(0, 0), (1, 1)]}, title="t"))
+        assert "\\documentclass[tikz]{standalone}" in tex
+        assert "\\begin{axis}" in tex
+        assert "\\addplot" in tex
+        assert "\\end{document}" in tex
+
+    def test_special_characters_escaped(self):
+        tex = figure_to_tex(
+            line_plot({"100% load": [(0, 0), (1, 1)]}, title="a_b & c")
+        )
+        assert "100\\% load" in tex
+        assert "a\\_b \\& c" in tex
+
+    def test_coordinates_present(self):
+        tex = figure_to_tex(line_plot({"a": [(0.5, 1.75)]}))
+        assert "(0.5,1.75)" in tex
+
+    def test_log_axis_option(self):
+        figure = line_plot({"a": [(1, 1), (10, 2)]})
+        figure.x_log = True
+        assert "xmode=log" in figure_to_tex(figure)
+
+    def test_empty_figure_rejected(self):
+        with pytest.raises(PlotError):
+            figure_to_tex(Figure())
+
+
+class TestExport:
+    def test_all_formats_written(self, tmp_path):
+        figure = line_plot({"a": [(0, 0), (1, 1)]})
+        written = export(figure, str(tmp_path / "fig"))
+        assert sorted(os.path.basename(p) for p in written) == [
+            "fig.pdf", "fig.svg", "fig.tex",
+        ]
+        for path in written:
+            assert os.path.getsize(path) > 100
+
+    def test_subset_of_formats(self, tmp_path):
+        figure = line_plot({"a": [(0, 0), (1, 1)]})
+        written = export(figure, str(tmp_path / "fig"), formats=("svg",))
+        assert len(written) == 1
+
+    def test_unknown_format_rejected_before_writing(self, tmp_path):
+        figure = line_plot({"a": [(0, 0), (1, 1)]})
+        with pytest.raises(PlotError, match="unknown export"):
+            export(figure, str(tmp_path / "fig"), formats=("png",))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_creates_directories(self, tmp_path):
+        figure = line_plot({"a": [(0, 0), (1, 1)]})
+        export(figure, str(tmp_path / "deep" / "nested" / "fig"), formats=("svg",))
+        assert (tmp_path / "deep" / "nested" / "fig.svg").exists()

@@ -1,0 +1,124 @@
+"""Additional plotting coverage: axes options, exports, markers."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.evaluation.plots import (
+    Figure,
+    Series,
+    build_scene,
+    export,
+    figure_to_tex,
+    line_plot,
+    scene_to_pdf,
+    scene_to_svg,
+)
+from repro.evaluation.plots.figure import log_ticks
+from repro.evaluation.plots.scene import Polyline, Rect, Text
+
+
+class TestLogAxes:
+    def test_log_ticks_are_decades(self):
+        assert log_ticks(0.5, 200.0) == [0.1, 1.0, 10.0, 100.0, 1000.0]
+
+    def test_log_figure_renders(self):
+        figure = line_plot({"a": [(1, 1), (10, 5), (100, 9)]})
+        figure.x_log = True
+        svg = scene_to_svg(build_scene(figure))
+        ET.fromstring(svg)
+
+    def test_log_ticks_reject_nonpositive(self):
+        with pytest.raises(Exception):
+            log_ticks(0.0, 10.0)
+
+    def test_log_spacing_is_geometric(self):
+        figure = Figure(x_log=True, grid=False, legend=False)
+        figure.add(Series(label="", points=[(1, 0), (10, 1), (100, 2)],
+                          markers=False))
+        scene = build_scene(figure)
+        line = next(i for i in scene.items if isinstance(i, Polyline))
+        xs = [x for x, __ in line.points]
+        # Equal pixel spacing for equal ratios.
+        assert xs[1] - xs[0] == pytest.approx(xs[2] - xs[1], rel=1e-6)
+
+
+class TestCustomTicks:
+    def test_custom_y_ticks_rendered(self):
+        figure = Figure(
+            y_ticks=[(0.0, "zero"), (1.0, "one")],
+            ylim=(0.0, 1.0),
+            legend=False,
+        )
+        figure.add(Series(label="", points=[(0, 0), (1, 1)], markers=False))
+        scene = build_scene(figure)
+        labels = [item.text for item in scene.items if isinstance(item, Text)]
+        assert "zero" in labels and "one" in labels
+
+    def test_ticks_outside_limits_skipped(self):
+        figure = Figure(
+            x_ticks=[(0.5, "in"), (9.0, "out")],
+            xlim=(0.0, 1.0),
+            legend=False,
+        )
+        figure.add(Series(label="", points=[(0.2, 1), (0.8, 2)], markers=False))
+        labels = [item.text for item in build_scene(figure).items
+                  if isinstance(item, Text)]
+        assert "in" in labels and "out" not in labels
+
+
+class TestMarkersAndLegend:
+    def test_markers_suppressed_for_dense_series(self):
+        dense = [(float(i), float(i)) for i in range(200)]
+        figure = line_plot({"dense": dense})
+        scene = build_scene(figure)
+        # No marker rects beyond grid/frame/legend artifacts: count rects
+        # with tiny size (markers are ~4.5pt squares).
+        tiny = [item for item in scene.items
+                if isinstance(item, Rect) and item.w < 6 and item.h < 6]
+        assert tiny == []
+
+    def test_legend_suppressed(self):
+        figure = line_plot({"visible": [(0, 0), (1, 1)]})
+        figure.legend = False
+        labels = [item.text for item in build_scene(figure).items
+                  if isinstance(item, Text)]
+        assert "visible" not in labels
+
+    def test_distinct_marker_shapes_by_series_index(self):
+        figure = line_plot({
+            "a": [(0, 0), (1, 1)],
+            "b": [(0, 1), (1, 2)],
+            "c": [(0, 2), (1, 3)],
+        })
+        svg = scene_to_svg(build_scene(figure))
+        # square markers (rect) for series 0, polygons for 1 and 2.
+        assert "<polygon" in svg and "<rect" in svg
+
+
+class TestExports:
+    def test_pdf_larger_figures_still_valid(self):
+        figure = line_plot(
+            {f"s{i}": [(x, x * i) for x in range(20)] for i in range(1, 5)},
+            title="many series",
+        )
+        pdf = scene_to_pdf(build_scene(figure))
+        assert pdf.startswith(b"%PDF-1.4")
+        assert pdf.count(b"endobj") == 6
+
+    def test_tex_custom_ticks(self):
+        figure = Figure(x_ticks=[(0.0, "a%b"), (1.0, "c")])
+        figure.add(Series(label="s", points=[(0, 0), (1, 1)]))
+        tex = figure_to_tex(figure)
+        assert "xtick={0,1}" in tex
+        assert "a\\%b" in tex
+
+    def test_export_twice_is_deterministic(self, tmp_path):
+        figure = line_plot({"a": [(0, 0), (1, 1)]}, title="det")
+        first = export(figure, str(tmp_path / "one"))
+        second = export(figure, str(tmp_path / "two"))
+        for path_a, path_b in zip(first, second):
+            with open(path_a, "rb") as fa, open(path_b, "rb") as fb:
+                assert fa.read() == fb.read()

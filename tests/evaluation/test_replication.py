@@ -1,0 +1,89 @@
+"""Tests for the replication checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudy import run_case_study
+from repro.core.errors import EvaluationError
+from repro.evaluation.loader import load_experiment
+from repro.evaluation.replication import compare_experiments
+
+
+def run_once(tmp_path, sub, seed, rates=(1_000_000, 2_000_000)):
+    handle = run_case_study(
+        "pos", str(tmp_path / sub), rates=list(rates), sizes=(64,),
+        duration_s=0.02, interval_s=0.01, seed=seed,
+    )
+    return load_experiment(handle.result_path)
+
+
+class TestRepeatability:
+    def test_identical_reruns_repeat(self, tmp_path):
+        original = run_once(tmp_path, "a", seed=1)
+        rerun = run_once(tmp_path, "b", seed=1)
+        report = compare_experiments(original, rerun, tolerance=0.01)
+        assert report.structurally_identical
+        assert report.repeats
+        assert len(report.comparisons) == 2
+        assert "REPEATS" in report.summary()
+
+    def test_metric_deviation_detected(self, tmp_path):
+        original = run_once(tmp_path, "a", seed=1)
+        rerun = run_once(tmp_path, "b", seed=1)
+        # Tamper with the rerun's captured MoonGen log: halve the RX
+        # summary (a "different testbed" in disguise).
+        run = rerun.runs[0]
+        log = run.outputs["loadgen"]["moongen.log"]
+        tampered = []
+        for line in log.splitlines():
+            if "RX" in line and "total" in line:
+                line = line.replace("1.0", "0.5", 1)
+            tampered.append(line)
+        run.outputs["loadgen"]["moongen.log"] = "\n".join(tampered) + "\n"
+        report = compare_experiments(original, rerun, tolerance=0.05)
+        assert not report.repeats
+        assert len(report.deviating_runs) == 1
+        assert "DIFFERS" in report.summary()
+
+    def test_structural_difference_detected(self, tmp_path):
+        original = run_once(tmp_path, "a", seed=1, rates=(1_000_000, 2_000_000))
+        rerun = run_once(tmp_path, "b", seed=1, rates=(1_000_000,))
+        report = compare_experiments(original, rerun)
+        assert not report.structurally_identical
+        assert report.only_in_original == [
+            {"pkt_rate": 2_000_000, "pkt_sz": 64}
+        ]
+        assert not report.repeats
+
+    def test_extra_runs_in_rerun_detected(self, tmp_path):
+        original = run_once(tmp_path, "a", seed=1, rates=(1_000_000,))
+        rerun = run_once(tmp_path, "b", seed=1, rates=(1_000_000, 2_000_000))
+        report = compare_experiments(original, rerun)
+        assert len(report.only_in_rerun) == 1
+
+    def test_bad_tolerance_rejected(self, tmp_path):
+        results = run_once(tmp_path, "a", seed=1, rates=(1_000_000,))
+        with pytest.raises(EvaluationError):
+            compare_experiments(results, results, tolerance=0.0)
+
+    def test_self_comparison_always_repeats(self, tmp_path):
+        results = run_once(tmp_path, "a", seed=3, rates=(1_000_000,))
+        report = compare_experiments(results, results, tolerance=0.001)
+        assert report.repeats
+        assert report.comparisons[0].rx_deviation == 0.0
+
+    def test_vpos_reruns_with_different_seeds_repeat_below_ceiling(self, tmp_path):
+        """Below the drop-free ceiling the vpos platform repeats across
+        seeds — stochastic models only bite under overload."""
+        def vpos_run(sub, seed):
+            handle = run_case_study(
+                "vpos", str(tmp_path / sub), rates=[20_000], sizes=(64,),
+                duration_s=0.2, seed=seed,
+            )
+            return load_experiment(handle.result_path)
+
+        report = compare_experiments(
+            vpos_run("a", seed=1), vpos_run("b", seed=99), tolerance=0.02
+        )
+        assert report.repeats

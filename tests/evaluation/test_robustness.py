@@ -1,0 +1,118 @@
+"""Tests for the robustness-scan utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import EvaluationError
+from repro.evaluation.robustness import (
+    Cliff,
+    find_cliffs,
+    robustness_report,
+    scan,
+)
+
+
+class TestScan:
+    def test_measures_every_point_in_order(self):
+        points = scan([1, 2, 3], measure=lambda value: value * 10)
+        assert points == [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            scan([], measure=lambda value: value)
+
+
+class TestFindCliffs:
+    def test_smooth_curve_has_no_cliffs(self):
+        points = [(float(x), 100.0 + x) for x in range(10)]
+        assert find_cliffs(points, tolerance=0.10) == []
+
+    def test_step_is_detected(self):
+        points = [(1.0, 100.0), (2.0, 100.0), (3.0, 60.0), (4.0, 60.0)]
+        cliffs = find_cliffs(points, tolerance=0.10)
+        assert len(cliffs) == 1
+        cliff = cliffs[0]
+        assert (cliff.parameter_before, cliff.parameter_after) == (2.0, 3.0)
+        assert cliff.relative_change == pytest.approx(-0.4)
+
+    def test_tolerance_bounds(self):
+        points = [(1.0, 100.0), (2.0, 95.0)]
+        assert find_cliffs(points, tolerance=0.10) == []
+        assert len(find_cliffs(points, tolerance=0.01)) == 1
+
+    def test_unsorted_points_rejected(self):
+        with pytest.raises(EvaluationError, match="increasing"):
+            find_cliffs([(2.0, 1.0), (1.0, 1.0)])
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(EvaluationError):
+            find_cliffs([(1.0, 1.0), (2.0, 2.0)], tolerance=1.5)
+
+    def test_all_zero_metric_is_not_a_cliff(self):
+        points = [(1.0, 0.0), (2.0, 0.0)]
+        assert find_cliffs(points) == []
+
+    def test_upward_cliff_detected(self):
+        points = [(1.0, 50.0), (2.0, 100.0)]
+        cliffs = find_cliffs(points, tolerance=0.10)
+        assert cliffs[0].relative_change == pytest.approx(0.5)
+
+
+class TestReport:
+    def test_report_flags_cliff_rows(self):
+        points = [(1024.0, 1.6), (1025.0, 1.0)]
+        report = robustness_report(
+            points, parameter_name="pkt_sz", metric_name="mpps",
+        )
+        assert "pkt_sz=1024" in report
+        assert "<-- cliff" in report
+        assert "1 brittle transition" in report
+
+    def test_report_clean_scan(self):
+        points = [(1.0, 5.0), (2.0, 5.0)]
+        report = robustness_report(points)
+        assert "no brittle transitions" in report
+
+
+class TestEndToEndWithRouter:
+    def test_descriptor_cliff_found_by_scan(self):
+        """The Zilberman scenario: sweeping packet size around the
+        receive-buffer boundary exposes a throughput cliff the single
+        published operating point would hide."""
+        from repro.netsim.engine import Simulator
+        from repro.netsim.link import DirectWire
+        from repro.netsim.nic import HardwareNic
+        from repro.netsim.packet import Packet
+        from repro.netsim.router import LinuxRouter
+
+        def throughput_at(frame_size: float) -> float:
+            sim = Simulator()
+            tx = HardwareNic(sim, "tx", line_rate_bps=100e9)
+            rx = HardwareNic(sim, "rx", line_rate_bps=100e9)
+            p0 = HardwareNic(sim, "p0", line_rate_bps=100e9)
+            p1 = HardwareNic(sim, "p1", line_rate_bps=100e9)
+            router = LinuxRouter(
+                sim, rx_buffer_bytes=1024, extra_descriptor_cost_s=400e-9
+            )
+            router.add_port(p0)
+            router.add_port(p1)
+            DirectWire(sim, tx, p0)
+            DirectWire(sim, p1, rx)
+            received = []
+            rx.set_rx_handler(received.append)
+            for seq in range(20_000):
+                sim.schedule(
+                    seq / 4_000_000,
+                    tx.transmit,
+                    Packet(seq=seq, frame_size=int(frame_size)),
+                )
+            sim.run()
+            return len(received) / 0.005
+
+        points = scan([960, 1000, 1024, 1025, 1060, 1100], throughput_at)
+        cliffs = find_cliffs(points, tolerance=0.10)
+        assert len(cliffs) == 1
+        assert cliffs[0].parameter_before == 1024
+        assert cliffs[0].parameter_after == 1025
+        assert cliffs[0].relative_change < -0.2

@@ -1,0 +1,113 @@
+"""Tests for the cross-platform tendency comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import EvaluationError
+from repro.evaluation.tendencies import (
+    extract_features,
+    tendencies_agree,
+    tendency_report,
+)
+
+
+def saturating_curve(ceiling, rates):
+    return [(rate, min(rate, ceiling)) for rate in rates]
+
+
+class TestExtractFeatures:
+    def test_linear_curve_never_saturates(self):
+        feats = extract_features([(1, 1), (2, 2), (3, 3)])
+        assert not feats.saturates
+        assert feats.knee_offered == 3
+        assert feats.ceiling == 3
+
+    def test_knee_and_ceiling_of_saturating_curve(self):
+        feats = extract_features(saturating_curve(2.0, [1, 2, 3, 4]))
+        assert feats.saturates
+        assert feats.knee_offered == 2
+        assert feats.ceiling == 2.0
+
+    def test_loss_tolerance(self):
+        # 2% loss counts as drop-free with default tolerance.
+        feats = extract_features([(1.0, 0.99), (2.0, 1.0)])
+        assert feats.knee_offered == 1.0
+        assert feats.saturates  # the 2.0 point lost half
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(EvaluationError):
+            extract_features([])
+
+    def test_non_positive_offered_rejected(self):
+        with pytest.raises(EvaluationError):
+            extract_features([(0.0, 0.0)])
+
+
+class TestTendenciesAgree:
+    def paper_like_curves(self):
+        """pos and vpos shapes: 44x apart, same tendencies."""
+        rates_pos = [0.5, 1.0, 1.5, 2.0]
+        pos = {
+            64: saturating_curve(1.75, rates_pos),
+            1500: saturating_curve(0.82, rates_pos),
+        }
+        rates_vpos = [0.01, 0.02, 0.04, 0.1, 0.3]
+        vpos = {
+            64: saturating_curve(0.040, rates_vpos),
+            # "regardless of the packet size": the 1500 B ceiling sits
+            # within the loss tolerance of the 64 B one.
+            1500: saturating_curve(0.0396, rates_vpos),
+        }
+        return pos, vpos
+
+    def test_paper_shapes_agree(self):
+        pos, vpos = self.paper_like_curves()
+        verdict = tendencies_agree(pos, vpos)
+        assert verdict["same_groups"]
+        assert verdict["both_saturate"]
+        assert verdict["size_independence_matches"]
+
+    def test_group_mismatch_detected(self):
+        pos, vpos = self.paper_like_curves()
+        del vpos[1500]
+        assert not tendencies_agree(pos, vpos)["same_groups"]
+
+    def test_non_saturating_platform_detected(self):
+        pos, vpos = self.paper_like_curves()
+        vpos[64] = [(0.01, 0.01), (0.02, 0.02)]  # never stressed
+        assert not tendencies_agree(pos, vpos)["both_saturate"]
+
+    def test_report_renders(self):
+        pos, vpos = self.paper_like_curves()
+        report = tendency_report("pos", pos, "vpos", vpos)
+        assert "pos [64]" in report
+        assert "agree" in report
+        assert "DISAGREE" not in report
+
+
+class TestAgainstRealRuns:
+    def test_measured_platforms_agree_in_tendency(self, tmp_path):
+        """The Sec. 5 argument on actual measured data."""
+        from repro.casestudy import run_case_study
+        from repro.evaluation.loader import load_experiment
+
+        def curves(platform, rates, duration):
+            handle = run_case_study(
+                platform, str(tmp_path / platform), rates=rates,
+                sizes=(64, 1500), duration_s=duration, interval_s=duration / 2,
+                seed=6,
+            )
+            results = load_experiment(handle.result_path)
+            by_size = {}
+            for size in (64, 1500):
+                by_size[size] = [
+                    (run.loop["pkt_rate"] / 1e6, run.moongen().rx_mpps)
+                    for run in results.filter(pkt_sz=size)
+                ]
+            return by_size
+
+        pos = curves("pos", [500_000, 1_000_000, 2_000_000], 0.03)
+        vpos = curves("vpos", [10_000, 30_000, 200_000], 0.15)
+        verdict = tendencies_agree(pos, vpos)
+        assert all(verdict.values()), verdict

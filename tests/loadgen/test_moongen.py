@@ -1,0 +1,185 @@
+"""Tests for the MoonGen-style generator and its output format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.loadgen.moongen import (
+    LATENCY_SAMPLE_INTERVAL,
+    MoonGen,
+    format_report,
+    latency_histogram_csv,
+)
+from repro.netsim.engine import Simulator
+from repro.netsim.link import DirectWire
+from repro.netsim.nic import HardwareNic, VirtioNic
+from repro.netsim.router import LinuxRouter
+
+
+def rig(sim, nic_class=HardwareNic, seed=0):
+    """MoonGen wired through a bare-metal router and back."""
+    tx = nic_class(sim, "lg.tx")
+    rx = nic_class(sim, "lg.rx")
+    p0 = nic_class(sim, "dut.p0")
+    p1 = nic_class(sim, "dut.p1")
+    router = LinuxRouter(sim)
+    router.add_port(p0)
+    router.add_port(p1)
+    DirectWire(sim, tx, p0)
+    DirectWire(sim, p1, rx)
+    return MoonGen(sim, tx, rx, seed=seed), router
+
+
+class TestGeneration:
+    def test_cbr_rate_is_accurate(self):
+        sim = Simulator()
+        gen, __ = rig(sim)
+        job = gen.start(rate_pps=100_000, frame_size=64, duration_s=0.1)
+        sim.run(until=0.2)
+        assert job.finished
+        assert job.tx_packets == pytest.approx(10_000, abs=2)
+        assert job.tx_mpps == pytest.approx(0.1, rel=0.01)
+
+    def test_rx_counts_forwarded_traffic(self):
+        sim = Simulator()
+        gen, __ = rig(sim)
+        job = gen.start(rate_pps=50_000, frame_size=64, duration_s=0.05)
+        sim.run(until=0.2)
+        assert job.rx_packets == pytest.approx(job.tx_packets, abs=3)
+        assert job.loss_fraction < 0.01
+
+    def test_poisson_pattern_varies_gaps_but_keeps_mean(self):
+        sim = Simulator()
+        gen, __ = rig(sim, seed=5)
+        job = gen.start(
+            rate_pps=100_000, frame_size=64, duration_s=0.1, pattern="poisson"
+        )
+        sim.run(until=0.3)
+        assert job.tx_packets == pytest.approx(10_000, rel=0.1)
+
+    def test_unknown_pattern_rejected(self):
+        gen, __ = rig(Simulator())
+        with pytest.raises(SimulationError, match="pattern"):
+            gen.start(rate_pps=1000, frame_size=64, duration_s=0.1, pattern="burst")
+
+    def test_overlapping_jobs_rejected(self):
+        sim = Simulator()
+        gen, __ = rig(sim)
+        gen.start(rate_pps=1000, frame_size=64, duration_s=1.0)
+        with pytest.raises(SimulationError, match="in progress"):
+            gen.start(rate_pps=1000, frame_size=64, duration_s=1.0)
+
+    def test_sequential_jobs_allowed(self):
+        sim = Simulator()
+        gen, __ = rig(sim)
+        first = gen.start(rate_pps=10_000, frame_size=64, duration_s=0.05)
+        sim.run(until=0.1)
+        second = gen.start(rate_pps=10_000, frame_size=64, duration_s=0.05)
+        sim.run(until=0.2)
+        assert first.finished and second.finished
+        assert second.tx_packets > 0
+
+    def test_invalid_parameters_rejected(self):
+        gen, __ = rig(Simulator())
+        with pytest.raises(SimulationError):
+            gen.start(rate_pps=0, frame_size=64, duration_s=1.0)
+        with pytest.raises(SimulationError):
+            gen.start(rate_pps=1000, frame_size=64, duration_s=0)
+
+
+class TestIntervals:
+    def test_interval_count(self):
+        sim = Simulator()
+        gen, __ = rig(sim)
+        job = gen.start(
+            rate_pps=50_000, frame_size=64, duration_s=0.5, interval_s=0.1
+        )
+        sim.run(until=0.7)
+        assert len(job.intervals) == 5
+
+    def test_interval_rates_sum_to_total(self):
+        sim = Simulator()
+        gen, __ = rig(sim)
+        job = gen.start(
+            rate_pps=50_000, frame_size=64, duration_s=0.4, interval_s=0.1
+        )
+        sim.run(until=0.6)
+        assert sum(stats.tx_packets for stats in job.intervals) == job.tx_packets
+
+    def test_stable_run_has_low_interval_stddev(self):
+        sim = Simulator()
+        gen, __ = rig(sim)
+        job = gen.start(
+            rate_pps=100_000, frame_size=64, duration_s=0.4, interval_s=0.1
+        )
+        sim.run(until=0.6)
+        assert job.rx_rate_stddev_mpps() < 0.001
+
+
+class TestLatency:
+    def test_hardware_nics_sample_latency(self):
+        sim = Simulator()
+        gen, __ = rig(sim)
+        job = gen.start(rate_pps=100_000, frame_size=64, duration_s=0.1)
+        sim.run(until=0.2)
+        expected = job.tx_packets // LATENCY_SAMPLE_INTERVAL
+        assert len(job.latency_samples_s) == pytest.approx(expected, abs=2)
+        assert all(sample > 0 for sample in job.latency_samples_s)
+
+    def test_virtio_nics_cannot_measure_latency(self):
+        """Appendix A: 'in our VM, we cannot generate latency
+        measurements, due to the limited hardware support'."""
+        sim = Simulator()
+        gen, __ = rig(sim, nic_class=VirtioNic)
+        assert not gen.supports_latency
+        job = gen.start(rate_pps=50_000, frame_size=64, duration_s=0.05)
+        sim.run(until=0.2)
+        assert job.latency_samples_s == []
+        assert not job.timestamping
+
+    def test_latency_reflects_service_and_wire_time(self):
+        sim = Simulator()
+        gen, router = rig(sim)
+        job = gen.start(rate_pps=10_000, frame_size=64, duration_s=0.05)
+        sim.run(until=0.2)
+        floor = router.base_cost_s  # must at least pay the router service
+        assert min(job.latency_samples_s) > floor
+
+
+class TestOutputFormat:
+    def make_job(self, rate=100_000, size=64, duration=0.1):
+        sim = Simulator()
+        gen, __ = rig(sim)
+        job = gen.start(rate_pps=rate, frame_size=size, duration_s=duration)
+        sim.run(until=duration * 2)
+        return job
+
+    def test_report_has_summary_lines(self):
+        report = format_report(self.make_job())
+        assert "(total " in report
+        assert "[Device: id=0] TX:" in report
+        assert "[Device: id=1] RX:" in report
+
+    def test_report_has_latency_line_for_hardware(self):
+        report = format_report(self.make_job())
+        assert "[Latency] min:" in report
+
+    def test_histogram_csv_counts_match_samples(self):
+        job = self.make_job()
+        csv = latency_histogram_csv(job)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "latency_ns,count"
+        total = sum(int(line.split(",")[1]) for line in lines[1:])
+        assert total == len(job.latency_samples_s)
+
+    def test_report_round_trips_through_parser(self):
+        from repro.evaluation.moongen_parser import parse_moongen_output
+
+        job = self.make_job()
+        parsed = parse_moongen_output(format_report(job))
+        assert parsed.tx_summary.packets == job.tx_packets
+        assert parsed.rx_summary.packets == job.rx_packets
+        assert parsed.tx_mpps == pytest.approx(job.tx_mpps, abs=1e-6)
+        assert parsed.latency is not None
+        assert parsed.latency.samples == len(job.latency_samples_s)

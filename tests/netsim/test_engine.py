@@ -1,0 +1,217 @@
+"""Tests for the discrete-event simulation core."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SimulationError
+from repro.netsim.engine import PeriodicTimer, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError, match="past"):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="before"):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+
+        def inner():
+            seen.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(10.0, fired.append, 10)
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_cancelled_events_do_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+
+        def reenter():
+            sim.run()
+
+        sim.schedule(0.0, reenter)
+        with pytest.raises(SimulationError, match="reentrant"):
+            sim.run()
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for __ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        event = sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending == 1
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_fire_times_are_monotone_property(delays):
+    """Whatever delays are scheduled, callbacks observe a non-decreasing
+    clock and every event fires exactly once."""
+    sim = Simulator()
+    observed = []
+    for delay in delays:
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    sim.run()
+    assert len(observed) == len(delays)
+    assert observed == sorted(observed)
+
+
+class TestProcess:
+    def test_generator_process_advances_clock(self):
+        sim = Simulator()
+        trace = []
+
+        def body():
+            trace.append(sim.now)
+            yield 1.0
+            trace.append(sim.now)
+            yield 2.5
+            trace.append(sim.now)
+
+        process = sim.process(body())
+        sim.run()
+        assert trace == [0.0, 1.0, 3.5]
+        assert not process.alive
+
+    def test_stop_terminates_process(self):
+        sim = Simulator()
+        trace = []
+
+        def body():
+            while True:
+                trace.append(sim.now)
+                yield 1.0
+
+        process = sim.process(body())
+        sim.run(until=3.5)
+        process.stop()
+        sim.run()
+        assert not process.alive
+        assert len(trace) == 4  # t=0,1,2,3
+
+    def test_invalid_yield_rejected(self):
+        sim = Simulator()
+
+        def body():
+            yield -1.0
+
+        with pytest.raises(SimulationError, match="invalid delay"):
+            sim.process(body())
+
+
+class TestPeriodicTimer:
+    def test_fires_every_interval(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        sim.run(until=2.5)
+        timer.stop()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_custom_start_delay(self):
+        sim = Simulator()
+        ticks = []
+        PeriodicTimer(sim, 2.0, lambda: ticks.append(sim.now), start_delay=0.5)
+        sim.run(until=5.0)
+        assert ticks == [0.5, 2.5, 4.5]
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(SimulationError, match="positive"):
+            PeriodicTimer(Simulator(), 0.0, lambda: None)

@@ -1,0 +1,166 @@
+"""Tests for the simulated live-booted Linux host and its shell."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import NodeError
+from repro.netsim.host import SimHost
+
+
+@pytest.fixture
+def host():
+    h = SimHost("tartu")
+    h.boot("debian-buster", "20201012T000000Z", kernel_version="4.19.0-11")
+    return h
+
+
+class TestLifecycle:
+    def test_boot_sets_clean_state(self, host):
+        assert host.booted
+        assert host.sysctl == {"net.ipv4.ip_forward": "0"}
+        assert host.filesystem == {}
+        assert all(not iface.up for iface in host.interfaces.values())
+
+    def test_reboot_discards_all_mutations(self, host):
+        """The live-boot property (R3): nothing survives a reboot."""
+        host.run_command("sysctl -w net.ipv4.ip_forward=1")
+        host.run_command("ip link set eno1 up")
+        host.write_file("/etc/conf", "data")
+        host.boot("debian-buster", "20201012T000000Z")
+        assert host.sysctl["net.ipv4.ip_forward"] == "0"
+        assert not host.interfaces["eno1"].up
+        assert "/etc/conf" not in host.filesystem
+
+    def test_boot_count_increments(self, host):
+        assert host.boot_count == 1
+        host.boot("debian-buster", "v2")
+        assert host.boot_count == 2
+
+    def test_shutdown_makes_unreachable(self, host):
+        host.shutdown()
+        assert not host.reachable
+        with pytest.raises(NodeError, match="not reachable"):
+            host.run_command("echo hi")
+
+    def test_wedged_host_unreachable_until_reboot(self, host):
+        host.wedge()
+        assert not host.reachable
+        with pytest.raises(NodeError):
+            host.run_command("echo hi")
+        host.boot("debian-buster", "v1")
+        assert host.reachable
+
+    def test_boot_parameters_recorded(self, host):
+        host.boot("img", "v1", boot_parameters={"isolcpus": "1-11"})
+        assert host.boot_parameters == {"isolcpus": "1-11"}
+        assert host.describe()["boot_parameters"] == {"isolcpus": "1-11"}
+
+
+class TestForwardingPredicate:
+    def test_requires_sysctl_and_links(self, host):
+        assert not host.forwarding_enabled
+        host.run_command("sysctl -w net.ipv4.ip_forward=1")
+        assert not host.forwarding_enabled  # links still down
+        host.run_command("ip link set eno1 up")
+        host.run_command("ip link set eno2 up")
+        assert host.forwarding_enabled
+
+    def test_wedged_host_does_not_forward(self, host):
+        host.run_command("sysctl -w net.ipv4.ip_forward=1")
+        host.run_command("ip link set eno1 up")
+        host.run_command("ip link set eno2 up")
+        host.wedge()
+        assert not host.forwarding_enabled
+
+
+class TestShell:
+    def test_echo(self, host):
+        result = host.run_command("echo hello world")
+        assert result.ok and result.stdout == "hello world"
+
+    def test_quoted_arguments(self, host):
+        result = host.run_command("echo 'a  b'")
+        assert result.stdout == "a  b"
+
+    def test_unknown_command_127(self, host):
+        result = host.run_command("nonexistent-tool --flag")
+        assert result.exit_code == 127
+        assert "command not found" in result.stdout
+
+    def test_parse_error_reported(self, host):
+        result = host.run_command("echo 'unterminated")
+        assert result.exit_code == 2
+
+    def test_empty_command_ok(self, host):
+        assert host.run_command("").ok
+
+    def test_hostname_uname(self, host):
+        assert host.run_command("hostname").stdout == "tartu"
+        assert "4.19.0-11" in host.run_command("uname -a").stdout
+        assert host.run_command("uname -r").stdout == "4.19.0-11"
+
+    def test_sysctl_read_write(self, host):
+        write = host.run_command("sysctl -w net.core.rmem_max=4096")
+        assert write.ok
+        read = host.run_command("sysctl net.core.rmem_max")
+        assert read.stdout == "net.core.rmem_max = 4096"
+
+    def test_sysctl_unknown_key(self, host):
+        assert host.run_command("sysctl no.such.key").exit_code == 255
+
+    def test_ip_link_set_and_show(self, host):
+        assert host.run_command("ip link set eno1 up").ok
+        show = host.run_command("ip link show")
+        assert "eno1" in show.stdout and "state UP" in show.stdout
+
+    def test_ip_link_unknown_device(self, host):
+        result = host.run_command("ip link set eth9 up")
+        assert not result.ok
+        assert "Cannot find device" in result.stdout
+
+    def test_ip_addr_add_and_duplicate(self, host):
+        assert host.run_command("ip addr add 10.0.0.1/24 dev eno1").ok
+        duplicate = host.run_command("ip addr add 10.0.0.1/24 dev eno1")
+        assert duplicate.exit_code == 2  # RTNETLINK File exists
+
+    def test_file_commands(self, host):
+        host.run_command("write-file /tmp/x hello")
+        assert host.run_command("cat /tmp/x").stdout == "hello"
+        assert host.run_command("rm /tmp/x").ok
+        assert not host.run_command("cat /tmp/x").ok
+
+    def test_rm_force(self, host):
+        assert host.run_command("rm -f /does/not/exist").ok
+        assert not host.run_command("rm /does/not/exist").ok
+
+    def test_sleep_validates_argument(self, host):
+        assert host.run_command("sleep 0.5").ok
+        assert not host.run_command("sleep soon").ok
+
+    def test_lscpu_reports_model(self, host):
+        assert "Xeon" in host.run_command("lscpu").stdout
+
+    def test_ethtool_reports_speed_with_nic(self, host):
+        from repro.netsim.engine import Simulator
+        from repro.netsim.nic import HardwareNic
+
+        host.interfaces["eno1"].nic = HardwareNic(Simulator(), "tartu.eno1")
+        output = host.run_command("ethtool eno1").stdout
+        assert "10000Mb/s" in output
+
+    def test_registered_command_extension(self, host):
+        host.register_command("moongen", lambda args: (0, f"ran {' '.join(args)}"))
+        result = host.run_command("moongen --rate 1000")
+        assert result.stdout == "ran --rate 1000"
+
+    def test_command_log_accumulates(self, host):
+        host.run_command("echo 1")
+        host.run_command("echo 2")
+        assert [entry.command for entry in host.command_log] == ["echo 1", "echo 2"]
+
+    def test_describe_inventory(self, host):
+        info = host.describe()
+        assert info["hostname"] == "tartu"
+        assert info["image"] == "debian-buster"
+        assert len(info["interfaces"]) == 2

@@ -1,0 +1,76 @@
+"""Additional host-shell coverage: addressing, inventory, modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.host import SimHost
+
+
+@pytest.fixture
+def host():
+    h = SimHost("tartu")
+    h.boot("debian-buster", "v1")
+    return h
+
+
+class TestAddressing:
+    def test_ip_addr_show_lists_assignments(self, host):
+        host.run_command("ip addr add 10.0.0.1/24 dev eno1")
+        host.run_command("ip addr add 10.0.1.1/24 dev eno2")
+        output = host.run_command("ip addr show").stdout
+        assert "10.0.0.1/24" in output and "dev eno1" in output
+        assert "10.0.1.1/24" in output
+
+    def test_ip_addr_usage_errors(self, host):
+        assert not host.run_command("ip addr add 10.0.0.1/24").ok
+        assert not host.run_command("ip addr add 10.0.0.1/24 dev eth7").ok
+
+    def test_ip_unknown_object(self, host):
+        result = host.run_command("ip route add default")
+        assert not result.ok
+
+    def test_addresses_cleared_on_reboot(self, host):
+        host.run_command("ip addr add 10.0.0.1/24 dev eno1")
+        host.boot("debian-buster", "v1")
+        assert host.run_command("ip addr show").stdout == ""
+
+
+class TestInventoryCommands:
+    def test_free_reports_memory(self, host):
+        output = host.run_command("free").stdout
+        assert str(64 * 1024 * 1024) in output
+
+    def test_modprobe_records_module(self, host):
+        assert host.run_command("modprobe vfio-pci").ok
+        assert "vfio-pci" in host.run_command("cat /proc/modules").stdout
+
+    def test_modprobe_requires_argument(self, host):
+        assert not host.run_command("modprobe").ok
+
+    def test_ethtool_without_nic_backing(self, host):
+        output = host.run_command("ethtool eno1").stdout
+        assert "Unknown!" in output
+
+    def test_mac_addresses_are_stable_and_distinct(self):
+        host_a = SimHost("tartu")
+        host_b = SimHost("tartu")
+        assert (
+            host_a.interfaces["eno1"].mac == host_b.interfaces["eno1"].mac
+        )
+        assert (
+            host_a.interfaces["eno1"].mac != host_a.interfaces["eno2"].mac
+        )
+
+
+class TestWriteGuards:
+    def test_write_and_read_require_reachability(self, host):
+        host.wedge()
+        with pytest.raises(Exception):
+            host.write_file("/x", "y")
+        with pytest.raises(Exception):
+            host.read_file("/x")
+
+    def test_read_missing_file(self, host):
+        with pytest.raises(Exception, match="no such file"):
+            host.read_file("/missing")

@@ -1,0 +1,162 @@
+"""Tests for the multi-core RSS router and the robustness cliff model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.netsim.engine import Simulator
+from repro.netsim.link import DirectWire
+from repro.netsim.multicore import MultiCoreRouter
+from repro.netsim.nic import HardwareNic
+from repro.netsim.packet import Packet
+from repro.netsim.router import LinuxRouter
+
+
+def rig(sim, cores=4, line_rate_bps=100e9, **kwargs):
+    """High-line-rate rig so the CPU, not the wire, is the bottleneck."""
+    tx = HardwareNic(sim, "tx", line_rate_bps=line_rate_bps)
+    rx = HardwareNic(sim, "rx", line_rate_bps=line_rate_bps)
+    p0 = HardwareNic(sim, "p0", line_rate_bps=line_rate_bps)
+    p1 = HardwareNic(sim, "p1", line_rate_bps=line_rate_bps)
+    router = MultiCoreRouter(sim, cores=cores, **kwargs)
+    router.add_port(p0)
+    router.add_port(p1)
+    DirectWire(sim, tx, p0)
+    DirectWire(sim, p1, rx)
+    received = []
+    rx.set_rx_handler(received.append)
+    return tx, router, received
+
+
+def offer(sim, tx, rate_pps, duration, flows, frame_size=64):
+    count = int(rate_pps * duration)
+    for seq in range(count):
+        sim.schedule(
+            seq / rate_pps,
+            tx.transmit,
+            Packet(seq=seq, frame_size=frame_size, flow=seq % flows),
+        )
+    return count
+
+
+class TestRssSteering:
+    def test_one_flow_uses_one_core(self):
+        sim = Simulator()
+        tx, router, received = rig(sim)
+        offer(sim, tx, rate_pps=1_000_000, duration=0.01, flows=1)
+        sim.run()
+        active = [count for count in router.per_core_forwarded if count > 0]
+        assert len(active) == 1
+
+    def test_flows_spread_across_cores(self):
+        sim = Simulator()
+        tx, router, received = rig(sim, cores=4)
+        offer(sim, tx, rate_pps=1_000_000, duration=0.01, flows=4)
+        sim.run()
+        active = [count for count in router.per_core_forwarded if count > 0]
+        assert len(active) == 4
+        # Round-robin flows load the cores evenly.
+        assert max(active) - min(active) <= max(active) * 0.05 + 1
+
+    def test_same_flow_always_same_core(self):
+        sim = Simulator()
+        router = MultiCoreRouter(sim, cores=8)
+        packet = Packet(seq=0, frame_size=64, flow=5)
+        assert router.core_for(packet) == router.core_for(packet)
+
+    @staticmethod
+    def _ceiling(flows, cores, duration=0.01):
+        """Saturated throughput, counting only in-window arrivals so the
+        post-window backlog drain does not inflate the rate."""
+        sim = Simulator()
+        tx, router, received = rig(sim, cores=cores)
+        times = []
+        router.ports[1].link.peer(router.ports[1]).set_rx_handler(
+            lambda p: times.append(sim.now)
+        )
+        offer(sim, tx, rate_pps=9_000_000, duration=duration, flows=flows)
+        sim.run()
+        return sum(1 for moment in times if moment <= duration) / duration
+
+    def test_throughput_scales_with_flow_count(self):
+        """Single-flow ceiling ~1.75 Mpps; four flows on four cores get
+        close to 4x."""
+        one = self._ceiling(flows=1, cores=4)
+        four = self._ceiling(flows=4, cores=4)
+        assert one == pytest.approx(1.75e6, rel=0.05)
+        assert four == pytest.approx(4 * 1.75e6, rel=0.05)
+
+    def test_more_flows_than_cores_caps_at_cores(self):
+        assert self._ceiling(flows=8, cores=2) == pytest.approx(
+            2 * 1.75e6, rel=0.05
+        )
+
+    def test_pause_resume_all_cores(self):
+        sim = Simulator()
+        tx, router, received = rig(sim, cores=2)
+        router.pause()
+        offer(sim, tx, rate_pps=100_000, duration=0.001, flows=2)
+        sim.run(until=0.01)
+        assert received == []
+        assert router.backlog_depth > 0
+        router.resume()
+        sim.run()
+        assert len(received) > 0
+
+    def test_invalid_core_count(self):
+        with pytest.raises(SimulationError):
+            MultiCoreRouter(Simulator(), cores=0)
+
+    def test_describe_reports_cores(self):
+        assert MultiCoreRouter(Simulator(), cores=6).describe()["cores"] == 6
+
+
+class TestDescriptorCliff:
+    def test_default_buffers_have_no_cliff_below_1518(self):
+        router = LinuxRouter(Simulator())
+        assert router.descriptors_for(64) == 1
+        assert router.descriptors_for(1518) == 1
+
+    def test_small_buffers_create_cliff(self):
+        router = LinuxRouter(Simulator(), rx_buffer_bytes=1024)
+        assert router.descriptors_for(1024) == 1
+        assert router.descriptors_for(1025) == 2
+
+    def test_service_time_steps_at_buffer_boundary(self):
+        router = LinuxRouter(
+            Simulator(), rx_buffer_bytes=1024, extra_descriptor_cost_s=300e-9
+        )
+        below = router.service_time(Packet(seq=0, frame_size=1024))
+        above = router.service_time(Packet(seq=0, frame_size=1025))
+        assert above - below == pytest.approx(300e-9, rel=0.01)
+
+    def test_moongen_flows_parameter(self):
+        from repro.loadgen.moongen import MoonGen
+
+        sim = Simulator()
+        tx = HardwareNic(sim, "lg.tx", line_rate_bps=100e9)
+        rx = HardwareNic(sim, "lg.rx", line_rate_bps=100e9)
+        p0 = HardwareNic(sim, "p0", line_rate_bps=100e9)
+        p1 = HardwareNic(sim, "p1", line_rate_bps=100e9)
+        router = MultiCoreRouter(sim, cores=4)
+        router.add_port(p0)
+        router.add_port(p1)
+        DirectWire(sim, tx, p0)
+        DirectWire(sim, p1, rx)
+        gen = MoonGen(sim, tx, rx)
+        job = gen.start(rate_pps=6_000_000, frame_size=64, duration_s=0.01,
+                        flows=4)
+        sim.run(until=0.05)
+        assert job.rx_mpps == pytest.approx(6.0, rel=0.05)  # 4 cores keep up
+        active = [count for count in router.per_core_forwarded if count > 0]
+        assert len(active) == 4
+
+    def test_moongen_invalid_flows(self):
+        from repro.loadgen.moongen import MoonGen
+
+        sim = Simulator()
+        tx, rx = HardwareNic(sim, "a"), HardwareNic(sim, "b")
+        gen = MoonGen(sim, tx, rx)
+        with pytest.raises(SimulationError, match="flow"):
+            gen.start(rate_pps=1000, frame_size=64, duration_s=0.1, flows=0)

@@ -1,0 +1,226 @@
+"""Tests for packets, NICs, and interconnect models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SimulationError, TopologyError
+from repro.netsim.engine import Simulator
+from repro.netsim.link import (
+    PROPAGATION_DELAY_PER_METER,
+    CutThroughSwitchPort,
+    DirectWire,
+    OpticalL1Switch,
+)
+from repro.netsim.nic import HardwareNic, Nic, VirtioNic
+from repro.netsim.packet import (
+    ETHERNET_OVERHEAD_BYTES,
+    Packet,
+    line_rate_pps,
+    wire_bits,
+)
+
+
+class TestPacket:
+    def test_wire_bits_include_framing(self):
+        assert wire_bits(64) == (64 + ETHERNET_OVERHEAD_BYTES) * 8
+
+    def test_line_rate_64b_at_10g_is_14_88_mpps(self):
+        """The canonical 10 GbE small-packet line rate."""
+        assert line_rate_pps(10e9, 64) == pytest.approx(14.88e6, rel=1e-3)
+
+    def test_line_rate_1500b_at_10g_is_0_82_mpps(self):
+        """The ceiling that caps Fig. 3a's 1500 B curve."""
+        assert line_rate_pps(10e9, 1500) == pytest.approx(0.822e6, rel=1e-2)
+
+    def test_frame_size_bounds_enforced(self):
+        with pytest.raises(SimulationError):
+            Packet(seq=0, frame_size=32)
+        with pytest.raises(SimulationError):
+            Packet(seq=0, frame_size=9000)
+
+    def test_latency_requires_both_timestamps(self):
+        packet = Packet(seq=0, frame_size=64)
+        assert packet.latency is None
+        packet.tx_time = 1.0
+        assert packet.latency is None
+        packet.rx_time = 1.5
+        assert packet.latency == pytest.approx(0.5)
+
+
+def wire_pair(sim, link_class=DirectWire, **kwargs):
+    a = HardwareNic(sim, "a")
+    b = HardwareNic(sim, "b")
+    link = link_class(sim, a, b, **kwargs)
+    return a, b, link
+
+
+class TestNic:
+    def test_transmit_delivers_to_peer(self):
+        sim = Simulator()
+        a, b, __ = wire_pair(sim)
+        received = []
+        b.set_rx_handler(received.append)
+        a.transmit(Packet(seq=1, frame_size=64))
+        sim.run()
+        assert len(received) == 1
+        assert received[0].seq == 1
+
+    def test_serialization_delay_matches_line_rate(self):
+        sim = Simulator()
+        a, b, __ = wire_pair(sim, length_m=0.0)
+        times = []
+        b.set_rx_handler(lambda p: times.append(sim.now))
+        a.transmit(Packet(seq=0, frame_size=64))
+        sim.run()
+        assert times[0] == pytest.approx(wire_bits(64) / 10e9)
+
+    def test_back_to_back_frames_serialize_sequentially(self):
+        sim = Simulator()
+        a, b, __ = wire_pair(sim, length_m=0.0)
+        times = []
+        b.set_rx_handler(lambda p: times.append(sim.now))
+        for seq in range(3):
+            a.transmit(Packet(seq=seq, frame_size=64))
+        sim.run()
+        gap = wire_bits(64) / 10e9
+        assert times == pytest.approx([gap, 2 * gap, 3 * gap])
+
+    def test_unwired_port_drops(self):
+        sim = Simulator()
+        nic = Nic(sim, "lonely")
+        assert not nic.transmit(Packet(seq=0, frame_size=64))
+        assert nic.stats.tx_dropped == 1
+
+    def test_tx_ring_overflow_drops(self):
+        sim = Simulator()
+        a, b, __ = wire_pair(sim)
+        a.tx_ring_size = 4
+        sent = sum(
+            1 for seq in range(10) if a.transmit(Packet(seq=seq, frame_size=64))
+        )
+        assert sent < 10
+        assert a.stats.tx_dropped == 10 - sent
+
+    def test_rx_without_handler_drops(self):
+        sim = Simulator()
+        a, b, __ = wire_pair(sim)
+        a.transmit(Packet(seq=0, frame_size=64))
+        sim.run()
+        assert b.stats.rx_dropped == 1
+
+    def test_counters_track_bytes(self):
+        sim = Simulator()
+        a, b, __ = wire_pair(sim)
+        b.set_rx_handler(lambda p: None)
+        a.transmit(Packet(seq=0, frame_size=1500))
+        sim.run()
+        assert a.stats.tx_bytes == 1500
+        assert b.stats.rx_bytes == 1500
+
+    def test_double_wiring_rejected(self):
+        sim = Simulator()
+        a, b, __ = wire_pair(sim)
+        c = HardwareNic(sim, "c")
+        with pytest.raises(TopologyError, match="already wired"):
+            DirectWire(sim, a, c)
+
+    def test_timestamping_capability(self):
+        sim = Simulator()
+        assert HardwareNic(sim, "hw").supports_timestamping
+        assert not VirtioNic(sim, "virt").supports_timestamping
+
+    def test_invalid_line_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            Nic(Simulator(), "x", line_rate_bps=0)
+
+
+@given(
+    count=st.integers(min_value=1, max_value=60),
+    frame_size=st.integers(min_value=64, max_value=1518),
+)
+@settings(max_examples=40, deadline=None)
+def test_nic_conservation_property(count, frame_size):
+    """Every transmitted frame is either received by the peer or counted
+    as dropped somewhere — no packet vanishes."""
+    sim = Simulator()
+    a = HardwareNic(sim, "a", tx_ring_size=16)
+    b = HardwareNic(sim, "b", rx_ring_size=16)
+    DirectWire(sim, a, b)
+    received = []
+    b.set_rx_handler(received.append)
+    for seq in range(count):
+        a.transmit(Packet(seq=seq, frame_size=frame_size))
+    sim.run()
+    assert a.stats.tx_packets + a.stats.tx_dropped == count
+    assert len(received) + b.stats.rx_dropped == a.stats.tx_packets
+
+
+class TestInterconnects:
+    def _one_way_delay(self, link_class, **kwargs):
+        sim = Simulator()
+        a, b, __ = wire_pair(sim, link_class=link_class, length_m=2.0, **kwargs)
+        times = []
+        b.set_rx_handler(lambda p: times.append(sim.now))
+        a.transmit(Packet(seq=0, frame_size=64))
+        sim.run()
+        return times[0] - wire_bits(64) / 10e9
+
+    def test_direct_wire_is_propagation_only(self):
+        delay = self._one_way_delay(DirectWire)
+        assert delay == pytest.approx(2.0 * PROPAGATION_DELAY_PER_METER)
+
+    def test_optical_l1_adds_sub_15ns(self):
+        """Sec. 7: the optical switch impact is lower than 15 ns."""
+        extra = self._one_way_delay(OpticalL1Switch) - self._one_way_delay(DirectWire)
+        assert 0 < extra <= 15e-9
+
+    def test_cut_through_adds_about_300ns(self):
+        """Sec. 7: an L2 cut-through switch adds ~300 ns."""
+        extra = self._one_way_delay(CutThroughSwitchPort) - self._one_way_delay(
+            DirectWire
+        )
+        assert extra == pytest.approx(300e-9, rel=0.05)
+
+    def test_background_load_adds_jitter(self):
+        quiet = []
+        contended = []
+        for target, load in ((quiet, 0.0), (contended, 0.8)):
+            sim = Simulator()
+            a, b, __ = wire_pair(
+                sim, link_class=CutThroughSwitchPort, background_load=load, seed=1
+            )
+            b.set_rx_handler(lambda p, t=target: t.append(p))
+            times = []
+            b.set_rx_handler(lambda p, t=times: t.append(sim.now))
+            for seq in range(200):
+                sim.schedule(seq * 1e-5, a.transmit, Packet(seq=seq, frame_size=64))
+            sim.run()
+            gaps = [t2 - t1 for t1, t2 in zip(times, times[1:])]
+            spread = max(gaps) - min(gaps)
+            target.append(spread)
+        assert contended[-1] > quiet[-1] * 10
+
+    def test_invalid_background_load_rejected(self):
+        sim = Simulator()
+        a = HardwareNic(sim, "a")
+        b = HardwareNic(sim, "b")
+        with pytest.raises(TopologyError):
+            CutThroughSwitchPort(sim, a, b, background_load=1.5)
+
+    def test_self_loop_rejected(self):
+        sim = Simulator()
+        nic = HardwareNic(sim, "a")
+        with pytest.raises(TopologyError, match="itself"):
+            DirectWire(sim, nic, nic)
+
+    def test_peer_lookup(self):
+        sim = Simulator()
+        a, b, link = wire_pair(sim)
+        assert link.peer(a) is b
+        assert link.peer(b) is a
+        stranger = HardwareNic(sim, "c")
+        with pytest.raises(TopologyError):
+            link.peer(stranger)

@@ -1,0 +1,81 @@
+"""Tests for the Fig. 2 workflow-diagram generator."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.casestudy import build_case_study_experiment
+from repro.core.experiment import Experiment, Role
+from repro.core.scripts import CommandScript
+from repro.core.variables import Variables
+from repro.publication.workflow import workflow_outline, workflow_svg
+
+
+@pytest.fixture
+def experiment():
+    return build_case_study_experiment("pos", rates=[1, 2], sizes=(64,))
+
+
+class TestOutline:
+    def test_three_phases_in_order(self, experiment):
+        outline = workflow_outline(experiment)
+        setup = outline.index("phase: setup")
+        measure = outline.index("phase: measurement")
+        evaluate = outline.index("phase: evaluation")
+        assert setup < measure < evaluate
+
+    def test_allocation_lists_nodes(self, experiment):
+        outline = workflow_outline(experiment)
+        assert "allocate riga, tartu" in outline
+
+    def test_variable_files_listed_per_role(self, experiment):
+        outline = workflow_outline(experiment)
+        assert "local[loadgen]" in outline and "local[dut]" in outline
+
+    def test_run_count_from_cross_product(self, experiment):
+        outline = workflow_outline(experiment)
+        assert "runs: 2" in outline
+
+    def test_image_pins_shown(self, experiment):
+        outline = workflow_outline(experiment)
+        assert "boot debian-buster@20201012T000000Z on tartu" in outline
+
+    def test_scripts_named(self, experiment):
+        outline = workflow_outline(experiment)
+        assert "run loadgen-setup" in outline
+        assert "run dut-measurement per run" in outline
+
+
+class TestSvg:
+    def test_valid_xml(self, experiment):
+        ET.fromstring(workflow_svg(experiment))
+
+    def test_band_per_phase(self, experiment):
+        svg = workflow_svg(experiment)
+        for phase in ("setup phase", "measurement phase", "evaluation phase"):
+            assert phase in svg
+
+    def test_labels_escaped(self):
+        experiment = Experiment(
+            name="a<b>&c",
+            roles=[
+                Role(
+                    name="dut",
+                    node="tartu",
+                    setup=CommandScript("s<etup", ["true"]),
+                    measurement=CommandScript("m&easure", ["true"]),
+                )
+            ],
+            variables=Variables(),
+        )
+        svg = workflow_svg(experiment)
+        ET.fromstring(svg)  # would fail on raw < or &
+        assert "a&lt;b&gt;&amp;c" in svg
+
+    def test_file_boxes_for_every_script(self, experiment):
+        svg = workflow_svg(experiment)
+        assert "loadgen-setup @ riga" in svg
+        assert "dut-measurement @ tartu" in svg
+        assert "publication script" in svg

@@ -1,0 +1,183 @@
+"""Integration tests: the full case study on both platforms.
+
+These check the *shape* results the paper reports in Sec. 5 — who wins,
+by what factor, and where the qualitative behaviours (size-independent
+VM ceiling, instability under overload, missing VM latency) appear.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.casestudy import (
+    PACKET_SIZES,
+    POS_RATES,
+    VPOS_RATES,
+    build_case_study_experiment,
+    build_environment,
+    run_case_study,
+)
+from repro.core.errors import ExperimentError
+from repro.evaluation.loader import load_experiment
+
+
+@pytest.fixture(scope="module")
+def pos_handle(tmp_path_factory):
+    return run_case_study(
+        "pos",
+        str(tmp_path_factory.mktemp("pos")),
+        rates=[500_000, 1_000_000, 1_500_000, 2_000_000],
+        sizes=(64, 1500),
+        duration_s=0.05,
+        interval_s=0.01,
+    )
+
+
+@pytest.fixture(scope="module")
+def vpos_handle(tmp_path_factory):
+    return run_case_study(
+        "vpos",
+        str(tmp_path_factory.mktemp("vpos")),
+        rates=[10_000, 30_000, 50_000, 100_000, 200_000],
+        sizes=(64, 1500),
+        duration_s=0.25,
+        interval_s=0.05,
+        seed=1,
+    )
+
+
+class TestExperimentDefinition:
+    def test_default_vpos_sweep_matches_appendix(self):
+        experiment = build_case_study_experiment("vpos")
+        assert experiment.variables.run_count() == 60  # 2 sizes x 30 rates
+        assert experiment.variables.loop_vars["pkt_rate"] == VPOS_RATES
+        assert VPOS_RATES[0] == 10_000 and VPOS_RATES[-1] == 300_000
+
+    def test_planned_duration_is_three_hours(self):
+        experiment = build_case_study_experiment("vpos")
+        assert experiment.duration_s == pytest.approx(3 * 3600)
+
+    def test_roles_and_nodes_per_platform(self):
+        pos_exp = build_case_study_experiment("pos")
+        assert pos_exp.node_names == ["riga", "tartu"]
+        vpos_exp = build_case_study_experiment("vpos")
+        assert vpos_exp.node_names == ["vriga", "vtartu"]
+
+    def test_same_scripts_on_both_platforms(self):
+        """The paper: experiment scripts are the same for both setups."""
+        pos_exp = build_case_study_experiment("pos")
+        vpos_exp = build_case_study_experiment("vpos")
+        assert (
+            pos_exp.role("dut").setup.describe()["commands"]
+            == vpos_exp.role("dut").setup.describe()["commands"]
+        )
+        assert (
+            pos_exp.role("loadgen").measurement.describe()["callable"]
+            == vpos_exp.role("loadgen").measurement.describe()["callable"]
+        )
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ExperimentError):
+            build_case_study_experiment("qpos")
+        with pytest.raises(ExperimentError):
+            build_environment("qpos", "/tmp/x")
+
+
+class TestPosShape:
+    def test_all_runs_complete(self, pos_handle):
+        assert pos_handle.completed_runs == 8
+        assert pos_handle.failed_runs == 0
+
+    def test_64b_ceiling_1_75_mpps(self, pos_handle):
+        results = load_experiment(pos_handle.result_path)
+        peak = max(
+            run.moongen().rx_mpps for run in results.filter(pkt_sz=64)
+        )
+        assert peak == pytest.approx(1.75, rel=0.05)
+
+    def test_1500b_line_rate_bound(self, pos_handle):
+        results = load_experiment(pos_handle.result_path)
+        peak = max(
+            run.moongen().rx_mpps for run in results.filter(pkt_sz=1500)
+        )
+        assert peak == pytest.approx(0.82, rel=0.05)
+
+    def test_below_ceiling_is_drop_free(self, pos_handle):
+        results = load_experiment(pos_handle.result_path)
+        run = results.filter(pkt_sz=64, pkt_rate=500_000)[0]
+        assert run.moongen().loss_fraction < 0.01
+
+    def test_latency_collected_on_hardware(self, pos_handle):
+        results = load_experiment(pos_handle.result_path)
+        run = results.filter(pkt_sz=64, pkt_rate=500_000)[0]
+        assert "histogram.csv" in run.outputs["loadgen"]
+        assert run.moongen().latency is not None
+
+
+class TestVposShape:
+    def test_all_runs_complete(self, vpos_handle):
+        assert vpos_handle.completed_runs == 10
+
+    def test_drop_free_ceiling_near_004_for_both_sizes(self, vpos_handle):
+        """Fig. 3b: drop-free forwarding up to ~0.04 Mpps regardless of
+        packet size."""
+        results = load_experiment(vpos_handle.result_path)
+        for size in (64, 1500):
+            low = results.filter(pkt_sz=size, pkt_rate=30_000)[0].moongen()
+            assert low.loss_fraction < 0.02, f"pkt_sz={size} should be drop-free"
+            high = results.filter(pkt_sz=size, pkt_rate=200_000)[0].moongen()
+            assert high.rx_mpps < 0.08, f"pkt_sz={size} ceiling blown"
+
+    def test_no_latency_histograms_in_vm(self, vpos_handle):
+        results = load_experiment(vpos_handle.result_path)
+        for run in results.runs:
+            assert "histogram.csv" not in run.outputs.get("loadgen", {})
+
+    def test_dut_stats_uploaded(self, vpos_handle):
+        results = load_experiment(vpos_handle.result_path)
+        stats = results.runs[0].output("dut", "dut-stats.txt")
+        assert "router forwarding statistics" in stats
+
+
+class TestCrossPlatform:
+    def test_factor_tens_between_pos_and_vpos(self, pos_handle, vpos_handle):
+        """Sec. 5: 'a decrease in the maximum forwarding throughput by a
+        factor of up to 44'."""
+        pos_results = load_experiment(pos_handle.result_path)
+        vpos_results = load_experiment(vpos_handle.result_path)
+        pos_peak = max(run.moongen().rx_mpps for run in pos_results.filter(pkt_sz=64))
+        vpos_ceiling = max(
+            run.moongen().rx_mpps
+            for run in vpos_results.filter(pkt_sz=64)
+            if run.moongen().loss_fraction < 0.02
+        )
+        factor = pos_peak / vpos_ceiling
+        assert 25 <= factor <= 70
+
+    def test_result_format_identical_across_platforms(
+        self, pos_handle, vpos_handle
+    ):
+        """The same evaluation pipeline consumes both result trees."""
+        for handle in (pos_handle, vpos_handle):
+            results = load_experiment(handle.result_path)
+            output = results.runs[0].moongen()
+            assert output.tx_summary is not None
+            assert os.path.isfile(
+                os.path.join(handle.result_path, "run-000", "metadata.yml")
+            )
+
+    def test_reproducibility_same_seed_same_results(self, tmp_path):
+        """Running the identical vpos experiment twice with the same
+        seed yields identical packet counts — repeatability by design."""
+        def totals(sub):
+            handle = run_case_study(
+                "vpos", str(tmp_path / sub), rates=[100_000], sizes=(64,),
+                duration_s=0.1, seed=9,
+            )
+            results = load_experiment(handle.result_path)
+            output = results.runs[0].moongen()
+            return (output.tx_summary.packets, output.rx_summary.packets)
+
+        assert totals("a") == totals("b")

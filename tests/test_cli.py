@@ -1,0 +1,164 @@
+"""Tests for the ``pos`` command-line interface."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.casestudy import run_case_study
+from repro.cli.main import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--results", "/tmp/r"])
+        assert args.platform == "vpos"
+        assert args.sizes == [64, 1500]
+
+    def test_rate_list_parsing(self):
+        args = build_parser().parse_args(
+            ["run", "--results", "/tmp/r", "--rates", "1000,2000"]
+        )
+        assert args.rates == [1000, 2000]
+
+    def test_bad_rate_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--results", "/tmp/r", "--rates", "a,b"]
+            )
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--results", "/tmp/r",
+                                       "--platform", "qemu"])
+
+
+class TestCommands:
+    def test_compare_prints_table(self, capsys):
+        assert main(["compare"]) == 0
+        output = capsys.readouterr().out
+        assert "pos" in output and "Grid'5000" in output
+
+    def test_nodes_lists_platform_hosts(self, capsys):
+        assert main(["nodes", "--platform", "pos"]) == 0
+        output = capsys.readouterr().out
+        assert "riga" in output and "tartu" in output
+        assert "ipmi" in output
+
+    def test_images_lists_registry(self, capsys):
+        assert main(["images"]) == 0
+        assert "debian-buster@" in capsys.readouterr().out
+
+    def test_topology_writes_svg(self, tmp_path, capsys):
+        target = str(tmp_path / "fig1.svg")
+        assert main(["topology", "--platform", "pos", "--output", target]) == 0
+        with open(target) as handle:
+            svg = handle.read()
+        assert svg.startswith("<svg") and "kaunas" in svg
+
+    def test_run_evaluate_publish_round_trip(self, tmp_path, capsys):
+        results_root = str(tmp_path / "results")
+        code = main([
+            "run", "--platform", "pos", "--results", results_root,
+            "--rates", "1000000", "--sizes", "64",
+            "--duration", "0.02",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "runs completed: 1" in output
+        result_path = [
+            line.split(": ", 1)[1]
+            for line in output.splitlines()
+            if line.startswith("results: ")
+        ][0]
+
+        assert main(["evaluate", "--results", result_path,
+                     "--formats", "svg"]) == 0
+        assert "throughput.svg" in capsys.readouterr().out
+
+        assert main(["publish", "--results", result_path,
+                     "--repo", "https://example.org/r"]) == 0
+        publish_output = capsys.readouterr().out
+        assert "archive:" in publish_output
+        assert os.path.isfile(os.path.join(result_path, "README.md"))
+
+    def test_evaluate_missing_results_fails_cleanly(self, capsys):
+        assert main(["evaluate", "--results", "/no/such/dir"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_max_runs_flag(self, tmp_path, capsys):
+        code = main([
+            "run", "--platform", "pos", "--results", str(tmp_path),
+            "--rates", "1000,2000,3000", "--sizes", "64",
+            "--duration", "0.01", "--max-runs", "1",
+        ])
+        assert code == 0
+        assert "runs completed: 1" in capsys.readouterr().out
+
+
+class TestReplicationCommand:
+    def _run_once(self, root, seed):
+        handle = run_case_study(
+            "pos", root, rates=[1_000_000], sizes=(64,),
+            duration_s=0.02, interval_s=0.01, seed=seed,
+        )
+        return handle.result_path
+
+    def test_identical_runs_repeat(self, tmp_path, capsys):
+        a = self._run_once(str(tmp_path / "a"), seed=1)
+        b = self._run_once(str(tmp_path / "b"), seed=1)
+        code = main(["check-replication", "--original", a, "--rerun", b])
+        assert code == 0
+        assert "REPEATS" in capsys.readouterr().out
+
+    def test_structurally_different_runs_fail(self, tmp_path, capsys):
+        a = self._run_once(str(tmp_path / "a"), seed=1)
+        handle = run_case_study(
+            "pos", str(tmp_path / "b"), rates=[2_000_000], sizes=(64,),
+            duration_s=0.02, interval_s=0.01,
+        )
+        code = main(["check-replication", "--original", a,
+                     "--rerun", handle.result_path])
+        assert code == 1
+        assert "DIFFERS" in capsys.readouterr().out
+
+
+class TestExportAndRunDir:
+    def test_export_writes_artifact_folder(self, tmp_path, capsys):
+        code = main([
+            "export", "--output", str(tmp_path / "artifact"),
+            "--platform", "vpos", "--rates", "20000,40000",
+            "--sizes", "64", "--duration", "0.1",
+        ])
+        assert code == 0
+        assert (tmp_path / "artifact" / "experiment.yml").is_file()
+        assert (tmp_path / "artifact" / "scripts"
+                / "loadgen-measurement.sh").is_file()
+
+    def test_run_from_experiment_dir(self, tmp_path, capsys):
+        assert main([
+            "export", "--output", str(tmp_path / "artifact"),
+            "--platform", "pos", "--rates", "1000000",
+            "--sizes", "64", "--duration", "0.02",
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "run", "--experiment-dir", str(tmp_path / "artifact"),
+            "--platform", "pos", "--results", str(tmp_path / "results"),
+        ])
+        assert code == 0
+        assert "runs completed: 1" in capsys.readouterr().out
+
+    def test_shell_style_flag(self, tmp_path, capsys):
+        code = main([
+            "run", "--platform", "pos", "--results", str(tmp_path),
+            "--rates", "1000000", "--sizes", "64", "--duration", "0.02",
+            "--script-style", "shell",
+        ])
+        assert code == 0
+        assert "runs completed: 1" in capsys.readouterr().out

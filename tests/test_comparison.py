@@ -1,0 +1,112 @@
+"""Tests for the Table 1 comparison machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comparison import (
+    PAPER_SYSTEMS,
+    REQUIREMENTS,
+    Support,
+    SystemProfile,
+    comparison_matrix,
+    evaluate_requirement,
+    format_table,
+)
+
+#: Table 1 of the paper, cell by cell.
+PAPER_TABLE = {
+    "Chameleon": ["full", "partial", "full", "n.a.", "n.a."],
+    "CloudLab": ["full", "partial", "full", "n.a.", "n.a."],
+    "Grid'5000": ["full", "partial", "full", "n.a.", "n.a."],
+    "OMF": ["n.a.", "n.a.", "n.a.", "full", "none"],
+    "NEPI": ["n.a.", "n.a.", "n.a.", "full", "none"],
+    "SNDZoo": ["n.a.", "n.a.", "n.a.", "full", "partial"],
+    "pos": ["full", "full", "full", "full", "full"],
+}
+
+
+class TestPaperTable:
+    def test_matrix_reproduces_table_1_exactly(self):
+        matrix = comparison_matrix()
+        assert set(matrix) == set(PAPER_TABLE)
+        for system, expected_row in PAPER_TABLE.items():
+            actual = [matrix[system][req].value for req in REQUIREMENTS]
+            assert actual == expected_row, f"row {system} differs"
+
+    def test_pos_is_the_only_full_row(self):
+        matrix = comparison_matrix()
+        full_rows = [
+            name
+            for name, row in matrix.items()
+            if all(cell is Support.FULL for cell in row.values())
+        ]
+        assert full_rows == ["pos"]
+
+    def test_table_text_contains_all_systems(self):
+        table = format_table()
+        for system in PAPER_TABLE:
+            assert system in table
+        assert "fully supported" in table
+
+
+class TestRuleEngine:
+    def test_methodology_gets_na_for_testbed_requirements(self):
+        profile = SystemProfile(name="m", kind="methodology", automation=True)
+        for requirement in ("R1", "R2", "R3"):
+            assert evaluate_requirement(profile, requirement) is (
+                Support.NOT_APPLICABLE
+            )
+
+    def test_testbed_gets_na_for_methodology_requirements(self):
+        profile = SystemProfile(name="t", kind="testbed")
+        for requirement in ("R4", "R5"):
+            assert evaluate_requirement(profile, requirement) is (
+                Support.NOT_APPLICABLE
+            )
+
+    def test_direct_wiring_gives_full_isolation(self):
+        profile = SystemProfile(name="t", kind="testbed", isolation="direct")
+        assert evaluate_requirement(profile, "R2") is Support.FULL
+
+    def test_switched_gives_partial_isolation(self):
+        profile = SystemProfile(name="t", kind="testbed", isolation="switched")
+        assert evaluate_requirement(profile, "R2") is Support.PARTIAL
+
+    def test_no_isolation_is_none(self):
+        profile = SystemProfile(name="t", kind="testbed")
+        assert evaluate_requirement(profile, "R2") is Support.NONE
+
+    def test_publishability_needs_evaluation_and_release(self):
+        evaluation_only = SystemProfile(
+            name="m", kind="methodology", automation=True,
+            evaluation_in_workflow=True,
+        )
+        assert evaluate_requirement(evaluation_only, "R5") is Support.PARTIAL
+        complete = SystemProfile(
+            name="m2", kind="methodology", automation=True,
+            evaluation_in_workflow=True, publication="full",
+        )
+        assert evaluate_requirement(complete, "R5") is Support.FULL
+
+    def test_adding_a_new_system_is_declarative(self):
+        """The extension point: declare capabilities, get a row."""
+        emulab = SystemProfile(
+            name="Emulab", kind="testbed",
+            heterogeneous_hardware=True, isolation="switched", recoverable=True,
+        )
+        matrix = comparison_matrix(PAPER_SYSTEMS + [emulab])
+        assert matrix["Emulab"]["R2"] is Support.PARTIAL
+        assert "Emulab" in format_table(PAPER_SYSTEMS + [emulab])
+
+    def test_unknown_requirement_rejected(self):
+        from repro.core.errors import PosError
+
+        with pytest.raises(PosError):
+            evaluate_requirement(PAPER_SYSTEMS[0], "R9")
+
+    def test_symbols(self):
+        assert Support.FULL.symbol == "Y"
+        assert Support.PARTIAL.symbol == "o"
+        assert Support.NONE.symbol == "x"
+        assert Support.NOT_APPLICABLE.symbol == "n.a."

@@ -1,0 +1,78 @@
+"""Smoke tests: the example scripts run end to end as subprocesses.
+
+Examples are part of the public surface — a release whose examples
+crash is broken no matter what the unit tests say.  The quick examples
+run here; the two long studies (`linux_router_study.py`,
+`artifact_workflow.py`) have dedicated integration coverage in
+`tests/test_casestudy.py` and `tests/test_shell_casestudy.py`.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+
+def run_example(name: str, timeout: float = 120.0) -> str:
+    completed = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert completed.returncode == 0, (
+        f"{name} failed:\n{completed.stdout}\n{completed.stderr}"
+    )
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "runs: 3 ok, 0 failed" in output
+        assert "1,000,000" in output
+
+    def test_latency_study(self):
+        output = run_example("latency_study.py")
+        assert "direct wire" in output
+        assert "cut-through 70% load" in output
+        assert "wrote 15 figure files" in output
+
+    def test_distributed_experiment(self):
+        output = run_example("distributed_experiment.py")
+        assert "nodes orchestrated: 15" in output
+        assert output.count("ok=True") == 3
+
+    def test_local_subprocess_experiment(self):
+        output = run_example("local_subprocess_experiment.py")
+        assert "gzip level" in output
+        assert "runs: 3 ok, 0 failed" in output
+
+    def test_programmable_switch(self):
+        output = run_example("programmable_switch.py")
+        assert "12.0" in output  # the 12 Mpps row
+        assert "line rate" in output
+
+    def test_generate_paper_figures(self, tmp_path):
+        completed = subprocess.run(
+            [
+                sys.executable,
+                os.path.join(_EXAMPLES_DIR, "generate_paper_figures.py"),
+                "--output", str(tmp_path / "figs"),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=400.0,
+        )
+        assert completed.returncode == 0, completed.stderr
+        produced = sorted(os.listdir(tmp_path / "figs"))
+        assert produced == [
+            "fig1.svg", "fig2.svg", "fig3a.svg", "fig3b.svg", "table1.txt",
+        ]

@@ -1,0 +1,145 @@
+"""End-to-end orchestration of *real subprocesses* through the controller.
+
+This is the reproduction's reality check: the same controller that
+drives the simulated testbed runs a full experiment against actual
+``/bin/sh`` processes in sandboxed directories — allocation, boot
+(sandbox wipe), tool deployment, setup, the measurement cross product,
+and central result collection all execute for real.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import yamlite
+from repro.core.allocation import Allocator
+from repro.core.calendar import Calendar
+from repro.core.controller import Controller
+from repro.core.errors import ScriptError
+from repro.core.experiment import Experiment, Role
+from repro.core.results import ResultStore
+from repro.core.scripts import CommandScript, PythonScript
+from repro.core.variables import Variables
+from repro.testbed.local import local_image_registry, make_local_node
+
+
+@pytest.fixture
+def local_rig(tmp_path):
+    nodes = {
+        "worker-a": make_local_node("worker-a", str(tmp_path / "a")),
+        "worker-b": make_local_node("worker-b", str(tmp_path / "b")),
+    }
+    calendar = Calendar(clock=lambda: 1000.0)
+    allocator = Allocator(calendar, nodes)
+    results = ResultStore(str(tmp_path / "results"), clock=lambda: 1.0)
+    controller = Controller(allocator, local_image_registry(), results)
+    return controller, nodes
+
+
+def local_experiment(loop_vars=None, measure_a=None):
+    roles = [
+        Role(
+            name="producer",
+            node="worker-a",
+            setup=CommandScript("producer-setup", [
+                "echo ready > setup-marker.txt",
+                "pos barrier setup-done",
+            ]),
+            measurement=measure_a or CommandScript("producer-measure", [
+                "echo payload-$count > data-$count.txt",
+                "pos barrier run-done",
+            ]),
+            image=("local-sandbox", "v1"),
+        ),
+        Role(
+            name="consumer",
+            node="worker-b",
+            setup=CommandScript("consumer-setup", ["pos barrier setup-done"]),
+            measurement=CommandScript("consumer-measure", [
+                "echo consumed run $count",
+                "pos barrier run-done",
+            ]),
+            image=("local-sandbox", "v1"),
+        ),
+    ]
+    return Experiment(
+        name="local-subprocess-exp",
+        roles=roles,
+        variables=Variables(loop_vars=loop_vars or {"count": [1, 2, 3]}),
+        duration_s=60.0,
+    )
+
+
+class TestLocalOrchestration:
+    def test_full_experiment_with_real_shell(self, local_rig, tmp_path):
+        controller, nodes = local_rig
+        handle = controller.run(local_experiment())
+        assert handle.completed_runs == 3
+        # Real files were produced by real subprocesses in the sandbox.
+        sandbox = tmp_path / "a"
+        assert (sandbox / "data-3.txt").read_text().strip() == "payload-3"
+
+    def test_command_output_lands_in_result_tree(self, local_rig):
+        controller, __ = local_rig
+        handle = controller.run(local_experiment())
+        with open(os.path.join(
+            handle.result_path, "run-001", "consumer", "commands.log"
+        )) as handle_file:
+            assert "consumed run 2" in handle_file.read()
+
+    def test_sandbox_wipe_between_experiments(self, local_rig, tmp_path):
+        """The local analogue of live-boot: resetting a node wipes its
+        sandbox, so no state leaks into the next experiment."""
+        controller, __ = local_rig
+        controller.run(local_experiment())
+        assert (tmp_path / "a" / "data-1.txt").exists()
+        handle = controller.run(local_experiment(loop_vars={"count": [9]}))
+        assert handle.completed_runs == 1
+        assert not (tmp_path / "a" / "data-1.txt").exists()
+        assert (tmp_path / "a" / "data-9.txt").exists()
+
+    def test_real_exit_codes_fail_runs(self, local_rig):
+        controller, __ = local_rig
+        experiment = local_experiment(
+            measure_a=CommandScript("boom", ["exit 7"]),
+        )
+        with pytest.raises(ScriptError, match="exit code 7"):
+            controller.run(experiment)
+
+    def test_python_script_reads_produced_files(self, local_rig):
+        controller, __ = local_rig
+
+        def harvest(ctx):
+            content = ctx.node.get_file(f"data-{ctx.variables['count']}.txt")
+            ctx.tools.upload("harvested.txt", content)
+
+        experiment = local_experiment()
+        experiment.roles[1].measurement = PythonScript("harvest", harvest)
+        # consumer must read the producer's file — different sandboxes, so
+        # communicate through the shared store instead.
+        def produce_and_share(ctx):
+            count = ctx.variables["count"]
+            ctx.tools.run(f"echo payload-{count} > data-{count}.txt")
+            ctx.tools.set_variable("data", f"payload-{count}")
+
+        def consume_shared(ctx):
+            value = ctx.tools.get_variable("data")
+            ctx.tools.upload("harvested.txt", value)
+
+        experiment.roles[0].measurement = PythonScript("produce", produce_and_share)
+        experiment.roles[1].measurement = PythonScript("consume", consume_shared)
+        handle = controller.run(experiment)
+        with open(os.path.join(
+            handle.result_path, "run-002", "consumer", "harvested.txt"
+        )) as handle_file:
+            assert handle_file.read() == "payload-3"
+
+    def test_variables_yaml_documenting_local_run(self, local_rig):
+        controller, __ = local_rig
+        handle = controller.run(local_experiment())
+        variables = yamlite.load_file(
+            os.path.join(handle.result_path, "variables.yml")
+        )
+        assert variables["loop"]["count"] == [1, 2, 3]

@@ -1,0 +1,103 @@
+"""Multi-user testbed behaviour (Sec. 4.4).
+
+"This allows sharing testbed nodes between all users and running
+multiple independent experiments in parallel.  Further, using a node in
+more than one experiment at the same time is prohibited."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import Allocator
+from repro.core.calendar import Calendar
+from repro.core.controller import Controller
+from repro.core.errors import AllocationError
+from repro.core.experiment import Experiment, Role
+from repro.core.results import ResultStore
+from repro.core.scripts import CommandScript
+from repro.core.variables import Variables
+from repro.netsim.host import SimHost
+from repro.testbed.images import default_registry
+from repro.testbed.node import Node
+from repro.testbed.power import IpmiController
+from repro.testbed.transport import SshTransport
+
+
+def make_pool(names):
+    nodes = {}
+    for name in names:
+        host = SimHost(name)
+        nodes[name] = Node(name, host=host, power=IpmiController(host),
+                           transport=SshTransport(host))
+    return nodes
+
+
+def experiment_on(name, node_a, node_b):
+    return Experiment(
+        name=name,
+        roles=[
+            Role(name="dut", node=node_a,
+                 setup=CommandScript("s", ["pos barrier setup-done"]),
+                 measurement=CommandScript("m", ["echo run $i"])),
+            Role(name="loadgen", node=node_b,
+                 setup=CommandScript("s2", ["pos barrier setup-done"]),
+                 measurement=CommandScript("m2", ["echo load $i"])),
+        ],
+        variables=Variables(loop_vars={"i": [1, 2]}),
+        duration_s=3600.0,
+    )
+
+
+class TestParallelExperiments:
+    def make_shared_testbed(self, tmp_path):
+        nodes = make_pool(["n1", "n2", "n3", "n4"])
+        calendar = Calendar(clock=lambda: 0.0)
+        allocator = Allocator(calendar, nodes)
+        results = ResultStore(str(tmp_path / "results"), clock=lambda: 1.0)
+        controller = Controller(allocator, default_registry(), results)
+        return controller, allocator, calendar
+
+    def test_disjoint_experiments_share_the_testbed(self, tmp_path):
+        """While alice's allocation is live, bob runs on other nodes."""
+        controller, allocator, __ = self.make_shared_testbed(tmp_path)
+        alice = allocator.allocate("alice", ["n1", "n2"], duration=3600.0)
+        handle = controller.run(experiment_on("bob-exp", "n3", "n4"),
+                                user="bob")
+        assert handle.completed_runs == 2
+        assert not alice.released  # alice's experiment is untouched
+        allocator.release(alice)
+
+    def test_overlap_on_any_node_is_prohibited(self, tmp_path):
+        controller, allocator, __ = self.make_shared_testbed(tmp_path)
+        allocator.allocate("alice", ["n1", "n2"], duration=3600.0)
+        with pytest.raises(AllocationError):
+            controller.run(experiment_on("bob-exp", "n2", "n3"), user="bob")
+
+    def test_calendar_holds_both_users_bookings(self, tmp_path):
+        controller, allocator, calendar = self.make_shared_testbed(tmp_path)
+        allocator.allocate("alice", ["n1"], duration=3600.0)
+        allocator.allocate("bob", ["n2"], duration=1800.0)
+        active = calendar.active_bookings()
+        assert {booking.user for booking in active} == {"alice", "bob"}
+
+    def test_sequential_experiments_by_different_users(self, tmp_path):
+        """The same nodes serve different users back to back, each from
+        a clean live boot."""
+        controller, __, __ = self.make_shared_testbed(tmp_path)
+        first = controller.run(experiment_on("alice-exp", "n1", "n2"),
+                               user="alice")
+        second = controller.run(experiment_on("bob-exp", "n1", "n2"),
+                                user="bob")
+        assert first.completed_runs == second.completed_runs == 2
+        assert "alice" in first.result_path
+        assert "bob" in second.result_path
+
+    def test_result_trees_are_per_user(self, tmp_path):
+        controller, __, __ = self.make_shared_testbed(tmp_path)
+        handle_a = controller.run(experiment_on("exp", "n1", "n2"), user="alice")
+        handle_b = controller.run(experiment_on("exp", "n3", "n4"), user="bob")
+        assert handle_a.result_path != handle_b.result_path
+        # Same experiment name, separated by the user component.
+        assert "/alice/" in handle_a.result_path.replace("\\", "/")
+        assert "/bob/" in handle_b.result_path.replace("\\", "/")

@@ -1,0 +1,261 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants that must hold for arbitrary inputs, spanning module
+boundaries: packet conservation through the full forwarding path,
+round-trips of the artifact formats, sanitizer guarantees, calendar
+algebra, and determinism of the serializers.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import yamlite
+from repro.core.calendar import Calendar
+from repro.core.results import _safe_filename
+from repro.core.variables import substitute
+from repro.comparison import (
+    REQUIREMENTS,
+    Support,
+    SystemProfile,
+    evaluate_requirement,
+)
+
+
+# ---------------------------------------------------------------------------
+# packet conservation through the full path
+# ---------------------------------------------------------------------------
+
+@given(
+    rate_kpps=st.integers(min_value=50, max_value=3000),
+    frame_size=st.sampled_from([64, 128, 512, 1024, 1500]),
+    flows=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=20, deadline=None)
+def test_moongen_router_conservation_property(rate_kpps, frame_size, flows):
+    """Every generated packet is accounted for: received back, queued,
+    in flight nowhere (after drain), or counted as dropped by exactly
+    one element of the path."""
+    from repro.loadgen.moongen import MoonGen
+    from repro.netsim.engine import Simulator
+    from repro.netsim.link import DirectWire
+    from repro.netsim.multicore import MultiCoreRouter
+    from repro.netsim.nic import HardwareNic
+
+    sim = Simulator()
+    tx = HardwareNic(sim, "tx")
+    rx = HardwareNic(sim, "rx")
+    p0 = HardwareNic(sim, "p0")
+    p1 = HardwareNic(sim, "p1")
+    router = MultiCoreRouter(sim, cores=2)
+    router.add_port(p0)
+    router.add_port(p1)
+    DirectWire(sim, tx, p0)
+    DirectWire(sim, p1, rx)
+    gen = MoonGen(sim, tx, rx)
+    job = gen.start(
+        rate_pps=rate_kpps * 1000, frame_size=frame_size, duration_s=0.01,
+        flows=flows,
+    )
+    sim.run()  # run to full drain
+
+    # job.tx_packets counts only frames the TX ring accepted, so TX-ring
+    # drops are already excluded from `sent`.
+    sent = job.tx_packets
+    # Sinks: returned to the generator (counted by the rx NIC whether or
+    # not the job window was still open), dropped at the DuT backlog,
+    # or dropped at a NIC ring along the path.
+    arrived_back = rx.stats.rx_packets + rx.stats.rx_dropped
+    dropped = (
+        router.stats.backlog_dropped
+        + p0.stats.rx_dropped
+        + p1.stats.tx_dropped
+    )
+    assert arrived_back + dropped == sent
+    assert router.stats.received == sent - p0.stats.rx_dropped
+
+
+# ---------------------------------------------------------------------------
+# artifact-folder round trip
+# ---------------------------------------------------------------------------
+
+_name = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1, max_size=10,
+)
+_command = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1, max_size=30,
+).filter(lambda text: not text.startswith(("#", "-")) and "$" not in text)
+
+
+@given(
+    commands=st.lists(_command, min_size=1, max_size=5),
+    loop_values=st.lists(
+        st.integers(min_value=1, max_value=10 ** 6), min_size=1, max_size=5,
+        unique=True,
+    ),
+    global_value=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_expdir_round_trip_property(tmp_path_factory, commands, loop_values,
+                                    global_value):
+    """Arbitrary command scripts and variables survive export → import."""
+    from repro.core.expdir import load_experiment_dir, write_experiment_dir
+    from repro.core.experiment import Experiment, Role
+    from repro.core.scripts import CommandScript
+    from repro.core.variables import Variables
+
+    experiment = Experiment(
+        name="prop",
+        roles=[
+            Role(
+                name="dut",
+                node="tartu",
+                setup=CommandScript("dut-setup", commands),
+                measurement=CommandScript("dut-measurement", ["true"]),
+            )
+        ],
+        variables=Variables(
+            global_vars={"g": global_value},
+            loop_vars={"rate": loop_values},
+        ),
+    )
+    target = tmp_path_factory.mktemp("expdir")
+    write_experiment_dir(experiment, str(target))
+    loaded = load_experiment_dir(str(target))
+    assert loaded.roles[0].setup.commands == commands
+    assert loaded.variables.loop_vars == {"rate": loop_values}
+    assert loaded.variables.global_vars == {"g": global_value}
+
+
+# ---------------------------------------------------------------------------
+# sanitizers
+# ---------------------------------------------------------------------------
+
+@given(name=st.text(max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_safe_filename_property(name):
+    """Whatever a script names its upload, the stored filename never
+    escapes the run directory."""
+    cleaned = _safe_filename(name)
+    assert cleaned
+    assert "/" not in cleaned and "\\" not in cleaned
+    assert ".." not in cleaned
+    assert not cleaned.startswith(".")
+    assert os.path.basename(cleaned) == cleaned
+
+
+@given(
+    text=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=40
+    ).filter(lambda value: "$" not in value)
+)
+@settings(max_examples=100, deadline=None)
+def test_substitute_without_dollars_is_identity_property(text):
+    assert substitute(text, {}) == text
+
+
+@given(
+    value=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=20
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_substitute_replaces_exactly_property(value):
+    result = substitute("pre $VAR post", {"VAR": value})
+    assert result == f"pre {value} post"
+
+
+# ---------------------------------------------------------------------------
+# yamlite determinism
+# ---------------------------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10 ** 9), max_value=10 ** 9),
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=15
+    ),
+)
+_docs = st.dictionaries(
+    st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1, max_size=8),
+    st.one_of(_scalars, st.lists(_scalars, max_size=3)),
+    max_size=5,
+)
+
+
+@given(document=_docs)
+@settings(max_examples=100, deadline=None)
+def test_yamlite_dump_is_canonical_property(document):
+    """Serialization is a fixpoint: dump(load(dump(x))) == dump(x)."""
+    once = yamlite.dumps(document)
+    assert yamlite.dumps(yamlite.loads(once)) == once
+
+
+# ---------------------------------------------------------------------------
+# calendar algebra
+# ---------------------------------------------------------------------------
+
+@given(
+    bookings=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=500),
+            st.floats(min_value=1, max_value=100),
+        ),
+        max_size=10,
+    ),
+    duration=st.floats(min_value=1, max_value=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_next_free_slot_is_actually_free_property(bookings, duration):
+    calendar = Calendar(clock=lambda: 0.0)
+    for start, length in bookings:
+        try:
+            calendar.book("node", "user", length, start=start)
+        except Exception:
+            pass
+    slot = calendar.next_free_slot("node", duration)
+    assert calendar.is_free("node", duration, start=slot)
+    assert slot >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# comparison rule engine totality
+# ---------------------------------------------------------------------------
+
+_profiles = st.builds(
+    SystemProfile,
+    name=st.just("x"),
+    kind=st.sampled_from(["testbed", "methodology", "both"]),
+    heterogeneous_hardware=st.booleans(),
+    isolation=st.sampled_from([None, "direct", "switched"]),
+    recoverable=st.booleans(),
+    automation=st.booleans(),
+    evaluation_in_workflow=st.booleans(),
+    publication=st.sampled_from([None, "basic", "full"]),
+)
+
+
+@given(profile=_profiles)
+@settings(max_examples=150, deadline=None)
+def test_rule_engine_total_and_scoped_property(profile):
+    """Every requirement yields a defined verdict, and verdicts respect
+    the testbed/methodology split of Table 1."""
+    for requirement in REQUIREMENTS:
+        verdict = evaluate_requirement(profile, requirement)
+        assert isinstance(verdict, Support)
+        if requirement in ("R1", "R2", "R3") and not profile.is_testbed:
+            assert verdict is Support.NOT_APPLICABLE
+        if requirement in ("R4", "R5") and not profile.is_methodology:
+            assert verdict is Support.NOT_APPLICABLE
+        if requirement in ("R1", "R2", "R3") and profile.is_testbed:
+            assert verdict is not Support.NOT_APPLICABLE

@@ -1,0 +1,172 @@
+"""The shell-script form of the case study: exportable and re-runnable.
+
+Appendix A's workflow is: clone the artifact repository, run
+``experiment.sh``.  This suite exercises our equivalent loop —
+the case study expressed purely as command scripts, exported to the
+artifact folder layout, loaded back, and executed — and the loader's
+ability to parse MoonGen output out of the captured command log.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.casestudy import build_case_study_experiment, build_environment, run_case_study
+from repro.core.errors import ExperimentError
+from repro.core.expdir import load_experiment_dir, write_experiment_dir
+from repro.evaluation.loader import extract_command_output, load_experiment
+from repro.evaluation.plotter import plot_experiment
+
+
+class TestShellStyle:
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ExperimentError, match="script_style"):
+            build_case_study_experiment("pos", script_style="lua")
+
+    def test_shell_style_runs_and_parses(self, tmp_path):
+        handle = run_case_study(
+            "pos", str(tmp_path), rates=[1_000_000, 2_000_000], sizes=(64,),
+            duration_s=0.02, interval_s=0.01, script_style="shell",
+        )
+        assert handle.completed_runs == 2
+        results = load_experiment(handle.result_path)
+        # No explicit moongen.log upload — parsed out of commands.log.
+        run = results.runs[1]
+        assert "moongen.log" not in run.outputs["loadgen"]
+        assert run.moongen().rx_mpps == pytest.approx(1.746, rel=0.05)
+
+    def test_shell_style_plots(self, tmp_path):
+        handle = run_case_study(
+            "pos", str(tmp_path), rates=[500_000], sizes=(64, 1500),
+            duration_s=0.02, interval_s=0.01, script_style="shell",
+        )
+        results = load_experiment(handle.result_path)
+        written = plot_experiment(results, formats=("svg",))
+        assert any(path.endswith("throughput.svg") for path in written)
+
+    def test_shell_and_python_styles_measure_the_same(self, tmp_path):
+        outcomes = {}
+        for style in ("python", "shell"):
+            handle = run_case_study(
+                "pos", str(tmp_path / style), rates=[2_000_000], sizes=(64,),
+                duration_s=0.02, interval_s=0.01, script_style=style,
+            )
+            results = load_experiment(handle.result_path)
+            outcomes[style] = results.runs[0].moongen().rx_mpps
+        assert outcomes["shell"] == pytest.approx(outcomes["python"], rel=0.02)
+
+
+class TestExportReload:
+    def test_export_load_run_loop(self, tmp_path):
+        """The full artifact loop: export → load → execute → evaluate."""
+        experiment = build_case_study_experiment(
+            "vpos", rates=[20_000, 40_000], sizes=(64,), duration_s=0.1,
+            script_style="shell",
+        )
+        write_experiment_dir(experiment, str(tmp_path / "artifact"))
+        loaded = load_experiment_dir(str(tmp_path / "artifact"))
+
+        env = build_environment("vpos", str(tmp_path / "results"), seed=5)
+        try:
+            handle = env.controller.run(
+                loaded, setup_context_extra={"setup": env.setup}
+            )
+        finally:
+            env.setup.hypervisor.stop()
+        assert handle.completed_runs == 2
+        results = load_experiment(handle.result_path)
+        assert results.runs[0].moongen().tx_mpps == pytest.approx(0.02, rel=0.05)
+
+    def test_artifact_folder_has_the_paper_layout(self, tmp_path):
+        experiment = build_case_study_experiment("pos", script_style="shell")
+        write_experiment_dir(experiment, str(tmp_path / "artifact"))
+        assert os.path.isfile(tmp_path / "artifact" / "loop-variables.yml")
+        assert os.path.isfile(tmp_path / "artifact" / "global-variables.yml")
+        assert os.path.isfile(
+            tmp_path / "artifact" / "scripts" / "loadgen-measurement.sh"
+        )
+
+    def test_python_style_is_not_exportable(self, tmp_path):
+        experiment = build_case_study_experiment("pos", script_style="python")
+        with pytest.raises(ExperimentError, match="CommandScript"):
+            write_experiment_dir(experiment, str(tmp_path / "artifact"))
+
+
+class TestExtractCommandOutput:
+    LOG = (
+        "$ ip link show\n"
+        "2: eno1: UP\n"
+        "(exit 0)\n"
+        "$ moongen --rate 1000 --size 64 --duration 0.1\n"
+        "[Device: id=0] TX: 0.001000 Mpps (total 100 packets with 6400 bytes payload)\n"
+        "[Device: id=1] RX: 0.001000 Mpps (total 100 packets with 6400 bytes payload)\n"
+        "(exit 0)\n"
+    )
+
+    def test_extracts_named_command_block(self):
+        block = extract_command_output(self.LOG, "moongen")
+        assert block.startswith("[Device: id=0]")
+        assert block.count("\n") == 2
+
+    def test_ignores_other_commands(self):
+        block = extract_command_output(self.LOG, "ip")
+        assert "eno1" in block
+
+    def test_missing_command_returns_none(self):
+        assert extract_command_output(self.LOG, "iperf") is None
+
+    def test_failed_invocation_skipped(self):
+        log = "$ moongen --bad\nmoongen: unknown argument\n(exit 2)\n"
+        assert extract_command_output(log, "moongen") is None
+
+    def test_prefix_does_not_false_match(self):
+        log = "$ moongen2 --x\nstuff\n(exit 0)\n"
+        assert extract_command_output(log, "moongen") is None
+
+
+class TestMoonGenHostCommand:
+    def setup_host(self):
+        from repro.testbed.scenarios import build_pos_pair
+        from tests.conftest import boot_and_configure
+
+        setup = build_pos_pair()
+        boot_and_configure(setup)
+        return setup
+
+    def test_reports_moongen_output(self):
+        setup = self.setup_host()
+        result = setup.nodes["riga"].execute(
+            "moongen --rate 100000 --size 64 --duration 0.02"
+        )
+        assert result.ok
+        assert "[Device: id=0] TX:" in result.stdout
+        assert "[Latency]" in result.stdout  # hardware timestamping
+
+    def test_missing_arguments_fail(self):
+        setup = self.setup_host()
+        result = setup.nodes["riga"].execute("moongen --rate 1000")
+        assert result.exit_code == 2
+        assert "missing" in result.stdout
+
+    def test_bad_values_fail(self):
+        setup = self.setup_host()
+        result = setup.nodes["riga"].execute(
+            "moongen --rate fast --size 64 --duration 0.1"
+        )
+        assert result.exit_code == 2
+
+    def test_unknown_flag_fails(self):
+        setup = self.setup_host()
+        result = setup.nodes["riga"].execute(
+            "moongen --rate 1 --size 64 --duration 0.1 --turbo yes"
+        )
+        assert result.exit_code == 2
+
+    def test_flows_flag_accepted(self):
+        setup = self.setup_host()
+        result = setup.nodes["riga"].execute(
+            "moongen --rate 10000 --size 64 --duration 0.01 --flows 4"
+        )
+        assert result.ok

@@ -1,0 +1,115 @@
+"""Script timeouts and controller invariants under random failure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import Allocator
+from repro.core.calendar import Calendar
+from repro.core.controller import Controller
+from repro.core.errors import PosError, ScriptError
+from repro.core.experiment import Experiment, Role
+from repro.core.results import ResultStore
+from repro.core.scripts import CommandScript, PythonScript
+from repro.core.variables import Variables
+from repro.netsim.host import SimHost
+from repro.testbed.images import default_registry
+from repro.testbed.local import local_image_registry, make_local_node
+from repro.testbed.node import Node, NodeState
+from repro.testbed.power import IpmiController
+from repro.testbed.transport import SshTransport
+
+
+class TestCommandTimeouts:
+    def test_hung_command_is_killed_and_fails_the_script(self, tmp_path):
+        node = make_local_node("worker", str(tmp_path / "box"))
+        calendar = Calendar(clock=lambda: 0.0)
+        controller = Controller(
+            Allocator(calendar, {"worker": node}),
+            local_image_registry(),
+            ResultStore(str(tmp_path / "results"), clock=lambda: 1.0),
+        )
+        experiment = Experiment(
+            name="hang",
+            roles=[Role(
+                name="worker",
+                node="worker",
+                image=("local-sandbox", "v1"),
+                setup=CommandScript("setup", ["true"]),
+                measurement=CommandScript("measure", ["sleep 10"],
+                                          timeout_s=0.3),
+            )],
+            variables=Variables(loop_vars={"x": [1]}),
+        )
+        with pytest.raises(ScriptError, match="timed out"):
+            controller.run(experiment)
+        # The node is back in the pool despite the hang.
+        assert node.state is NodeState.FREE
+
+    def test_fast_command_within_timeout_succeeds(self, tmp_path):
+        node = make_local_node("worker", str(tmp_path / "box"))
+        node.set_image(local_image_registry().resolve("local-sandbox"))
+        node.reset()
+        from repro.core.scripts import ScriptContext
+        from repro.core.tools import PosTools, SharedStore
+
+        tools = PosTools(SharedStore(), node, "worker")
+        ctx = ScriptContext(node=node, role="worker", phase="setup",
+                            variables={}, tools=tools)
+        script = CommandScript("quick", ["echo ok"], timeout_s=5.0)
+        assert script.run(ctx).ok
+
+    def test_timeout_recorded_in_describe(self):
+        script = CommandScript("s", ["true"], timeout_s=2.5)
+        assert script.describe()["timeout_s"] == 2.5
+
+
+def _sim_node(name):
+    host = SimHost(name)
+    return Node(name, host=host, power=IpmiController(host),
+                transport=SshTransport(host))
+
+
+@given(
+    failures=st.lists(st.booleans(), min_size=1, max_size=6),
+    policy=st.sampled_from(["abort", "continue", "recover"]),
+)
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_nodes_always_freed_whatever_fails_property(tmp_path_factory, failures,
+                                                    policy):
+    """Invariant: after any experiment — aborted, partially failed, or
+    clean, under any error policy — every node is back in the free pool
+    and the calendar holds no leftover booking."""
+    tmp_path = tmp_path_factory.mktemp("inv")
+    nodes = {"tartu": _sim_node("tartu")}
+    calendar = Calendar(clock=lambda: 0.0)
+    allocator = Allocator(calendar, nodes)
+    controller = Controller(
+        allocator, default_registry(),
+        ResultStore(str(tmp_path / "results"), clock=lambda: 1.0),
+    )
+    plan = list(failures)
+
+    def measure(ctx):
+        if plan[ctx.run_index % len(plan)]:
+            raise RuntimeError("injected failure")
+
+    experiment = Experiment(
+        name="inv",
+        roles=[Role(
+            name="dut",
+            node="tartu",
+            setup=CommandScript("setup", ["true"]),
+            measurement=PythonScript("measure", measure),
+        )],
+        variables=Variables(loop_vars={"i": list(range(len(plan)))}),
+    )
+    try:
+        controller.run(experiment, on_error=policy)
+    except PosError:
+        pass
+    assert nodes["tartu"].state is NodeState.FREE
+    assert calendar.bookings_for_node("tartu") == []

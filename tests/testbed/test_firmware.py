@@ -1,0 +1,161 @@
+"""Tests for the vendor-adapter firmware layer (Sec. 7 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testbed.firmware import (
+    NEUTRAL_SETTINGS,
+    DellBiosAdapter,
+    FirmwareError,
+    FirmwareManager,
+    SupermicroBiosAdapter,
+)
+
+
+class TestAdapters:
+    def test_neutral_setting_maps_to_dell_dialect(self):
+        adapter = DellBiosAdapter()
+        command = adapter.set("turbo_boost", "disabled")
+        assert command == "racadm set BIOS.ProcSettings.ProcTurboMode Disabled"
+        assert adapter.get("turbo_boost") == "disabled"
+
+    def test_neutral_setting_maps_to_supermicro_dialect(self):
+        adapter = SupermicroBiosAdapter()
+        command = adapter.set("turbo_boost", "disabled")
+        assert command == (
+            "sum -c ChangeBiosCfg --setting Turbo_Mode=Disable"
+        )
+
+    def test_vendor_dialects_differ_for_the_same_setting(self):
+        """The incompatibility the paper complains about, modelled."""
+        dell = DellBiosAdapter().set("c_states", "enabled")
+        supermicro = SupermicroBiosAdapter().set("c_states", "enabled")
+        assert dell != supermicro
+
+    def test_unknown_setting_rejected(self):
+        with pytest.raises(FirmwareError, match="unknown firmware setting"):
+            DellBiosAdapter().set("quantum_mode", "enabled")
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(FirmwareError, match="invalid value"):
+            DellBiosAdapter().set("turbo_boost", "turbo-plus")
+
+    def test_vendor_coverage_gaps_surface(self):
+        """Supermicro exposes no SR-IOV knob: asking for it must fail
+        loudly, not silently skip."""
+        adapter = SupermicroBiosAdapter()
+        assert not adapter.supports("sr_iov")
+        with pytest.raises(FirmwareError, match="no interface"):
+            adapter.set("sr_iov", "enabled")
+
+    def test_defaults_and_snapshot(self):
+        adapter = DellBiosAdapter(defaults={"turbo_boost": "disabled"})
+        snapshot = adapter.snapshot()
+        assert snapshot["turbo_boost"] == "disabled"
+        assert set(snapshot) == set(DellBiosAdapter.dialect)
+
+    def test_firmware_survives_host_reboot(self):
+        """NVRAM state is exactly what live boots do NOT reset."""
+        from repro.netsim.host import SimHost
+
+        host = SimHost("tartu")
+        adapter = DellBiosAdapter()
+        adapter.set("turbo_boost", "disabled")
+        host.boot("debian-buster", "v1")
+        host.boot("debian-buster", "v1")  # any number of live boots
+        assert adapter.get("turbo_boost") == "disabled"
+
+
+class TestFirmwareManager:
+    def make_manager(self):
+        manager = FirmwareManager()
+        manager.register("tartu", DellBiosAdapter())
+        manager.register("riga", SupermicroBiosAdapter())
+        return manager
+
+    def test_profile_applied_across_vendors(self):
+        manager = self.make_manager()
+        report = manager.apply_profile(
+            {"turbo_boost": "enabled", "c_states": "disabled"},
+            ["tartu", "riga"],
+        )
+        assert report.fully_applied
+        assert report.applied["tartu"]["c_states"] == "disabled"
+        assert report.applied["riga"]["c_states"] == "disabled"
+        assert any("racadm" in command for command in report.commands)
+        assert any("sum -c" in command for command in report.commands)
+
+    def test_strict_mode_fails_on_unmanaged_node(self):
+        manager = self.make_manager()
+        with pytest.raises(FirmwareError, match="unmanaged"):
+            manager.apply_profile(
+                {"turbo_boost": "enabled"}, ["tartu", "mystery-box"]
+            )
+
+    def test_strict_mode_fails_on_vendor_gap(self):
+        manager = self.make_manager()
+        with pytest.raises(FirmwareError, match="no interface"):
+            manager.apply_profile({"sr_iov": "enabled"}, ["riga"])
+
+    def test_lenient_mode_reports_gaps(self):
+        manager = self.make_manager()
+        report = manager.apply_profile(
+            {"sr_iov": "enabled"}, ["tartu", "riga", "mystery-box"],
+            strict=False,
+        )
+        assert not report.fully_applied
+        assert report.applied["tartu"]["sr_iov"] == "enabled"
+        assert report.unsupported["riga"] == ["sr_iov"]
+        assert report.unsupported["mystery-box"] == ["sr_iov"]
+
+    def test_inventory_snapshot(self):
+        manager = self.make_manager()
+        manager.apply_profile({"turbo_boost": "disabled"}, ["tartu"])
+        inventory = manager.inventory()
+        assert inventory["tartu"]["turbo_boost"] == "disabled"
+        assert "riga" in inventory
+
+
+class TestPerformanceCoupling:
+    def test_turbo_state_changes_the_measured_ceiling(self):
+        """The reason firmware management matters: the same experiment
+        on the same image measures different ceilings depending on a
+        BIOS knob the OS cannot see."""
+        from repro.netsim.engine import Simulator
+        from repro.netsim.link import DirectWire
+        from repro.netsim.nic import HardwareNic
+        from repro.netsim.packet import Packet
+        from repro.netsim.router import LinuxRouter
+
+        def ceiling(turbo: str) -> float:
+            sim = Simulator()
+            tx, rx = HardwareNic(sim, "tx"), HardwareNic(sim, "rx")
+            p0, p1 = HardwareNic(sim, "p0"), HardwareNic(sim, "p1")
+            router = LinuxRouter(sim)
+            router.add_port(p0)
+            router.add_port(p1)
+            DirectWire(sim, tx, p0)
+            DirectWire(sim, p1, rx)
+            adapter = DellBiosAdapter()
+            adapter.set("turbo_boost", turbo)
+            # 2.2 GHz base vs ~2.7 GHz turbo on the paper's Xeon 4214.
+            router.frequency_scale = (
+                1.0 if adapter.get("turbo_boost") == "enabled" else 2.2 / 2.7
+            )
+            times = []
+            rx.set_rx_handler(lambda p: times.append(sim.now))
+            duration = 0.01
+            for seq in range(int(3_000_000 * duration)):
+                sim.schedule(seq / 3_000_000, tx.transmit,
+                             Packet(seq=seq, frame_size=64))
+            sim.run()
+            return sum(1 for t in times if t <= duration) / duration
+
+        with_turbo = ceiling("enabled")
+        without_turbo = ceiling("disabled")
+        assert with_turbo == pytest.approx(1.75e6, rel=0.03)
+        assert without_turbo == pytest.approx(1.75e6 * 2.2 / 2.7, rel=0.03)
+        # An unmanaged BIOS would make these two "identical" experiments
+        # disagree by ~20% — the hidden state of Sec. 7.
+        assert (with_turbo - without_turbo) / with_turbo > 0.15

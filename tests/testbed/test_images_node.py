@@ -1,0 +1,152 @@
+"""Tests for the image registry and the node lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ImageError, NodeError
+from repro.netsim.host import SimHost
+from repro.testbed.images import ImageRegistry, default_registry
+from repro.testbed.node import Node, NodeState
+from repro.testbed.power import FlakyPowerControl, IpmiController
+from repro.testbed.transport import SshTransport
+
+
+class TestImageRegistry:
+    def test_register_and_resolve(self):
+        registry = ImageRegistry()
+        registry.register("debian", "v1", kernel="4.19")
+        spec = registry.resolve("debian", "v1")
+        assert spec.kernel == "4.19"
+
+    def test_latest_resolves_newest(self):
+        registry = ImageRegistry()
+        registry.register("debian", "v1", kernel="4.19")
+        registry.register("debian", "v2", kernel="5.10")
+        assert registry.resolve("debian").kernel == "5.10"
+
+    def test_snapshot_pinning_is_stable(self):
+        """The snapshot.debian.org property: a pinned version never
+        changes, even when newer snapshots are registered."""
+        registry = ImageRegistry()
+        registry.register("debian", "20200908", kernel="4.19.0-10")
+        pinned = registry.resolve("debian", "20200908")
+        registry.register("debian", "20211024", kernel="5.10.0-8")
+        assert registry.resolve("debian", "20200908") == pinned
+
+    def test_duplicate_version_rejected(self):
+        registry = ImageRegistry()
+        registry.register("debian", "v1", kernel="4.19")
+        with pytest.raises(ImageError, match="already"):
+            registry.register("debian", "v1", kernel="4.19")
+
+    def test_unknown_image_and_version(self):
+        registry = ImageRegistry()
+        registry.register("debian", "v1", kernel="4.19")
+        with pytest.raises(ImageError, match="unknown image"):
+            registry.resolve("arch")
+        with pytest.raises(ImageError, match="no version"):
+            registry.resolve("debian", "v9")
+
+    def test_default_registry_has_buster(self):
+        registry = default_registry()
+        spec = registry.resolve("debian-buster", "20201012T000000Z")
+        assert spec.kernel.startswith("4.19")
+        assert "debian-buster" in registry.names()
+
+    def test_versions_listing(self):
+        registry = default_registry()
+        versions = registry.versions("debian-buster")
+        assert versions == sorted(versions)
+        with pytest.raises(ImageError):
+            registry.versions("missing")
+
+    def test_spec_is_immutable(self):
+        spec = default_registry().resolve("debian-buster")
+        with pytest.raises(AttributeError):
+            spec.kernel = "hacked"  # type: ignore[misc]
+
+
+def make_node(name="tartu", failures=0):
+    host = SimHost(name)
+    power = (
+        FlakyPowerControl(host, failures=failures)
+        if failures
+        else IpmiController(host)
+    )
+    return Node(name, host=host, power=power, transport=SshTransport(host)), host
+
+
+class TestNodeLifecycle:
+    def test_reset_boots_pinned_image(self):
+        node, host = make_node()
+        node.set_image(default_registry().resolve("debian-buster", "latest"))
+        node.set_boot_parameters({"isolcpus": "1-3"})
+        node.reset()
+        assert node.state is NodeState.READY
+        assert host.image == "debian-buster"
+        assert host.boot_parameters == {"isolcpus": "1-3"}
+
+    def test_reset_without_image_rejected(self):
+        node, __ = make_node()
+        with pytest.raises(NodeError, match="no image"):
+            node.reset()
+
+    def test_reset_recovers_wedged_host(self):
+        node, host = make_node()
+        node.set_image(default_registry().resolve("debian-buster"))
+        node.reset()
+        host.wedge()
+        node.reset()
+        assert host.reachable
+        assert node.reset_count == 2
+
+    def test_power_retries_absorb_transient_failures(self):
+        node, host = make_node(failures=2)
+        node.set_image(default_registry().resolve("debian-buster"))
+        node.reset()  # retried internally
+        assert node.state is NodeState.READY
+
+    def test_persistent_power_failure_marks_failed(self):
+        node, __ = make_node(failures=10)
+        node.set_image(default_registry().resolve("debian-buster"))
+        with pytest.raises(NodeError, match="power cycle failed"):
+            node.reset()
+        assert node.state is NodeState.FAILED
+
+    def test_allocate_release_cycle(self):
+        node, __ = make_node()
+        node.mark_allocated("alice")
+        assert node.state is NodeState.ALLOCATED
+        assert node.owner == "alice"
+        node.release()
+        assert node.state is NodeState.FREE
+        assert node.owner is None
+        assert node.image is None
+
+    def test_double_allocation_rejected(self):
+        node, __ = make_node()
+        node.mark_allocated("alice")
+        with pytest.raises(NodeError, match="cannot allocate"):
+            node.mark_allocated("bob")
+
+    def test_execute_via_transport(self):
+        node, __ = make_node()
+        node.set_image(default_registry().resolve("debian-buster"))
+        node.reset()
+        assert node.execute("hostname").stdout == "tartu"
+
+    def test_node_without_transport_rejects_execute(self):
+        node = Node("bare")
+        with pytest.raises(NodeError, match="no transport"):
+            node.execute("echo hi")
+
+    def test_describe_full_record(self):
+        node, __ = make_node()
+        node.set_image(default_registry().resolve("debian-buster"))
+        node.reset()
+        info = node.describe()
+        assert info["power"]["protocol"] == "ipmi"
+        assert info["transport"]["protocol"] == "ssh"
+        assert info["image"]["name"] == "debian-buster"
+        assert info["hardware"]["hostname"] == "tartu"

@@ -1,0 +1,55 @@
+"""Tests for the sandboxed local nodes (real-subprocess hosts)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.testbed.local import (
+    SandboxPowerControl,
+    local_image_registry,
+    make_local_node,
+)
+
+
+class TestSandboxPower:
+    def test_power_on_wipes_the_sandbox(self, tmp_path):
+        node = make_local_node("worker", str(tmp_path / "box"))
+        node.set_image(local_image_registry().resolve("local-sandbox"))
+        node.reset()
+        node.transport.execute("mkdir sub && echo data > sub/file.txt")
+        assert (tmp_path / "box" / "sub" / "file.txt").exists()
+        node.reset()  # live-boot equivalent
+        assert not (tmp_path / "box" / "sub").exists()
+
+    def test_sandbox_created_if_missing(self, tmp_path):
+        target = tmp_path / "does-not-exist-yet"
+        node = make_local_node("worker", str(target))
+        node.set_image(local_image_registry().resolve("local-sandbox"))
+        node.reset()
+        assert target.is_dir()
+
+    def test_default_sandbox_is_tempdir(self):
+        node = make_local_node("worker")
+        assert os.path.isdir(node.transport.sandbox_dir)
+
+    def test_protocol_name(self, tmp_path):
+        node = make_local_node("worker", str(tmp_path / "box"))
+        assert node.power.protocol == "sandbox"
+        assert node.describe()["power"]["protocol"] == "sandbox"
+
+    def test_status_reflects_power_state(self, tmp_path):
+        node = make_local_node("worker", str(tmp_path / "box"))
+        node.set_image(local_image_registry().resolve("local-sandbox"))
+        node.reset()
+        assert node.power.status() == "on"
+        node.power.power_off()
+        assert node.power.status() == "off"
+
+
+class TestLocalRegistry:
+    def test_pseudo_image_registered(self):
+        registry = local_image_registry()
+        spec = registry.resolve("local-sandbox", "v1")
+        assert spec.kernel == "host-kernel"

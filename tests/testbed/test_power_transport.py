@@ -1,0 +1,213 @@
+"""Tests for out-of-band power control and in-band transports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PowerError, TransportError, TransportTimeout
+from repro.netsim.host import SimHost
+from repro.testbed.power import (
+    AmdProController,
+    FlakyPowerControl,
+    IpmiController,
+    SwitchablePowerPlug,
+    VProController,
+)
+from repro.testbed.transport import (
+    HttpTransport,
+    LocalTransport,
+    SnmpTransport,
+    SshTransport,
+)
+
+
+@pytest.fixture
+def host():
+    h = SimHost("tartu")
+    h.boot("debian-buster", "v1")
+    return h
+
+
+class TestPowerControl:
+    @pytest.mark.parametrize(
+        "controller_class,protocol",
+        [
+            (IpmiController, "ipmi"),
+            (VProController, "intel-vpro"),
+            (AmdProController, "amd-pro"),
+        ],
+    )
+    def test_protocols_report_status(self, host, controller_class, protocol):
+        controller = controller_class(host)
+        assert controller.protocol == protocol
+        assert controller.status() == "on"
+        controller.power_off()
+        assert controller.status() == "off"
+
+    def test_power_cycle_recovers_wedged_host(self, host):
+        """R3: the out-of-band path works even when the OS is dead."""
+        host.wedge()
+        assert not host.reachable
+        controller = IpmiController(host)
+        controller.power_cycle()
+        assert host.booted and not host.wedged
+
+    def test_power_plug_cannot_report_status(self, host):
+        plug = SwitchablePowerPlug(host)
+        plug.power_cycle()  # works
+        with pytest.raises(PowerError, match="status"):
+            plug.status()
+
+    def test_cycle_counter(self, host):
+        controller = IpmiController(host)
+        controller.power_cycle()
+        controller.power_cycle()
+        assert controller.power_cycles == 2
+
+    def test_flaky_controller_fails_then_recovers(self, host):
+        flaky = FlakyPowerControl(host, failures=2)
+        with pytest.raises(PowerError):
+            flaky.power_cycle()
+        with pytest.raises(PowerError):
+            flaky.power_cycle()
+        flaky.power_cycle()  # third attempt succeeds
+        assert host.booted
+
+    def test_flaky_failure_leaves_state_unchanged(self, host):
+        flaky = FlakyPowerControl(host, failures=1)
+        assert host.booted
+        with pytest.raises(PowerError):
+            flaky.power_cycle()
+        assert host.booted  # the rail was never touched
+
+
+class TestSshTransport:
+    def test_connect_and_execute(self, host):
+        ssh = SshTransport(host)
+        ssh.connect()
+        assert ssh.execute("echo hi").stdout == "hi"
+
+    def test_connect_to_down_host_fails(self, host):
+        host.shutdown()
+        with pytest.raises(TransportError, match="No route"):
+            SshTransport(host).connect()
+
+    def test_execute_without_session_fails(self, host):
+        with pytest.raises(TransportError, match="no session"):
+            SshTransport(host).execute("echo hi")
+
+    def test_session_lost_when_host_wedges(self, host):
+        ssh = SshTransport(host)
+        ssh.connect()
+        host.wedge()
+        with pytest.raises(TransportError, match="lost"):
+            ssh.execute("echo hi")
+
+    def test_file_transfer(self, host):
+        ssh = SshTransport(host)
+        ssh.connect()
+        ssh.put_file("/tmp/conf", "data")
+        assert ssh.get_file("/tmp/conf") == "data"
+
+    def test_close_then_execute_fails(self, host):
+        ssh = SshTransport(host)
+        ssh.connect()
+        ssh.close()
+        with pytest.raises(TransportError):
+            ssh.execute("echo hi")
+
+
+class TestSnmpTransport:
+    def test_get_system_name(self, host):
+        snmp = SnmpTransport(host)
+        snmp.connect()
+        result = snmp.execute("get 1.3.6.1.2.1.1.5.0")
+        assert result.ok and result.stdout == "tartu"
+
+    def test_set_then_get_oid(self, host):
+        snmp = SnmpTransport(host)
+        snmp.connect()
+        assert snmp.execute("set 1.3.6.1.4.1.9.9.1 enabled").ok
+        assert snmp.execute("get 1.3.6.1.4.1.9.9.1").stdout == "enabled"
+
+    def test_unknown_oid(self, host):
+        snmp = SnmpTransport(host)
+        snmp.connect()
+        assert snmp.execute("get 1.2.3").exit_code == 2
+
+    def test_system_group_read_only(self, host):
+        snmp = SnmpTransport(host)
+        snmp.connect()
+        assert snmp.execute("set 1.3.6.1.2.1.1.5.0 hacked").exit_code == 2
+
+    def test_no_file_transfer(self, host):
+        snmp = SnmpTransport(host)
+        snmp.connect()
+        with pytest.raises(TransportError, match="not supported"):
+            snmp.put_file("/x", "y")
+
+
+class TestHttpTransport:
+    def test_builtin_endpoints(self, host):
+        http = HttpTransport(host)
+        http.connect()
+        assert http.execute("GET /status").stdout == "ok"
+        assert http.execute("GET /hostname").stdout == "tartu"
+
+    def test_custom_endpoint(self, host):
+        http = HttpTransport(host)
+        http.register("POST", "/tables/forward", lambda body: (200, f"added {body}"))
+        http.connect()
+        result = http.execute("POST /tables/forward 10.0.0.0/24->p1")
+        assert result.ok and result.stdout == "added 10.0.0.0/24->p1"
+
+    def test_unknown_endpoint_404(self, host):
+        http = HttpTransport(host)
+        http.connect()
+        result = http.execute("GET /nope")
+        assert result.exit_code == 4
+        assert "404" in result.stdout
+
+
+class TestLocalTransport:
+    def test_runs_real_subprocesses(self, tmp_path):
+        local = LocalTransport(sandbox_dir=str(tmp_path))
+        local.connect()
+        result = local.execute("echo real-shell")
+        assert result.ok and result.stdout == "real-shell"
+
+    def test_exit_codes_propagate(self, tmp_path):
+        local = LocalTransport(sandbox_dir=str(tmp_path))
+        local.connect()
+        assert local.execute("exit 3").exit_code == 3
+
+    def test_stderr_captured(self, tmp_path):
+        local = LocalTransport(sandbox_dir=str(tmp_path))
+        local.connect()
+        result = local.execute("echo oops >&2")
+        assert "oops" in result.stdout
+
+    def test_timeout_raises(self, tmp_path):
+        local = LocalTransport(sandbox_dir=str(tmp_path))
+        local.connect()
+        with pytest.raises(TransportTimeout):
+            local.execute("sleep 5", timeout_s=0.2)
+
+    def test_file_round_trip_in_sandbox(self, tmp_path):
+        local = LocalTransport(sandbox_dir=str(tmp_path))
+        local.connect()
+        local.put_file("sub/dir/file.txt", "content")
+        assert local.get_file("sub/dir/file.txt") == "content"
+        assert (tmp_path / "sub" / "dir" / "file.txt").exists()
+
+    def test_path_escape_rejected(self, tmp_path):
+        local = LocalTransport(sandbox_dir=str(tmp_path))
+        local.connect()
+        with pytest.raises(TransportError, match="escapes"):
+            local.put_file("../../outside.txt", "x")
+
+    def test_commands_run_inside_sandbox(self, tmp_path):
+        local = LocalTransport(sandbox_dir=str(tmp_path))
+        local.connect()
+        local.execute("echo data > made-here.txt")
+        assert (tmp_path / "made-here.txt").read_text().strip() == "data"

@@ -1,0 +1,94 @@
+"""Tests for the vpos provisioning service (Sec. 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testbed.vposservice import VposService, VposServiceError
+
+
+@pytest.fixture
+def service(tmp_path):
+    return VposService(str(tmp_path), max_instances_per_user=2)
+
+
+class TestLifecycle:
+    def test_create_boots_an_isolated_instance(self, service):
+        instance = service.create_instance("alice")
+        assert instance.booted and not instance.destroyed
+        env = service.connect(instance.instance_id)
+        assert set(env.setup.nodes) == {"vriga", "vtartu"}
+        assert env.setup.topology.controller_name == "vkaunas"
+
+    def test_instances_are_fully_isolated(self, service):
+        first = service.create_instance("alice")
+        second = service.create_instance("bob")
+        env_a = service.connect(first.instance_id)
+        env_b = service.connect(second.instance_id)
+        assert env_a.setup.sim is not env_b.setup.sim
+        assert env_a.setup.nodes["vtartu"] is not env_b.setup.nodes["vtartu"]
+        # Allocating in one instance does not affect the other.
+        env_a.allocator.allocate("alice", ["vtartu"], duration=60.0)
+        env_b.allocator.allocate("bob", ["vtartu"], duration=60.0)
+
+    def test_quota_enforced_per_user(self, service):
+        service.create_instance("alice")
+        service.create_instance("alice")
+        with pytest.raises(VposServiceError, match="limit"):
+            service.create_instance("alice")
+        # Other users are unaffected.
+        service.create_instance("bob")
+
+    def test_destroy_frees_quota(self, service):
+        first = service.create_instance("alice")
+        service.create_instance("alice")
+        service.destroy_instance(first.instance_id)
+        service.create_instance("alice")  # quota slot free again
+
+    def test_connect_to_destroyed_instance_fails(self, service):
+        instance = service.create_instance("alice")
+        service.destroy_instance(instance.instance_id)
+        with pytest.raises(VposServiceError, match="destroyed"):
+            service.connect(instance.instance_id)
+
+    def test_double_destroy_fails(self, service):
+        instance = service.create_instance("alice")
+        service.destroy_instance(instance.instance_id)
+        with pytest.raises(VposServiceError, match="already"):
+            service.destroy_instance(instance.instance_id)
+
+    def test_unknown_instance(self, service):
+        with pytest.raises(VposServiceError, match="unknown"):
+            service.connect("vpos-9999")
+
+    def test_listing_and_describe(self, service):
+        alice_1 = service.create_instance("alice")
+        service.create_instance("bob")
+        assert [i.instance_id for i in service.instances_for("alice")] == [
+            alice_1.instance_id
+        ]
+        described = service.describe()
+        assert len(described["instances"]) == 2
+
+
+class TestExperimentsOnInstances:
+    def test_full_experiment_inside_an_instance(self, service):
+        """The appendix workflow: create instance, connect, run the
+        case study inside it."""
+        from repro.casestudy import build_case_study_experiment
+
+        instance = service.create_instance("alice")
+        env = service.connect(instance.instance_id)
+        experiment = build_case_study_experiment(
+            "vpos", rates=[20_000], sizes=(64,), duration_s=0.05,
+        )
+        handle = env.controller.run(
+            experiment, user="alice", setup_context_extra={"setup": env.setup}
+        )
+        assert handle.completed_runs == 1
+        service.destroy_instance(instance.instance_id)
+
+    def test_different_seeds_per_instance(self, service):
+        a = service.connect(service.create_instance("alice").instance_id)
+        b = service.connect(service.create_instance("alice").instance_id)
+        assert a.setup.router._rng.random() != b.setup.router._rng.random()
