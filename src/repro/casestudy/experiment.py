@@ -256,14 +256,26 @@ def build_environment(
     seed: int = 0,
     clock: Optional[Callable[[], float]] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    fault_plan=None,
 ) -> CaseStudyEnvironment:
-    """Build the full environment for one platform."""
+    """Build the full environment for one platform.
+
+    ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`) instruments
+    every node's power and transport layer with the seeded injection
+    plane and attaches the injector to the controller, so planned
+    faults strike by run index and are recorded in the inventory.
+    """
     if platform == "pos":
         setup = build_pos_pair()
     elif platform == "vpos":
         setup = build_vpos_pair(seed=seed)
     else:
         raise ExperimentError(f"unknown platform {platform!r} (pos or vpos)")
+    injector = None
+    if fault_plan is not None:
+        from repro.faults.injector import install_fault_plan
+
+        injector = install_fault_plan(setup.nodes, fault_plan)
     calendar = Calendar(clock=clock)
     allocator = Allocator(calendar, setup.nodes)
     results = ResultStore(result_root, clock=clock)
@@ -273,6 +285,7 @@ def build_environment(
         results,
         inventory_extra=lambda: {"testbed": setup.describe()},
         progress=progress,
+        fault_injector=injector,
     )
     return CaseStudyEnvironment(
         platform=platform,
@@ -297,14 +310,23 @@ def run_case_study(
     clock: Optional[Callable[[], float]] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     script_style: str = "python",
+    on_error: str = "abort",
+    fault_plan=None,
+    resume_path: Optional[str] = None,
 ) -> ExperimentHandle:
     """Execute the whole case study on one platform, end to end.
+
+    ``on_error`` selects the run-failure policy (abort, continue,
+    recover), ``fault_plan`` attaches a seeded fault-injection plan, and
+    ``resume_path`` continues a killed execution from its run journal
+    instead of starting a fresh result folder.
 
     Returns the experiment handle; ``handle.result_path`` is the result
     folder ready for evaluation and publication.
     """
     env = build_environment(
-        platform, result_root, seed=seed, clock=clock, progress=progress
+        platform, result_root, seed=seed, clock=clock, progress=progress,
+        fault_plan=fault_plan,
     )
     experiment = build_case_study_experiment(
         platform=platform,
@@ -315,12 +337,23 @@ def run_case_study(
         script_style=script_style,
     )
     try:
-        handle = env.controller.run(
-            experiment,
-            user=user,
-            max_runs=max_runs,
-            setup_context_extra={"setup": env.setup},
-        )
+        if resume_path is not None:
+            handle = env.controller.resume(
+                experiment,
+                resume_path,
+                user=user,
+                on_error=on_error,
+                max_runs=max_runs,
+                setup_context_extra={"setup": env.setup},
+            )
+        else:
+            handle = env.controller.run(
+                experiment,
+                user=user,
+                on_error=on_error,
+                max_runs=max_runs,
+                setup_context_extra={"setup": env.setup},
+            )
     finally:
         if env.setup.hypervisor is not None:
             env.setup.hypervisor.stop()

@@ -76,6 +76,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--experiment-dir", default=None,
                      help="run a file-defined experiment folder instead of "
                           "the built-in case study")
+    run.add_argument("--on-error", choices=("abort", "continue", "recover"),
+                     default="abort",
+                     help="what a failed measurement run does: stop the "
+                          "experiment, record and move on, or power-cycle "
+                          "the nodes and retry the run once")
+    run.add_argument("--resume", metavar="RESULT_DIR", default=None,
+                     help="continue a killed execution from its run journal; "
+                          "completed runs are adopted, the rest re-executed")
+    run.add_argument("--fault-plan", metavar="FILE", default=None,
+                     help="YAML fault plan injecting deterministic faults "
+                          "into the power/transport layers (testing R3)")
 
     export = sub.add_parser(
         "export", help="write the case study as a publishable artifact folder"
@@ -125,6 +136,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     rates = args.rates
     if rates is None:
         rates = POS_RATES if args.platform == "pos" else VPOS_RATES
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.faults.plan import load_fault_plan
+
+        fault_plan = load_fault_plan(args.fault_plan)
     handle = run_case_study(
         args.platform,
         args.results,
@@ -136,9 +152,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_runs=args.max_runs,
         progress=_progress_bar,
         script_style=args.script_style,
+        on_error=args.on_error,
+        fault_plan=fault_plan,
+        resume_path=args.resume,
     )
     print(f"results: {handle.result_path}")
     print(f"runs completed: {handle.completed_runs}, failed: {handle.failed_runs}")
+    if handle.skipped_runs:
+        print(f"runs skipped: {handle.skipped_runs}")
+    for node, reason in sorted(handle.quarantined.items()):
+        print(f"quarantined: {node} ({reason})")
     return 0
 
 
@@ -146,16 +169,33 @@ def _run_experiment_dir(args: argparse.Namespace) -> int:
     from repro.core.expdir import load_experiment_dir
 
     experiment = load_experiment_dir(args.experiment_dir)
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.faults.plan import load_fault_plan
+
+        fault_plan = load_fault_plan(args.fault_plan)
     env = build_environment(
-        args.platform, args.results, seed=args.seed, progress=_progress_bar
+        args.platform, args.results, seed=args.seed, progress=_progress_bar,
+        fault_plan=fault_plan,
     )
     try:
-        handle = env.controller.run(
-            experiment,
-            user=args.user,
-            max_runs=args.max_runs,
-            setup_context_extra={"setup": env.setup},
-        )
+        if args.resume is not None:
+            handle = env.controller.resume(
+                experiment,
+                args.resume,
+                user=args.user,
+                on_error=args.on_error,
+                max_runs=args.max_runs,
+                setup_context_extra={"setup": env.setup},
+            )
+        else:
+            handle = env.controller.run(
+                experiment,
+                user=args.user,
+                on_error=args.on_error,
+                max_runs=args.max_runs,
+                setup_context_extra={"setup": env.setup},
+            )
     finally:
         if env.setup.hypervisor is not None:
             env.setup.hypervisor.stop()

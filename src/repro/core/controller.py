@@ -10,27 +10,48 @@ variable cross product, and collects every artifact centrally.
 Error handling follows R3: a failing host can be recovered by a
 power cycle back into the well-defined live-image state.  Three
 policies are available per experiment run: ``abort`` (default, raise),
-``continue`` (record the failure and move on to the next run) and
-``recover`` (power-cycle the failed node, replay its setup script and
-retry the run once).
+``continue`` (record the failure, probe the hosts, power-cycle a
+wedged one, and move on to the next run) and ``recover`` (power-cycle
+the failed node, replay its setup script and retry the run once).
+
+Resilience plumbing on top of the policies:
+
+* every finished run is journalled durably (``journal.jsonl``), and
+  :meth:`Controller.resume` continues a killed experiment from the
+  last good run without re-executing completed loop instances;
+* under ``continue`` a node health watchdog probes the hosts after
+  every failed run and recovers wedged ones out of band; a node that
+  stays wedged for ``quarantine_threshold`` consecutive probes is
+  quarantined and its remaining runs are marked skipped instead of
+  poisoning the whole cross product;
+* recovery itself runs under the unified
+  :class:`~repro.faults.retry.RetryPolicy`;
+* a :class:`~repro.faults.injector.FaultInjector` can be attached so a
+  seeded fault plan strikes by run index.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.allocation import Allocation, Allocator
 from repro.core.errors import (
     ExperimentError,
+    NodeError,
     PosError,
+    RetryExhausted,
     ScriptError,
     TransportError,
 )
 from repro.core.experiment import Experiment, Role
+from repro.core.journal import RunJournal
 from repro.core.results import ExperimentDir, ResultStore, RunDir
 from repro.core.scripts import Script, ScriptContext, ScriptResult
 from repro.core.tools import PosTools, SharedStore
+from repro.faults.clock import Clock, SimClock
+from repro.faults.retry import RetryPolicy
 from repro.testbed.images import ImageRegistry
 from repro.testbed.node import Node
 
@@ -45,6 +66,12 @@ _POS_TOOLS_STUB = (
     "# Deployed automatically by the testbed controller after boot.\n"
 )
 
+#: How the controller retries its own recovery procedure before giving
+#: up on a wedged node.
+DEFAULT_RECOVERY_POLICY = RetryPolicy(
+    max_attempts=2, base_delay_s=1.0, multiplier=2.0, max_delay_s=30.0
+)
+
 
 class _WorkflowLog:
     """Sequential workflow trace, written as ``controller.log``.
@@ -52,14 +79,14 @@ class _WorkflowLog:
     Part of the enforced artifact collection: a reader of the published
     results can retrace every phase and run without the controller.
     Events carry a sequence number rather than wall-clock time so the
-    artifact stays deterministic.
+    artifact stays deterministic.  A resumed experiment appends to the
+    crashed execution's log instead of destroying the evidence.
     """
 
-    def __init__(self, experiment_path: str):
-        import os
-
+    def __init__(self, experiment_path: str, append: bool = False):
         self._handle = open(
-            os.path.join(experiment_path, "controller.log"), "w",
+            os.path.join(experiment_path, "controller.log"),
+            "a" if append else "w",
             encoding="utf-8",
         )
         self._sequence = 0
@@ -80,6 +107,8 @@ class RunRecord:
     loop_instance: Dict[str, Any]
     ok: bool
     retried: bool = False
+    skipped: bool = False
+    resumed: bool = False
     error: Optional[str] = None
     script_results: List[ScriptResult] = field(default_factory=list)
 
@@ -94,6 +123,7 @@ class ExperimentHandle:
     runs: List[RunRecord] = field(default_factory=list)
     setup_results: List[ScriptResult] = field(default_factory=list)
     aborted: bool = False
+    quarantined: Dict[str, str] = field(default_factory=dict)
 
     @property
     def completed_runs(self) -> int:
@@ -102,6 +132,14 @@ class ExperimentHandle:
     @property
     def failed_runs(self) -> int:
         return sum(1 for record in self.runs if not record.ok)
+
+    @property
+    def skipped_runs(self) -> int:
+        return sum(1 for record in self.runs if record.skipped)
+
+    @property
+    def resumed_runs(self) -> int:
+        return sum(1 for record in self.runs if record.resumed)
 
 
 class Controller:
@@ -114,12 +152,22 @@ class Controller:
         results: ResultStore,
         inventory_extra: Optional[Callable[[], dict]] = None,
         progress: Optional[Callable[[int, int], None]] = None,
+        fault_injector=None,
+        recovery_policy: Optional[RetryPolicy] = None,
+        quarantine_threshold: int = 3,
+        clock: Optional[Clock] = None,
     ):
         self._allocator = allocator
         self._images = images
         self._results = results
         self._inventory_extra = inventory_extra
         self._progress = progress
+        self.fault_injector = fault_injector
+        self.recovery_policy = recovery_policy or DEFAULT_RECOVERY_POLICY
+        if quarantine_threshold < 1:
+            raise ExperimentError("quarantine_threshold must be at least 1")
+        self.quarantine_threshold = quarantine_threshold
+        self.clock = clock or SimClock()
 
     # -- public API ----------------------------------------------------------
 
@@ -143,21 +191,95 @@ class Controller:
         asynchronously during their runtime" — the callback fires after
         each measurement run with that run's result folder.
         """
+        self._check_policy(on_error)
+        experiment.validate()
+        exp_dir = self._results.create_experiment_dir(user, experiment.name)
+        total = self._total_runs(experiment, max_runs)
+        journal = RunJournal.create(exp_dir.path, experiment.name, total)
+        return self._run_workflow(
+            experiment, exp_dir, journal, completed={}, user=user,
+            on_error=on_error, max_runs=max_runs,
+            setup_context_extra=setup_context_extra,
+            on_run_complete=on_run_complete, resumed=False,
+        )
+
+    def resume(
+        self,
+        experiment: Experiment,
+        result_path: str,
+        user: str = "user",
+        on_error: str = "abort",
+        max_runs: Optional[int] = None,
+        setup_context_extra: Optional[dict] = None,
+        on_run_complete: Optional[Callable[[RunRecord, str], None]] = None,
+    ) -> ExperimentHandle:
+        """Continue a killed or aborted experiment from its journal.
+
+        The hosts are re-initialized (boot, tools, setup — a crashed
+        controller leaves no trustworthy in-band state), then the
+        measurement loop replays the cross product, *skipping* every
+        loop instance the journal records as completed.  Adopted run
+        folders are left untouched; re-executed runs land in
+        attempt-suffixed folders so nothing is overwritten.
+        """
+        self._check_policy(on_error)
+        experiment.validate()
+        journal = RunJournal.open(result_path)
+        try:
+            journal.validate_against(
+                experiment.name, self._total_runs(experiment, max_runs)
+            )
+            completed = journal.completed()
+        except PosError:
+            journal.close()
+            raise
+        exp_dir = ExperimentDir(result_path)
+        return self._run_workflow(
+            experiment, exp_dir, journal, completed=completed, user=user,
+            on_error=on_error, max_runs=max_runs,
+            setup_context_extra=setup_context_extra,
+            on_run_complete=on_run_complete, resumed=True,
+        )
+
+    # -- workflow ---------------------------------------------------------------
+
+    @staticmethod
+    def _check_policy(on_error: str) -> None:
         if on_error not in ("abort", "continue", "recover"):
             raise ExperimentError(f"unknown error policy {on_error!r}")
-        experiment.validate()
 
+    @staticmethod
+    def _total_runs(experiment: Experiment, max_runs: Optional[int]) -> int:
+        count = len(experiment.variables.runs())
+        return count if max_runs is None else min(count, max_runs)
+
+    def _run_workflow(
+        self,
+        experiment: Experiment,
+        exp_dir: ExperimentDir,
+        journal: RunJournal,
+        completed: Dict[int, dict],
+        user: str,
+        on_error: str,
+        max_runs: Optional[int],
+        setup_context_extra: Optional[dict],
+        on_run_complete: Optional[Callable[[RunRecord, str], None]],
+        resumed: bool,
+    ) -> ExperimentHandle:
         # ---- setup phase: allocate, configure, boot -------------------------
         allocation = self._allocator.allocate(
             user, experiment.node_names, experiment.duration_s
         )
-        exp_dir = self._results.create_experiment_dir(user, experiment.name)
         handle = ExperimentHandle(
             experiment=experiment.name, user=user, result_path=exp_dir.path
         )
         store = SharedStore()
         extra = dict(setup_context_extra or {})
-        log = _WorkflowLog(exp_dir.path)
+        log = _WorkflowLog(exp_dir.path, append=resumed)
+        if resumed:
+            log.event(
+                f"RESUME: journal lists {len(completed)} completed run(s)"
+            )
         log.event(f"allocated nodes: {', '.join(experiment.node_names)}")
         try:
             self._boot_phase(experiment, allocation)
@@ -174,12 +296,14 @@ class Controller:
                 experiment, allocation, store, exp_dir, handle, extra,
                 on_error=on_error, max_runs=max_runs,
                 on_run_complete=on_run_complete, log=log,
+                journal=journal, completed=completed,
             )
             log.event(
                 f"measurement phase done: {handle.completed_runs} ok, "
                 f"{handle.failed_runs} failed"
             )
             self._finalize(experiment, allocation, exp_dir, handle)
+            journal.record_event("complete", ok=handle.failed_runs == 0)
         except PosError as exc:
             handle.aborted = True
             log.event(f"ABORTED: {exc}")
@@ -188,6 +312,7 @@ class Controller:
         finally:
             log.event("nodes released")
             log.close()
+            journal.close()
             self._allocator.release(allocation)
 
         # ---- evaluation phase -------------------------------------------------
@@ -254,41 +379,129 @@ class Controller:
         max_runs: Optional[int],
         on_run_complete: Optional[Callable[[RunRecord, str], None]] = None,
         log: Optional["_WorkflowLog"] = None,
+        journal: Optional[RunJournal] = None,
+        completed: Optional[Dict[int, dict]] = None,
     ) -> None:
         runs = experiment.variables.runs()
         if max_runs is not None:
             runs = runs[:max_runs]
         total = len(runs)
+        completed = completed or {}
+        health: Dict[str, int] = {}
+        injector = self.fault_injector
         if log is not None:
             log.event(
                 f"measurement phase: {total} runs queued "
                 f"(cross product of loop variables)"
             )
         for index, loop_instance in enumerate(runs):
-            record = self._execute_run(
-                experiment, allocation, store, exp_dir, extra, index, loop_instance
+            # -- resume: adopt journalled runs without re-executing ---------
+            if index in completed:
+                record = self._adopt_completed_run(
+                    exp_dir, index, loop_instance, completed[index]
+                )
+                handle.runs.append(record)
+                if log is not None:
+                    log.event(
+                        f"run {index}: {loop_instance} -> ok (adopted from journal)"
+                    )
+                if self._progress is not None:
+                    self._progress(index + 1, total)
+                continue
+            # -- quarantine: degrade gracefully, do not poison the rest -----
+            blocked = sorted(
+                {role.node for role in experiment.roles
+                 if role.node in handle.quarantined}
             )
-            if not record.ok and on_error == "recover" and not record.retried:
-                self._recover_nodes(experiment, allocation, store, exp_dir, extra)
-                retry = self._execute_run(
+            if blocked:
+                record = RunRecord(
+                    index=index, loop_instance=dict(loop_instance), ok=False,
+                    skipped=True,
+                    error=f"node(s) quarantined: {', '.join(blocked)}",
+                )
+                handle.runs.append(record)
+                if journal is not None:
+                    journal.record_run(
+                        index, loop_instance, ok=False, skipped=True,
+                        error=record.error,
+                    )
+                if log is not None:
+                    log.event(
+                        f"run {index}: {loop_instance} -> SKIPPED ({record.error})"
+                    )
+                if self._progress is not None:
+                    self._progress(index + 1, total)
+                continue
+            # -- execute ----------------------------------------------------
+            if injector is not None:
+                injector.begin_run(index)
+            try:
+                record, run_dir = self._execute_run(
                     experiment, allocation, store, exp_dir, extra, index,
                     loop_instance,
                 )
-                retry.retried = True
-                record = retry
+                if not record.ok and on_error == "recover" and not record.retried:
+                    self._recover(experiment, allocation, store, exp_dir, extra)
+                    if log is not None:
+                        log.event(
+                            f"run {index}: recovery power-cycle + setup replay"
+                        )
+                    retry, run_dir = self._execute_run(
+                        experiment, allocation, store, exp_dir, extra, index,
+                        loop_instance,
+                    )
+                    retry.retried = True
+                    record = retry
+            finally:
+                if injector is not None:
+                    injector.end_run()
             handle.runs.append(record)
+            if journal is not None:
+                journal.record_run(
+                    index, loop_instance, ok=record.ok,
+                    retried=record.retried, error=record.error,
+                    run_dir=os.path.basename(run_dir.path),
+                )
             if log is not None:
                 status = "ok" if record.ok else f"FAILED ({record.error})"
                 log.event(f"run {index}: {loop_instance} -> {status}")
             if on_run_complete is not None:
-                run_path = exp_dir.run_dirs[-1].path
-                on_run_complete(record, run_path)
+                on_run_complete(record, run_dir.path)
             if self._progress is not None:
                 self._progress(index + 1, total)
-            if not record.ok and on_error == "abort":
-                raise ScriptError(
-                    f"measurement run {index} failed: {record.error}"
-                )
+            if record.ok:
+                # A good run means every node is demonstrably healthy:
+                # probe-failure streaks are no longer consecutive.
+                health.clear()
+            else:
+                if on_error == "abort":
+                    raise ScriptError(
+                        f"measurement run {index} failed: {record.error}"
+                    )
+                if on_error == "continue":
+                    self._watchdog(
+                        experiment, allocation, store, exp_dir, extra,
+                        health, handle.quarantined, log,
+                    )
+
+    @staticmethod
+    def _adopt_completed_run(
+        exp_dir: ExperimentDir,
+        index: int,
+        loop_instance: Dict[str, Any],
+        entry: dict,
+    ) -> RunRecord:
+        journalled_loop = entry.get("loop", {})
+        if journalled_loop != dict(loop_instance):
+            raise ExperimentError(
+                f"journal run {index} was {journalled_loop}, the experiment "
+                f"defines {dict(loop_instance)} — refusing to resume"
+            )
+        exp_dir.adopt_run_dir(index, entry.get("dir"))
+        return RunRecord(
+            index=index, loop_instance=dict(loop_instance), ok=True,
+            retried=bool(entry.get("retried", False)), resumed=True,
+        )
 
     def _execute_run(
         self,
@@ -299,7 +512,7 @@ class Controller:
         extra: dict,
         index: int,
         loop_instance: Dict[str, Any],
-    ) -> RunRecord:
+    ) -> tuple:
         run_dir = exp_dir.create_run_dir(index)
         run_dir.write_metadata(loop_instance)
         record = RunRecord(index=index, loop_instance=dict(loop_instance), ok=True)
@@ -332,7 +545,30 @@ class Controller:
                 record.ok = False
                 record.error = str(exc)
         store.reset_barriers()
-        return record
+        return record, run_dir
+
+    # -- recovery & health -------------------------------------------------------
+
+    def _recover(
+        self,
+        experiment: Experiment,
+        allocation: Allocation,
+        store: SharedStore,
+        exp_dir: ExperimentDir,
+        extra: dict,
+    ) -> None:
+        """Run the recovery procedure under the controller's retry policy."""
+        try:
+            self.recovery_policy.call(
+                lambda: self._recover_nodes(
+                    experiment, allocation, store, exp_dir, extra
+                ),
+                retry_on=(NodeError, ScriptError, TransportError),
+                clock=self.clock,
+                describe="node recovery",
+            )
+        except RetryExhausted as exc:
+            raise exc.last_error
 
     def _recover_nodes(
         self,
@@ -357,6 +593,60 @@ class Controller:
                     f"recovery setup of role {role.name!r} failed: {result.error}"
                 )
         store.reset_barriers()
+
+    def _watchdog(
+        self,
+        experiment: Experiment,
+        allocation: Allocation,
+        store: SharedStore,
+        exp_dir: ExperimentDir,
+        extra: dict,
+        health: Dict[str, int],
+        quarantined: Dict[str, str],
+        log: Optional["_WorkflowLog"],
+    ) -> None:
+        """Probe the hosts after a failed run and recover wedged ones.
+
+        A failed run under ``continue`` must not leave a wedged DuT to
+        poison every subsequent run: each node is probed in band, and a
+        node that does not answer is power-cycled back into the clean
+        state (with a full setup replay, keeping the barrier semantics
+        intact).  A node failing ``quarantine_threshold`` consecutive
+        probes — or whose recovery fails outright — is quarantined.
+        """
+        node_names = list(dict.fromkeys(role.node for role in experiment.roles))
+        wedged = [
+            name for name in node_names
+            if name not in quarantined and not allocation.node(name).probe()
+        ]
+        for name in node_names:
+            if name in quarantined:
+                continue
+            health[name] = health.get(name, 0) + 1 if name in wedged else 0
+        for name in wedged:
+            if health[name] >= self.quarantine_threshold:
+                quarantined[name] = (
+                    f"failed {health[name]} consecutive health probes"
+                )
+                if log is not None:
+                    log.event(
+                        f"watchdog: QUARANTINED {name} ({quarantined[name]})"
+                    )
+        still_wedged = [name for name in wedged if name not in quarantined]
+        if not still_wedged:
+            return
+        if log is not None:
+            log.event(
+                f"watchdog: wedged node(s) {', '.join(still_wedged)} — "
+                f"power-cycling back into the live-image state"
+            )
+        try:
+            self._recover(experiment, allocation, store, exp_dir, extra)
+        except (NodeError, ScriptError, TransportError) as exc:
+            for name in still_wedged:
+                quarantined[name] = f"recovery failed: {exc}"
+                if log is not None:
+                    log.event(f"watchdog: QUARANTINED {name} (recovery failed)")
 
     def _run_script(
         self,
@@ -412,6 +702,10 @@ class Controller:
         metadata["aborted"] = handle.aborted
         metadata["runs_completed"] = handle.completed_runs
         metadata["runs_failed"] = handle.failed_runs
+        if handle.skipped_runs:
+            metadata["runs_skipped"] = handle.skipped_runs
+        if handle.quarantined:
+            metadata["quarantined"] = dict(handle.quarantined)
         exp_dir.write_metadata(metadata)
         exp_dir.write_variables(experiment.variables.describe())
         inventory: Dict[str, Any] = {
@@ -421,6 +715,8 @@ class Controller:
         }
         if self._inventory_extra is not None:
             inventory.update(self._inventory_extra())
+        if self.fault_injector is not None:
+            inventory["fault_injection"] = self.fault_injector.describe()
         exp_dir.write_inventory(inventory)
         exp_dir.write_scripts(
             [role.describe() for role in experiment.roles]

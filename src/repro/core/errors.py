@@ -40,6 +40,23 @@ class TransportTimeout(TransportError):
     """A command did not complete within its deadline."""
 
 
+class RetryExhausted(PosError):
+    """A retried management-plane operation failed on every attempt."""
+
+    def __init__(self, message: str, attempts: int = 0, last_error=None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class FaultPlanError(PosError):
+    """A fault-injection plan is malformed or references unknown kinds."""
+
+
+class JournalError(PosError):
+    """The crash-safe run journal is missing, corrupt, or mismatched."""
+
+
 class NodeError(PosError):
     """An experiment host is in an unexpected lifecycle state."""
 

@@ -1,0 +1,167 @@
+"""Crash-safe run journal (R3 at experiment scope).
+
+Large cross-product studies must survive a crashed controller without
+rerunning thousands of good runs.  The journal is an append-only
+``journal.jsonl`` in the experiment's result folder: one header line,
+then one JSON line per finished measurement run, each flushed *and
+fsynced* before the controller moves on — the file is trustworthy up
+to the instant of a kill.
+
+:meth:`Controller.resume` replays the journal, skips every loop
+instance recorded as completed, and re-executes only the remainder.
+Because the journal carries the loop instance and the run-directory
+name, resume can both validate that it is being pointed at the same
+experiment and adopt the existing run directories untouched (their
+metadata stays byte-identical).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import JournalError
+
+__all__ = ["JOURNAL_NAME", "RunJournal"]
+
+JOURNAL_NAME = "journal.jsonl"
+
+
+class RunJournal:
+    """Append-only, fsync'd record of finished measurement runs."""
+
+    def __init__(self, path: str, entries: Optional[List[dict]] = None):
+        self.path = path
+        self.entries: List[dict] = list(entries or [])
+        self._handle = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(cls, experiment_path: str, experiment: str, total_runs: int)\
+            -> "RunJournal":
+        """Start a fresh journal for a new experiment execution."""
+        journal = cls(os.path.join(experiment_path, JOURNAL_NAME))
+        journal._open("w")
+        journal._append(
+            {"event": "experiment", "name": experiment, "total_runs": total_runs}
+        )
+        return journal
+
+    @classmethod
+    def open(cls, experiment_path: str) -> "RunJournal":
+        """Load an existing journal for resumption, keeping it appendable.
+
+        A torn final line (the controller died mid-write) is dropped
+        rather than rejected: everything before it was fsynced.
+        """
+        path = os.path.join(experiment_path, JOURNAL_NAME)
+        if not os.path.isfile(path):
+            raise JournalError(f"no journal at {path}; nothing to resume")
+        entries: List[dict] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    break  # torn tail from the crash; fsynced prefix is intact
+                if isinstance(entry, dict):
+                    entries.append(entry)
+        if not entries or entries[0].get("event") != "experiment":
+            raise JournalError(f"journal {path} has no experiment header")
+        journal = cls(path, entries)
+        journal._open("a")
+        return journal
+
+    # -- writing -------------------------------------------------------------
+
+    def _open(self, mode: str) -> None:
+        self._handle = open(self.path, mode, encoding="utf-8")
+
+    def _append(self, entry: dict) -> None:
+        if self._handle is None:
+            raise JournalError(f"journal {self.path} is closed")
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.entries.append(entry)
+
+    def record_run(
+        self,
+        index: int,
+        loop_instance: Dict[str, Any],
+        ok: bool,
+        skipped: bool = False,
+        retried: bool = False,
+        error: Optional[str] = None,
+        run_dir: Optional[str] = None,
+    ) -> None:
+        """Record one finished (or skipped) measurement run durably."""
+        entry: Dict[str, Any] = {
+            "event": "run",
+            "index": index,
+            "loop": dict(loop_instance),
+            "ok": ok,
+        }
+        if skipped:
+            entry["skipped"] = True
+        if retried:
+            entry["retried"] = True
+        if error is not None:
+            entry["error"] = error
+        if run_dir is not None:
+            entry["dir"] = run_dir
+        self._append(entry)
+
+    def record_event(self, event: str, **fields: Any) -> None:
+        entry = {"event": event}
+        entry.update(fields)
+        self._append(entry)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def header(self) -> dict:
+        return self.entries[0] if self.entries else {}
+
+    def run_entries(self) -> List[dict]:
+        return [entry for entry in self.entries if entry.get("event") == "run"]
+
+    def completed(self) -> Dict[int, dict]:
+        """Latest journal entry per run index that finished successfully.
+
+        A later entry for the same index (a resumed retry of a failed
+        run) supersedes earlier ones, so a run that failed first and
+        succeeded later counts as completed.
+        """
+        latest: Dict[int, dict] = {}
+        for entry in self.run_entries():
+            latest[int(entry["index"])] = entry
+        return {
+            index: entry
+            for index, entry in latest.items()
+            if entry.get("ok", False)
+        }
+
+    def validate_against(self, experiment: str, total_runs: int) -> None:
+        """Refuse to resume a journal written by a different experiment."""
+        header = self.header
+        if header.get("name") != experiment:
+            raise JournalError(
+                f"journal belongs to experiment {header.get('name')!r}, "
+                f"not {experiment!r}"
+            )
+        if header.get("total_runs") != total_runs:
+            raise JournalError(
+                f"journal expects {header.get('total_runs')} runs, the "
+                f"experiment defines {total_runs} — refusing to resume"
+            )

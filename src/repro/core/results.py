@@ -45,16 +45,25 @@ def format_timestamp(epoch: float) -> str:
 
 
 class RunDir:
-    """Result folder of a single measurement run."""
+    """Result folder of a single measurement run.
 
-    def __init__(self, path: str, index: int):
+    ``attempt`` distinguishes retries of the same run index: attempt 0
+    lives in ``run-NNN``, later attempts in ``run-NNN-retry`` /
+    ``run-NNN-retry2`` / …, so a recovery retry never overwrites the
+    failed attempt's artifacts — the failure evidence is preserved.
+    """
+
+    def __init__(self, path: str, index: int, attempt: int = 0):
         self.path = path
         self.index = index
+        self.attempt = attempt
         os.makedirs(path, exist_ok=True)
 
     def write_metadata(self, loop_instance: Dict[str, Any], extra: Optional[dict] = None) -> None:
         """Record the loop parameters that define this run."""
         payload: Dict[str, Any] = {"run": self.index, "loop": dict(loop_instance)}
+        if self.attempt:
+            payload["attempt"] = self.attempt
         if extra:
             payload.update(extra)
         yamlite.dump_file(payload, os.path.join(self.path, "metadata.yml"))
@@ -117,8 +126,48 @@ class ExperimentDir:
         run_like = RunDir(os.path.join(self.path, "setup"), index=-1)
         run_like.record_script(result)
 
+    @staticmethod
+    def run_dir_name(index: int, attempt: int = 0) -> str:
+        base = f"run-{index:03d}"
+        if attempt == 0:
+            return base
+        if attempt == 1:
+            return f"{base}-retry"
+        return f"{base}-retry{attempt}"
+
     def create_run_dir(self, index: int) -> RunDir:
-        run_dir = RunDir(os.path.join(self.path, f"run-{index:03d}"), index)
+        """Create the next attempt's folder for run ``index``.
+
+        If ``run-NNN`` already exists (a recovery retry in this
+        execution, or a resumed re-execution of a failed run), the new
+        attempt goes to ``run-NNN-retry[K]`` instead of silently
+        reusing — and overwriting — the earlier attempt's artifacts.
+        """
+        attempt = 0
+        while True:
+            name = self.run_dir_name(index, attempt)
+            path = os.path.join(self.path, name)
+            if not os.path.isdir(path):
+                break
+            attempt += 1
+        run_dir = RunDir(path, index, attempt=attempt)
+        self._run_dirs.append(run_dir)
+        return run_dir
+
+    def adopt_run_dir(self, index: int, name: Optional[str] = None) -> RunDir:
+        """Register an existing run folder without touching its contents.
+
+        Used on resume for runs the journal records as completed: their
+        metadata must stay byte-identical, so nothing is rewritten.
+        """
+        name = name or self.run_dir_name(index)
+        path = os.path.join(self.path, name)
+        if not os.path.isdir(path):
+            raise ResultError(f"cannot adopt missing run folder {path}")
+        run_dir = RunDir.__new__(RunDir)
+        run_dir.path = path
+        run_dir.index = index
+        run_dir.attempt = _attempt_from_name(name)
         self._run_dirs.append(run_dir)
         return run_dir
 
@@ -166,6 +215,14 @@ class ResultStore:
         return os.path.join(
             self.root, _safe_name(user), _safe_name(experiment), stamps[-1]
         )
+
+
+def _attempt_from_name(name: str) -> int:
+    """Parse the attempt number back out of a run-folder name."""
+    if "-retry" not in name:
+        return 0
+    suffix = name.rsplit("-retry", 1)[1]
+    return int(suffix) if suffix else 1
 
 
 def _safe_name(name: str) -> str:

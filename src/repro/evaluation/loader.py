@@ -56,6 +56,9 @@ class RunResult:
 
     index: int
     loop: Dict[str, Any]
+    #: retry attempt this capture belongs to (0 = the original folder,
+    #: 1 = ``run-NNN-retry``, …)
+    attempt: int = 0
     #: role → filename → content
     outputs: Dict[str, Dict[str, str]] = field(default_factory=dict)
     #: role → parsed status.yml
@@ -109,6 +112,9 @@ class ExperimentResults:
     variables: Dict[str, Any]
     inventory: Dict[str, Any]
     runs: List[RunResult] = field(default_factory=list)
+    #: Earlier attempts of runs that were later retried (failure
+    #: evidence from recovery/resume); never mixed into :attr:`runs`.
+    superseded: List[RunResult] = field(default_factory=list)
 
     @property
     def name(self) -> str:
@@ -174,12 +180,35 @@ def load_experiment(path: str) -> ExperimentResults:
         entry for entry in os.listdir(path)
         if entry.startswith("run-") and os.path.isdir(os.path.join(path, entry))
     )
+    # A retried run leaves several folders for the same index
+    # (``run-003``, ``run-003-retry``, …).  Only the newest attempt
+    # counts as *the* run; earlier attempts are kept as superseded
+    # failure evidence so an evaluation never double-counts an index.
+    by_index: Dict[int, List[RunResult]] = {}
     for entry in run_entries:
         run_path = os.path.join(path, entry)
         metadata = _load_yaml_if_present(os.path.join(run_path, "metadata.yml"))
-        index = int(metadata.get("run", entry.split("-", 1)[1]))
-        run = RunResult(index=index, loop=dict(metadata.get("loop", {})))
+        index = int(metadata.get("run", _index_from_name(entry)))
+        attempt = int(metadata.get("attempt", _attempt_from_name(entry)))
+        run = RunResult(
+            index=index, loop=dict(metadata.get("loop", {})), attempt=attempt
+        )
         _load_role_dirs(run_path, run)
-        results.runs.append(run)
-    results.runs.sort(key=lambda run: run.index)
+        by_index.setdefault(index, []).append(run)
+    for index in sorted(by_index):
+        attempts = sorted(by_index[index], key=lambda run: run.attempt)
+        results.runs.append(attempts[-1])
+        results.superseded.extend(attempts[:-1])
     return results
+
+
+def _index_from_name(name: str) -> int:
+    """Parse the run index out of a folder name like ``run-003-retry``."""
+    return int(name.split("-")[1])
+
+
+def _attempt_from_name(name: str) -> int:
+    if "-retry" not in name:
+        return 0
+    suffix = name.rsplit("-retry", 1)[1]
+    return int(suffix) if suffix else 1

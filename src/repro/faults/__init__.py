@@ -1,0 +1,49 @@
+"""Resilience layer: fault injection, retry policies, simulated clocks.
+
+The paper's R3 requirement — recovering a wedged host into a
+well-defined state at any time — only means something if the toolchain
+is exercised against failures.  This package provides the three pieces
+the controller and testbed layers share:
+
+* :mod:`repro.faults.clock` — injectable clocks, so retry backoff is
+  testable in virtual time and deterministic in artifacts.
+* :mod:`repro.faults.retry` — the unified :class:`RetryPolicy` used by
+  node power cycling, transport sessions, and controller recovery.
+* :mod:`repro.faults.plan` — a deterministic, seeded fault *plan*:
+  typed faults (power failure, transport error, timeout, boot hang,
+  script error, host wedge) matched by node, operation, and run index.
+* :mod:`repro.faults.injector` — the runtime that fires planned faults
+  into the power and transport layers via transparent wrappers.
+"""
+
+from repro.faults.clock import Clock, SimClock, SystemClock
+from repro.faults.injector import (
+    FaultInjector,
+    InjectedPowerControl,
+    InjectedTransport,
+    install_fault_plan,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    load_fault_plan,
+)
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "Clock",
+    "SimClock",
+    "SystemClock",
+    "RetryPolicy",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "load_fault_plan",
+    "FaultInjector",
+    "InjectedPowerControl",
+    "InjectedTransport",
+    "install_fault_plan",
+]

@@ -1,0 +1,54 @@
+"""Injectable clocks for the resilience layer.
+
+Retry backoff must not slow the test suite down and must not leak
+wall-clock nondeterminism into artifacts, so every sleeping component
+takes a clock object instead of calling :func:`time.sleep` directly.
+:class:`SimClock` advances virtual time instantly and records every
+sleep, which is what makes backoff sequences assertable; a real
+deployment swaps in :class:`SystemClock`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import List
+
+__all__ = ["Clock", "SimClock", "SystemClock"]
+
+
+class Clock:
+    """Protocol: ``now()`` returns seconds, ``sleep(s)`` blocks for them."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class SimClock(Clock):
+    """Virtual time: sleeps advance the clock instantly and are logged."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self.sleeps: List[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot sleep for {seconds}s")
+        self._now += seconds
+        self.sleeps.append(seconds)
+
+
+class SystemClock(Clock):
+    """Real wall-clock time, for live deployments."""
+
+    def now(self) -> float:
+        return _time.time()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            _time.sleep(seconds)

@@ -1,0 +1,253 @@
+"""Runtime fault injection into the power and transport layers.
+
+The :class:`FaultInjector` owns a :class:`~repro.faults.plan.FaultPlan`
+and the execution context the plan matches against (the current run
+index, advanced by the controller).  Transparent wrappers —
+:class:`InjectedPowerControl` around any power controller,
+:class:`InjectedTransport` around any transport — consult the injector
+before delegating, and raise the layer's native exception when a
+planned fault strikes.  Because the raised errors are the real
+``PowerError``/``TransportError``/``TransportTimeout`` types, every
+downstream handler (node retries, controller recovery, watchdog,
+quarantine) is exercised exactly as it would be by genuine hardware
+failures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.errors import PowerError, TransportError, TransportTimeout
+from repro.faults.plan import FaultEvent, FaultPlan, FaultSpec
+from repro.netsim.host import CommandResult
+from repro.testbed.power import PowerControl
+from repro.testbed.transport import Transport
+
+__all__ = [
+    "FaultInjector",
+    "InjectedPowerControl",
+    "InjectedTransport",
+    "install_fault_plan",
+]
+
+
+class FaultInjector:
+    """Shared fault-firing state between the plan and the wrappers."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.run_index: Optional[int] = None
+        self.events: List[FaultEvent] = []
+
+    # -- context (driven by the controller) ---------------------------------
+
+    def begin_run(self, index: int) -> None:
+        self.run_index = index
+
+    def end_run(self) -> None:
+        self.run_index = None
+
+    # -- firing (driven by the wrappers) ------------------------------------
+
+    def fire(
+        self, kinds, operation: str, node: Optional[str]
+    ) -> Optional[FaultSpec]:
+        """Return the striking spec for this operation, if the plan has one."""
+        if isinstance(kinds, str):
+            kinds = (kinds,)
+        hit = self.plan.fire(kinds, operation, node, self.run_index)
+        if hit is None:
+            return None
+        index, spec = hit
+        self.events.append(
+            FaultEvent(
+                kind=spec.kind,
+                operation=operation,
+                node=node,
+                run_index=self.run_index,
+                spec_index=index,
+            )
+        )
+        return spec
+
+    def describe(self) -> dict:
+        """Plan plus fired-event trail, for the experiment artifacts."""
+        return {
+            "plan": self.plan.describe(),
+            "fired": [event.describe() for event in self.events],
+        }
+
+
+def _fault_message(spec: FaultSpec, default: str) -> str:
+    return spec.message if spec.message is not None else default
+
+
+class InjectedPowerControl(PowerControl):
+    """Wraps a power controller; planned power faults strike before the rail."""
+
+    def __init__(self, inner: PowerControl, injector: FaultInjector,
+                 node_name: Optional[str] = None):
+        # Deliberately no super().__init__: everything delegates to the
+        # wrapped controller, including the host handle and counters.
+        self._inner = inner
+        self._injector = injector
+        self._node = node_name
+        self._host = getattr(inner, "_host", None)
+
+    @property
+    def protocol(self) -> str:  # type: ignore[override]
+        return self._inner.protocol
+
+    @property
+    def supports_status(self) -> bool:  # type: ignore[override]
+        return self._inner.supports_status
+
+    @property
+    def power_cycles(self) -> int:  # type: ignore[override]
+        return self._inner.power_cycles
+
+    def _maybe_fail(self, operation: str) -> None:
+        spec = self._injector.fire("power", operation, self._node)
+        if spec is not None:
+            raise PowerError(
+                _fault_message(
+                    spec,
+                    f"{self.protocol}: injected power failure during {operation}",
+                )
+            )
+
+    def power_on(self) -> None:
+        self._maybe_fail("power_on")
+        self._inner.power_on()
+
+    def power_off(self) -> None:
+        self._maybe_fail("power_off")
+        self._inner.power_off()
+
+    def power_cycle(self) -> None:
+        # Fault atomically *before* touching the rail, so a failed cycle
+        # leaves the host in its previous state.
+        self._maybe_fail("power_cycle")
+        self._inner.power_cycle()
+
+    def status(self) -> str:
+        return self._inner.status()
+
+    def describe(self) -> dict:
+        info = self._inner.describe()
+        info["fault_injection"] = True
+        return info
+
+
+class InjectedTransport(Transport):
+    """Wraps a transport; planned in-band faults strike before delegation."""
+
+    def __init__(self, inner: Transport, injector: FaultInjector,
+                 node_name: Optional[str] = None):
+        self._inner = inner
+        self._injector = injector
+        self._node = node_name
+        self._host = getattr(inner, "_host", None)
+
+    @property
+    def protocol(self) -> str:  # type: ignore[override]
+        return self._inner.protocol
+
+    def connect(self) -> None:
+        spec = self._injector.fire(("boot", "transport"), "connect", self._node)
+        if spec is not None:
+            if spec.kind == "boot":
+                raise TransportError(
+                    _fault_message(
+                        spec,
+                        f"{self.protocol}: host never came up after boot "
+                        f"(injected boot hang)",
+                    )
+                )
+            raise TransportError(
+                _fault_message(
+                    spec, f"{self.protocol}: injected connect failure"
+                )
+            )
+        self._inner.connect()
+
+    def execute(self, command: str, timeout_s: Optional[float] = None) -> CommandResult:
+        spec = self._injector.fire(
+            ("timeout", "transport", "script", "wedge"), "execute", self._node
+        )
+        if spec is not None:
+            if spec.kind == "timeout":
+                raise TransportTimeout(
+                    _fault_message(
+                        spec,
+                        f"{self.protocol}: command {command!r} injected "
+                        f"slow-command timeout",
+                    )
+                )
+            if spec.kind == "script":
+                # The command *runs* but fails: the script layer turns the
+                # non-zero exit into a ScriptError, like a real tool bug.
+                return CommandResult(
+                    command,
+                    1,
+                    _fault_message(spec, "injected script error"),
+                )
+            if spec.kind == "wedge":
+                if self._host is not None:
+                    self._host.wedge()
+                raise TransportError(
+                    _fault_message(
+                        spec,
+                        f"{self.protocol}: host wedged during {command!r} "
+                        f"(injected OS hang)",
+                    )
+                )
+            raise TransportError(
+                _fault_message(
+                    spec, f"{self.protocol}: injected transport failure"
+                )
+            )
+        return self._inner.execute(command, timeout_s=timeout_s)
+
+    def put_file(self, path: str, content: str) -> None:
+        spec = self._injector.fire("transport", "put_file", self._node)
+        if spec is not None:
+            raise TransportError(
+                _fault_message(spec, f"{self.protocol}: injected upload failure")
+            )
+        self._inner.put_file(path, content)
+
+    def get_file(self, path: str) -> str:
+        spec = self._injector.fire("transport", "get_file", self._node)
+        if spec is not None:
+            raise TransportError(
+                _fault_message(spec, f"{self.protocol}: injected download failure")
+            )
+        return self._inner.get_file(path)
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def describe(self) -> dict:
+        info = self._inner.describe()
+        info["fault_injection"] = True
+        return info
+
+
+def install_fault_plan(nodes: Dict[str, object], plan: FaultPlan) -> FaultInjector:
+    """Instrument every node's power and transport with one shared injector.
+
+    Wraps in place — the nodes keep their identity, so allocation,
+    inventory, and scripts are oblivious to the injection plane.
+    Returns the injector; hand it to the controller so faults can be
+    matched by run index.
+    """
+    injector = FaultInjector(plan)
+    for name, node in nodes.items():
+        power = getattr(node, "power", None)
+        if power is not None:
+            node.power = InjectedPowerControl(power, injector, name)
+        transport = getattr(node, "transport", None)
+        if transport is not None:
+            node.transport = InjectedTransport(transport, injector, name)
+    return injector

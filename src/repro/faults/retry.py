@@ -1,0 +1,110 @@
+"""The unified retry policy (R3 management plane).
+
+Every management-plane operation in the toolchain — power cycling a
+node, (re)connecting a transport, executing a command, replaying a
+recovery — retries transient failures through the same
+:class:`RetryPolicy`: bounded attempts, exponential backoff with a cap,
+and *deterministic* jitter.  Jitter is drawn from a seeded PRNG so a
+policy produces the identical delay sequence on every invocation; the
+artifact record of a flaky experiment is therefore reproducible down to
+the waits.
+
+Backoff never calls :func:`time.sleep` directly; the sleeping happens
+through an injectable clock (:mod:`repro.faults.clock`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Type, TypeVar
+
+from repro.core.errors import PosError, RetryExhausted
+from repro.faults.clock import Clock, SimClock
+
+__all__ = ["RetryPolicy"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with a cap and deterministic jitter.
+
+    ``max_attempts`` counts the first try: a policy with 3 attempts
+    performs at most 2 retries.  The delay before retry *n* (1-based)
+    is ``min(base_delay_s * multiplier**(n-1), max_delay_s)`` scaled by
+    a jitter factor in ``[1 - jitter_fraction, 1 + jitter_fraction]``
+    drawn from ``random.Random(seed)`` — the same policy always yields
+    the same delay sequence.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.1
+    multiplier: float = 2.0
+    max_delay_s: float = 5.0
+    jitter_fraction: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+
+    def delays(self) -> List[float]:
+        """The deterministic backoff sequence (one delay per retry)."""
+        rng = random.Random(self.seed)
+        sequence: List[float] = []
+        for attempt in range(self.max_attempts - 1):
+            base = min(
+                self.base_delay_s * self.multiplier ** attempt, self.max_delay_s
+            )
+            jitter = 1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0)
+            sequence.append(base * jitter)
+        return sequence
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        retry_on: Tuple[Type[BaseException], ...] = (PosError,),
+        clock: Optional[Clock] = None,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+        describe: str = "operation",
+    ) -> T:
+        """Invoke ``fn`` under this policy.
+
+        Exceptions matching ``retry_on`` are retried after the backoff
+        delay; anything else propagates immediately.  When all attempts
+        fail, :class:`~repro.core.errors.RetryExhausted` is raised,
+        carrying the attempt count and the last underlying error.
+        ``on_retry(attempt, error)`` fires before each backoff sleep.
+        """
+        clock = clock if clock is not None else SimClock()
+        delays = self.delays()
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except retry_on as exc:  # noqa: PERF203 - retry loop by design
+                last_error = exc
+                if attempt < self.max_attempts:
+                    if on_retry is not None:
+                        on_retry(attempt, exc)
+                    clock.sleep(delays[attempt - 1])
+        raise RetryExhausted(
+            f"{describe} failed after {self.max_attempts} attempts: {last_error}",
+            attempts=self.max_attempts,
+            last_error=last_error,
+        ) from last_error
+
+    def describe(self) -> dict:
+        """Serializable policy record for the experiment artifacts."""
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay_s": self.base_delay_s,
+            "multiplier": self.multiplier,
+            "max_delay_s": self.max_delay_s,
+            "jitter_fraction": self.jitter_fraction,
+            "seed": self.seed,
+        }

@@ -11,8 +11,11 @@ an experiment host:
 
 The node exposes the small lifecycle the controller drives: configure
 image → reset (power-cycle + live boot) → execute scripts → release.
-Power operations retry transient management-plane failures, which is
-what keeps experiments alive on flaky BMCs.
+Every management-plane operation — power cycling, the post-boot
+transport connect, command execution — retries transient failures
+through the unified :class:`~repro.faults.retry.RetryPolicy`, with
+backoff driven by an injectable clock.  That is what keeps experiments
+alive on flaky BMCs and lossy management networks.
 """
 
 from __future__ import annotations
@@ -20,13 +23,20 @@ from __future__ import annotations
 import enum
 from typing import Dict, List, Optional
 
-from repro.core.errors import NodeError, PowerError, TransportError
+from repro.core.errors import (
+    NodeError,
+    PowerError,
+    RetryExhausted,
+    TransportError,
+)
+from repro.faults.clock import Clock, SimClock
+from repro.faults.retry import RetryPolicy
 from repro.netsim.host import CommandResult, SimHost
 from repro.testbed.images import ImageSpec
 from repro.testbed.power import PowerControl
 from repro.testbed.transport import Transport
 
-__all__ = ["NodeState", "Node"]
+__all__ = ["NodeState", "Node", "DEFAULT_NODE_RETRY_POLICY"]
 
 
 class NodeState(enum.Enum):
@@ -38,11 +48,19 @@ class NodeState(enum.Enum):
     FAILED = "failed"
 
 
+#: The stock management-plane policy: 3 attempts, capped exponential
+#: backoff with deterministic jitter.
+DEFAULT_NODE_RETRY_POLICY = RetryPolicy(
+    max_attempts=3, base_delay_s=0.5, multiplier=2.0, max_delay_s=8.0
+)
+
+
 class Node:
     """One experiment host managed by the testbed controller."""
 
-    #: How often power operations are retried before giving up.
-    POWER_RETRIES = 3
+    #: Attempt budget of the default policy (kept for compatibility with
+    #: the original bare retry loop).
+    POWER_RETRIES = DEFAULT_NODE_RETRY_POLICY.max_attempts
 
     def __init__(
         self,
@@ -50,11 +68,15 @@ class Node:
         host: Optional[SimHost] = None,
         power: Optional[PowerControl] = None,
         transport: Optional[Transport] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        clock: Optional[Clock] = None,
     ):
         self.name = name
         self.host = host
         self.power = power
         self.transport = transport
+        self.retry_policy = retry_policy or DEFAULT_NODE_RETRY_POLICY
+        self.clock = clock or SimClock()
         self.state = NodeState.FREE
         self.owner: Optional[str] = None
         self.image: Optional[ImageSpec] = None
@@ -95,26 +117,27 @@ class Node:
 
         This works from *any* prior state — fully configured,
         misconfigured, or wedged (R3) — because the power path does not
-        depend on the OS.  Transient power failures are retried.
+        depend on the OS.  Transient power failures are retried under
+        the node's :class:`RetryPolicy`; so is the post-boot transport
+        connect (a host that is slow to come up is not a dead host).
         """
         if self.image is None:
             raise NodeError(f"{self.name}: no image selected before reset")
         if self.power is None:
             raise NodeError(f"{self.name}: node has no power control")
-        last_error: Optional[PowerError] = None
-        for __ in range(self.POWER_RETRIES):
-            try:
-                self.power.power_cycle()
-                last_error = None
-                break
-            except PowerError as exc:
-                last_error = exc
-        if last_error is not None:
+        try:
+            self.retry_policy.call(
+                self.power.power_cycle,
+                retry_on=(PowerError,),
+                clock=self.clock,
+                describe=f"{self.name}: power cycle",
+            )
+        except RetryExhausted as exc:
             self.state = NodeState.FAILED
             raise NodeError(
                 f"{self.name}: power cycle failed after "
-                f"{self.POWER_RETRIES} attempts: {last_error}"
-            )
+                f"{exc.attempts} attempts: {exc.last_error}"
+            ) from exc
         if self.host is not None:
             self.host.boot(
                 image=self.image.name,
@@ -125,19 +148,41 @@ class Node:
         self.reset_count += 1
         if self.transport is not None:
             try:
-                self.transport.connect()
-            except TransportError as exc:
+                self.retry_policy.call(
+                    self.transport.connect,
+                    retry_on=(TransportError,),
+                    clock=self.clock,
+                    describe=f"{self.name}: connect",
+                )
+            except RetryExhausted as exc:
                 self.state = NodeState.FAILED
-                raise NodeError(f"{self.name}: unreachable after boot: {exc}") from exc
+                raise NodeError(
+                    f"{self.name}: unreachable after boot "
+                    f"({exc.attempts} attempts): {exc.last_error}"
+                ) from exc
         self.state = NodeState.READY
 
     # -- script/command surface ----------------------------------------------
 
     def execute(self, command: str, timeout_s: Optional[float] = None) -> CommandResult:
-        """Run one command over the configuration interface."""
+        """Run one command over the configuration interface.
+
+        Transient transport failures (including injected slow-command
+        timeouts) are retried under the node's policy; when the budget
+        is exhausted the *last* underlying transport error propagates,
+        so callers keep seeing the native error types.
+        """
         if self.transport is None:
             raise NodeError(f"{self.name}: node has no transport")
-        return self.transport.execute(command, timeout_s=timeout_s)
+        try:
+            return self.retry_policy.call(
+                lambda: self.transport.execute(command, timeout_s=timeout_s),
+                retry_on=(TransportError,),
+                clock=self.clock,
+                describe=f"{self.name}: execute {command!r}",
+            )
+        except RetryExhausted as exc:
+            raise exc.last_error
 
     def put_file(self, path: str, content: str) -> None:
         if self.transport is None:
@@ -148,6 +193,25 @@ class Node:
         if self.transport is None:
             raise NodeError(f"{self.name}: node has no transport")
         return self.transport.get_file(path)
+
+    # -- health ----------------------------------------------------------------
+
+    def probe(self) -> bool:
+        """One cheap in-band liveness check, without retries.
+
+        The controller's watchdog calls this after a failed run: a node
+        whose transport still answers is healthy (the failure was the
+        script's); a node that does not is wedged and needs the
+        out-of-band path.  Nodes without a transport cannot be probed
+        and are assumed healthy.
+        """
+        if self.transport is None:
+            return True
+        try:
+            self.transport.execute("true")
+        except (TransportError, NodeError):
+            return False
+        return True
 
     # -- inventory ----------------------------------------------------------------
 
@@ -164,4 +228,5 @@ class Node:
             info["image"] = self.image.describe()
         if self.boot_parameters:
             info["boot_parameters"] = dict(self.boot_parameters)
+        info["retry_policy"] = self.retry_policy.describe()
         return info

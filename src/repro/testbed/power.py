@@ -104,17 +104,36 @@ class FlakyPowerControl(PowerControl):
     Models a BMC that needs retries — the controller's recovery logic
     must keep the experiment alive through transient management-plane
     errors.
+
+    This class predates the general fault-injection plane and is kept
+    as a thin compatibility shim over it: internally it is a private
+    :class:`~repro.faults.plan.FaultPlan` with a single budgeted power
+    fault.  New code should declare faults in a plan and instrument
+    nodes with :func:`~repro.faults.injector.install_fault_plan`.
     """
 
     protocol = "flaky-ipmi"
 
     def __init__(self, host: SimHost, failures: int = 1):
         super().__init__(host)
-        self._remaining_failures = failures
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan, FaultSpec
+
+        plan = FaultPlan(
+            [FaultSpec(kind="power", times=failures)] if failures > 0 else []
+        )
+        self._injector = FaultInjector(plan)
+
+    @property
+    def _remaining_failures(self) -> int:
+        spec = self._injector.plan.specs
+        if not spec:
+            return 0
+        budget = spec[0].times or 0
+        return budget - self._injector.plan.fired_counts()[0]
 
     def _maybe_fail(self, operation: str) -> None:
-        if self._remaining_failures > 0:
-            self._remaining_failures -= 1
+        if self._injector.fire("power", operation, None) is not None:
             raise PowerError(f"{self.protocol}: transient failure during {operation}")
 
     def power_on(self) -> None:

@@ -36,6 +36,24 @@ __all__ = [
 ]
 
 
+def _simulated_duration(command: str) -> Optional[float]:
+    """Wall-clock a simulated command would take, when it is knowable.
+
+    The simulated shell executes instantly, so ``timeout_s`` could never
+    fire against a :class:`SimHost` — only ``sleep`` declares a duration
+    on its command line.  This keeps slow-command timeouts testable
+    against the simulator, with the same semantics as
+    :class:`LocalTransport` enforcing them on real subprocesses.
+    """
+    parts = command.split()
+    if len(parts) == 2 and parts[0] == "sleep":
+        try:
+            return float(parts[1])
+        except ValueError:
+            return None
+    return None
+
+
 class Transport:
     """Common protocol for in-band configuration interfaces."""
 
@@ -91,6 +109,13 @@ class SshTransport(Transport):
 
     def execute(self, command: str, timeout_s: Optional[float] = None) -> CommandResult:
         self._require_session()
+        if timeout_s is not None:
+            duration = _simulated_duration(command)
+            if duration is not None and duration > timeout_s:
+                raise TransportTimeout(
+                    f"ssh: command {command!r} on {self._host.name} "
+                    f"exceeded {timeout_s}s"
+                )
         return self._host.run_command(command)
 
     def put_file(self, path: str, content: str) -> None:

@@ -1,0 +1,212 @@
+"""Acceptance tests: a seeded fault plan against a 20-run cross product.
+
+These are the issue's acceptance criteria, run end to end: the
+experiment survives injected power, transport, and script faults under
+``on_error="continue"`` (with quarantine armed), and the identical
+experiment killed mid-way resumes via the journal to the same final
+result set — byte-identical metadata for adopted runs, zero duplicated
+run indices.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.allocation import Allocator
+from repro.core.calendar import Calendar
+from repro.core.controller import Controller
+from repro.core.errors import PosError
+from repro.core.experiment import Experiment, Role
+from repro.core.journal import JOURNAL_NAME
+from repro.core.results import ResultStore
+from repro.core.scripts import CommandScript
+from repro.core.variables import Variables
+from repro.evaluation.loader import load_experiment
+from repro.faults.injector import install_fault_plan
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.netsim.host import SimHost
+from repro.testbed.images import default_registry
+from repro.testbed.node import Node
+from repro.testbed.power import IpmiController
+from repro.testbed.transport import SshTransport
+
+#: 4 sizes x 5 rates = a 20-run cross product.
+LOOP_VARS = {
+    "pkt_sz": [64, 128, 512, 1500],
+    "pkt_rate": [100, 200, 300, 400, 500],
+}
+
+
+def make_plan():
+    """Power, transport, and script faults, seeded and run-pinned.
+
+    The power fault strikes during the run-less boot phase and is
+    absorbed by the node's retry policy.  The transport fault carries
+    enough budget to defeat the retries, failing run 7 outright; the
+    script faults fail runs 3 and 12 at the exit-code level; the wedge
+    at run 9 exercises the watchdog's out-of-band recovery.
+    """
+    return FaultPlan(
+        [
+            FaultSpec(kind="power", node="tartu", times=1),
+            FaultSpec(kind="transport", node="tartu", operation="execute",
+                      runs=(7,), times=3),
+            FaultSpec(kind="script", node="tartu", runs=(3, 12), times=2),
+            FaultSpec(kind="wedge", node="tartu", runs=(9,), times=1),
+        ],
+        seed=42,
+    )
+
+
+def make_testbed(tmp_path, plan):
+    nodes = {}
+    for name in ("tartu", "riga"):
+        host = SimHost(name)
+        nodes[name] = Node(
+            name, host=host, power=IpmiController(host),
+            transport=SshTransport(host),
+        )
+    injector = install_fault_plan(nodes, plan)
+    calendar = Calendar(clock=lambda: 1000.0)
+    allocator = Allocator(calendar, nodes)
+    results = ResultStore(str(tmp_path / "results"), clock=lambda: 1600000000.0)
+    controller = Controller(
+        allocator, default_registry(), results, fault_injector=injector
+    )
+    return controller, nodes
+
+
+def experiment_under_test():
+    roles = [
+        Role(
+            name="dut",
+            node="tartu",
+            setup=CommandScript("dut-setup", ["pos barrier setup-done"]),
+            measurement=CommandScript("dut-measure", [
+                "echo size $pkt_sz rate $pkt_rate",
+            ]),
+        ),
+        Role(
+            name="loadgen",
+            node="riga",
+            setup=CommandScript("lg-setup", ["pos barrier setup-done"]),
+            measurement=CommandScript("lg-measure", ["echo load $pkt_rate"]),
+        ),
+    ]
+    return Experiment(
+        name="fault-acceptance",
+        roles=roles,
+        variables=Variables(loop_vars=dict(LOOP_VARS)),
+        duration_s=60.0,
+    )
+
+
+class CrashRequested(RuntimeError):
+    """Simulated controller death — not a PosError, nothing handles it."""
+
+
+class TestFaultPlanAcceptance:
+    def test_seeded_faults_across_twenty_runs_under_continue(self, tmp_path):
+        controller, nodes = make_testbed(tmp_path, make_plan())
+        handle = controller.run(experiment_under_test(), on_error="continue")
+        assert len(handle.runs) == 20
+        # Exactly the planned strikes failed: runs 3, 7, 9, 12.
+        failed = sorted(r.index for r in handle.runs if not r.ok)
+        assert failed == [3, 7, 9, 12]
+        assert handle.completed_runs == 16
+        # Nothing was quarantined: the wedge was recovered out of band.
+        assert handle.quarantined == {}
+        assert handle.skipped_runs == 0
+        assert not nodes["tartu"].host.wedged
+        # The injector's trail is in the inventory for the artifact record.
+        fired = controller.fault_injector.describe()["fired"]
+        assert {event["kind"] for event in fired} == {
+            "power", "transport", "script", "wedge"
+        }
+
+    def test_fault_runs_are_reproducible(self, tmp_path):
+        """The same seeded plan produces the identical failure set."""
+        first, __ = make_testbed(tmp_path / "a", make_plan())
+        second, __ = make_testbed(tmp_path / "b", make_plan())
+        handle_a = first.run(experiment_under_test(), on_error="continue")
+        handle_b = second.run(experiment_under_test(), on_error="continue")
+        outcomes_a = [(r.index, r.ok) for r in handle_a.runs]
+        outcomes_b = [(r.index, r.ok) for r in handle_b.runs]
+        assert outcomes_a == outcomes_b
+
+    def test_killed_experiment_resumes_to_the_same_result_set(self, tmp_path):
+        # Reference execution: the full 20 runs in one go.
+        reference, __ = make_testbed(tmp_path / "ref", make_plan())
+        ref_handle = reference.run(experiment_under_test(), on_error="continue")
+
+        # Killed execution: die right after run 10 is journalled.
+        def crash_after_ten(record, run_path):
+            if record.index == 10:
+                raise CrashRequested("power loss")
+
+        crashed, __ = make_testbed(tmp_path / "res", make_plan())
+        with pytest.raises(CrashRequested):
+            crashed.run(
+                experiment_under_test(), on_error="continue",
+                on_run_complete=crash_after_ten,
+            )
+        result_path = self._find_result_path(tmp_path / "res")
+        adopted_before = self._metadata_bytes(result_path)
+
+        # Resume with a fresh controller and a fresh (identical) plan.
+        # Runs 0..10 are already journalled, so only 11..19 execute —
+        # and only their pinned faults (run 12's script error) strike.
+        resumer, __ = make_testbed(tmp_path / "res", make_plan())
+        handle = resumer.resume(
+            experiment_under_test(), result_path, on_error="continue"
+        )
+
+        assert len(handle.runs) == 20
+        assert sorted(r.index for r in handle.runs) == list(range(20))
+        assert len({r.index for r in handle.runs}) == 20  # no duplicates
+
+        # Identical final outcome per run index as the reference.
+        ref_outcomes = {r.index: r.ok for r in ref_handle.runs}
+        res_outcomes = {r.index: r.ok for r in handle.runs}
+        assert res_outcomes == ref_outcomes
+
+        # Adopted run folders were not rewritten: byte-identical metadata.
+        adopted_after = self._metadata_bytes(result_path, adopted_before)
+        assert adopted_after == adopted_before
+
+        # The evaluation loader sees each index exactly once, with the
+        # superseded failed attempts kept apart.
+        results = load_experiment(result_path)
+        assert [run.index for run in results.runs] == list(range(20))
+        assert all(run.index in (3, 7, 9) or run.attempt == 0
+                   for run in results.runs)
+
+    @staticmethod
+    def _find_result_path(root):
+        for dirpath, __, filenames in os.walk(str(root)):
+            if JOURNAL_NAME in filenames:
+                return dirpath
+        raise AssertionError("no journal written")
+
+    @staticmethod
+    def _metadata_bytes(result_path, reference=None):
+        """metadata.yml bytes per completed-before-the-kill run folder."""
+        payload = {}
+        names = (
+            reference.keys() if reference is not None else [
+                name for name in sorted(os.listdir(result_path))
+                if name.startswith("run-") and "-retry" not in name
+                and int(name.split("-")[1]) <= 10
+            ]
+        )
+        for name in names:
+            with open(os.path.join(result_path, name, "metadata.yml"), "rb") as f:
+                payload[name] = f.read()
+        return payload
+
+    def test_abort_policy_still_aborts_on_injected_fault(self, tmp_path):
+        controller, __ = make_testbed(tmp_path, make_plan())
+        with pytest.raises(PosError):
+            controller.run(experiment_under_test(), on_error="abort")

@@ -1,0 +1,304 @@
+"""Unit tests for fault plans and the injection wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    FaultPlanError,
+    PowerError,
+    TransportError,
+    TransportTimeout,
+)
+from repro.faults.injector import (
+    FaultInjector,
+    InjectedPowerControl,
+    InjectedTransport,
+    install_fault_plan,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    fault_plan_from_dict,
+    load_fault_plan,
+)
+from repro.netsim.host import SimHost
+from repro.testbed.images import default_registry
+from repro.testbed.node import Node
+from repro.testbed.power import IpmiController
+from repro.testbed.transport import SshTransport
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultSpec(kind="gremlin")
+
+    def test_wildcards_match_everything(self):
+        spec = FaultSpec(kind="transport")
+        assert spec.matches(("transport",), "execute", "tartu", 5)
+        assert spec.matches(("transport",), "connect", None, None)
+
+    def test_pinned_fields_constrain_matching(self):
+        spec = FaultSpec(kind="power", node="tartu", operation="power_cycle",
+                         runs=(3, 5))
+        assert spec.matches(("power",), "power_cycle", "tartu", 3)
+        assert not spec.matches(("power",), "power_cycle", "riga", 3)
+        assert not spec.matches(("power",), "power_on", "tartu", 3)
+        assert not spec.matches(("power",), "power_cycle", "tartu", 4)
+        # Pinned runs never match the run-less setup phase.
+        assert not spec.matches(("power",), "power_cycle", "tartu", None)
+
+    def test_invalid_budget_and_probability_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="power", times=0)
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="power", probability=0.0)
+        with pytest.raises(FaultPlanError):
+            FaultSpec(kind="power", probability=1.5)
+
+
+class TestFaultPlan:
+    def test_budget_is_consumed(self):
+        plan = FaultPlan([FaultSpec(kind="power", times=2)])
+        assert plan.fire(("power",), "power_cycle", "tartu", None) is not None
+        assert plan.fire(("power",), "power_cycle", "tartu", None) is not None
+        assert plan.fire(("power",), "power_cycle", "tartu", None) is None
+        assert plan.fired_counts() == [2]
+
+    def test_unbudgeted_spec_keeps_striking(self):
+        plan = FaultPlan([FaultSpec(kind="script", times=None, runs=(1,))])
+        for __ in range(5):
+            assert plan.fire(("script",), "execute", "dut", 1) is not None
+        assert plan.fire(("script",), "execute", "dut", 2) is None
+
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan([
+            FaultSpec(kind="power", node="riga"),
+            FaultSpec(kind="power"),
+        ])
+        index, spec = plan.fire(("power",), "power_cycle", "tartu", None)
+        assert index == 1 and spec.node is None
+
+    def test_probabilistic_specs_are_deterministic_per_seed(self):
+        def draw_sequence(seed):
+            plan = FaultPlan(
+                [FaultSpec(kind="timeout", probability=0.5, times=None)],
+                seed=seed,
+            )
+            return [
+                plan.fire(("timeout",), "execute", "dut", run) is not None
+                for run in range(20)
+            ]
+
+        assert draw_sequence(42) == draw_sequence(42)
+        assert draw_sequence(42) != draw_sequence(43)
+
+    def test_adding_a_spec_does_not_perturb_other_draws(self):
+        base = FaultPlan(
+            [FaultSpec(kind="timeout", probability=0.5, times=None)], seed=1
+        )
+        extended = FaultPlan(
+            [
+                FaultSpec(kind="timeout", probability=0.5, times=None),
+                FaultSpec(kind="power", probability=0.5, times=None),
+            ],
+            seed=1,
+        )
+        base_draws = [
+            base.fire(("timeout",), "execute", "dut", run) is not None
+            for run in range(10)
+        ]
+        extended_draws = [
+            extended.fire(("timeout",), "execute", "dut", run) is not None
+            for run in range(10)
+        ]
+        assert base_draws == extended_draws
+
+
+class TestPlanLoading:
+    def test_from_dict(self):
+        plan = fault_plan_from_dict({
+            "seed": 9,
+            "faults": [
+                {"kind": "power", "node": "tartu", "runs": [3]},
+                {"kind": "timeout", "probability": 0.1, "times": 2},
+            ],
+        })
+        assert plan.seed == 9
+        assert plan.specs[0].runs == (3,)
+        assert plan.specs[1].probability == 0.1
+
+    def test_scalar_runs_allowed(self):
+        plan = fault_plan_from_dict({"faults": [{"kind": "script", "runs": 4}]})
+        assert plan.specs[0].runs == (4,)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown field"):
+            fault_plan_from_dict({"faults": [{"kind": "power", "frequency": 2}]})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="missing 'kind'"):
+            fault_plan_from_dict({"faults": [{"node": "tartu"}]})
+
+    def test_load_from_yaml_file(self, tmp_path):
+        path = tmp_path / "faults.yml"
+        path.write_text(
+            "seed: 42\n"
+            "faults:\n"
+            "  - kind: power\n"
+            "    node: tartu\n"
+            "  - kind: script\n"
+            "    times: 3\n"
+        )
+        plan = load_fault_plan(str(path))
+        assert plan.seed == 42
+        assert [spec.kind for spec in plan.specs] == ["power", "script"]
+
+    def test_load_missing_file_raises_plan_error(self, tmp_path):
+        with pytest.raises(FaultPlanError, match="cannot load"):
+            load_fault_plan(str(tmp_path / "absent.yml"))
+
+
+def make_node(name="tartu"):
+    host = SimHost(name)
+    return Node(
+        name, host=host, power=IpmiController(host),
+        transport=SshTransport(host),
+    )
+
+
+class TestInjectedWrappers:
+    def test_power_fault_raises_native_power_error(self):
+        node = make_node()
+        injector = install_fault_plan(
+            {"tartu": node}, FaultPlan([FaultSpec(kind="power", times=1)])
+        )
+        with pytest.raises(PowerError, match="injected power failure"):
+            node.power.power_cycle()
+        # Budget consumed: the next cycle goes through to the rail.
+        node.power.power_cycle()
+        assert node.host.booted
+        assert [event.kind for event in injector.events] == ["power"]
+
+    def test_failed_cycle_leaves_host_state_untouched(self):
+        node = make_node()
+        install_fault_plan(
+            {"tartu": node}, FaultPlan([FaultSpec(kind="power", times=1)])
+        )
+        node.host.booted = True
+        with pytest.raises(PowerError):
+            node.power.power_cycle()
+        assert node.host.booted  # the rail was never touched
+
+    def test_timeout_fault_raises_transport_timeout(self):
+        node = make_node()
+        install_fault_plan(
+            {"tartu": node}, FaultPlan([FaultSpec(kind="timeout", times=1)])
+        )
+        node.host.boot(image="debian-buster", image_version="v",
+                       kernel_version="5.8", boot_parameters={})
+        node.transport.connect()
+        with pytest.raises(TransportTimeout):
+            node.transport.execute("sleep 10")
+        # After the budget, the same command executes normally.
+        assert node.transport.execute("echo hi").exit_code == 0
+
+    def test_script_fault_returns_failing_exit_code(self):
+        node = make_node()
+        install_fault_plan(
+            {"tartu": node},
+            FaultPlan([FaultSpec(kind="script", times=1, message="boom")]),
+        )
+        node.host.boot(image="debian-buster", image_version="v",
+                       kernel_version="5.8", boot_parameters={})
+        node.transport.connect()
+        result = node.transport.execute("ip link show")
+        assert result.exit_code == 1
+        assert "boom" in result.stdout
+
+    def test_boot_fault_strikes_connect(self):
+        node = make_node()
+        install_fault_plan(
+            {"tartu": node}, FaultPlan([FaultSpec(kind="boot", times=1)])
+        )
+        node.host.boot(image="debian-buster", image_version="v",
+                       kernel_version="5.8", boot_parameters={})
+        with pytest.raises(TransportError, match="never came up"):
+            node.transport.connect()
+
+    def test_wedge_fault_wedges_the_host(self):
+        node = make_node()
+        install_fault_plan(
+            {"tartu": node}, FaultPlan([FaultSpec(kind="wedge", times=1)])
+        )
+        node.host.boot(image="debian-buster", image_version="v",
+                       kernel_version="5.8", boot_parameters={})
+        node.transport.connect()
+        with pytest.raises(TransportError, match="wedged"):
+            node.transport.execute("stress")
+        assert node.host.wedged
+
+    def test_node_pinning_spares_other_nodes(self):
+        tartu, riga = make_node("tartu"), make_node("riga")
+        install_fault_plan(
+            {"tartu": tartu, "riga": riga},
+            FaultPlan([FaultSpec(kind="power", node="tartu", times=None)]),
+        )
+        riga.power.power_cycle()  # unaffected
+        with pytest.raises(PowerError):
+            tartu.power.power_cycle()
+
+    def test_wrappers_preserve_inner_protocol_and_describe(self):
+        node = make_node()
+        install_fault_plan({"tartu": node}, FaultPlan([]))
+        assert node.power.protocol == "ipmi"
+        assert node.transport.protocol == "ssh"
+        assert node.power.describe()["fault_injection"] is True
+
+    def test_node_retry_absorbs_single_budgeted_fault(self):
+        """A one-shot transport fault is survived by the node's own
+        retry policy — exactly how a real transient loss behaves."""
+        node = make_node()
+        install_fault_plan(
+            {"tartu": node},
+            FaultPlan([FaultSpec(kind="transport", operation="execute",
+                                 times=1)]),
+        )
+        node.set_image(default_registry().resolve("debian-buster"))
+        node.reset()
+        result = node.execute("echo resilient")
+        assert result.exit_code == 0
+
+    def test_injector_run_context_gates_run_pinned_specs(self):
+        node = make_node()
+        injector = install_fault_plan(
+            {"tartu": node},
+            FaultPlan([FaultSpec(kind="timeout", runs=(2,), times=None)]),
+        )
+        node.host.boot(image="debian-buster", image_version="v",
+                       kernel_version="5.8", boot_parameters={})
+        node.transport.connect()
+        node.transport.execute("true")  # outside any run: no strike
+        injector.begin_run(1)
+        node.transport.execute("true")  # wrong run index: no strike
+        injector.begin_run(2)
+        with pytest.raises(TransportTimeout):
+            node.transport.execute("true")
+        injector.end_run()
+        events = injector.events
+        assert len(events) == 1 and events[0].run_index == 2
+
+    def test_all_kinds_are_exercised_by_the_plan_format(self):
+        plan = fault_plan_from_dict(
+            {"faults": [{"kind": kind} for kind in FAULT_KINDS]}
+        )
+        assert len(plan.specs) == len(FAULT_KINDS)
+
+    def test_injector_describe_records_plan_and_trail(self):
+        injector = FaultInjector(FaultPlan([FaultSpec(kind="power")], seed=3))
+        injector.fire("power", "power_cycle", "tartu")
+        info = injector.describe()
+        assert info["plan"]["seed"] == 3
+        assert info["fired"][0]["kind"] == "power"

@@ -1,0 +1,136 @@
+"""Unit tests for the unified retry policy and its clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PowerError, RetryExhausted, TransportError
+from repro.faults.clock import SimClock, SystemClock
+from repro.faults.retry import RetryPolicy
+
+
+class TestDelays:
+    def test_delay_sequence_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.5, seed=7)
+        assert policy.delays() == policy.delays()
+        # A second instance with the same parameters agrees too.
+        twin = RetryPolicy(max_attempts=5, base_delay_s=0.5, seed=7)
+        assert policy.delays() == twin.delays()
+
+    def test_seed_changes_jitter_not_shape(self):
+        a = RetryPolicy(max_attempts=4, base_delay_s=1.0, jitter_fraction=0.1, seed=1)
+        b = RetryPolicy(max_attempts=4, base_delay_s=1.0, jitter_fraction=0.1, seed=2)
+        assert a.delays() != b.delays()
+        for delay_a, delay_b in zip(a.delays(), b.delays()):
+            # Same backoff envelope: both within +-10% of the same base.
+            assert abs(delay_a - delay_b) <= 0.2 * max(delay_a, delay_b)
+
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay_s=1.0, multiplier=2.0,
+            max_delay_s=3.0, jitter_fraction=0.0,
+        )
+        assert policy.delays() == [1.0, 2.0, 3.0, 3.0, 3.0]
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=1.0, multiplier=1.0,
+            max_delay_s=1.0, jitter_fraction=0.25, seed=3,
+        )
+        for delay in policy.delays():
+            assert 0.75 <= delay <= 1.25
+
+    def test_one_attempt_means_no_delays(self):
+        assert RetryPolicy(max_attempts=1).delays() == []
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=1.0)
+
+
+class TestCall:
+    def test_succeeds_first_try_without_sleeping(self):
+        clock = SimClock()
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.call(lambda: 42, clock=clock) == 42
+        assert clock.sleeps == []
+
+    def test_retries_then_succeeds(self):
+        clock = SimClock()
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.5, jitter_fraction=0.0)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise PowerError("transient")
+            return "ok"
+
+        assert policy.call(flaky, retry_on=(PowerError,), clock=clock) == "ok"
+        assert calls["n"] == 3
+        # Slept exactly the policy's deterministic backoff sequence.
+        assert clock.sleeps == policy.delays()
+
+    def test_exhaustion_raises_with_attempt_count_and_cause(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.01)
+
+        def always_fails():
+            raise TransportError("ssh: lost")
+
+        with pytest.raises(RetryExhausted, match="after 4 attempts") as info:
+            policy.call(always_fails, retry_on=(TransportError,),
+                        clock=SimClock(), describe="connect")
+        assert info.value.attempts == 4
+        assert isinstance(info.value.last_error, TransportError)
+        assert "connect" in str(info.value)
+
+    def test_non_matching_errors_propagate_immediately(self):
+        clock = SimClock()
+        policy = RetryPolicy(max_attempts=5)
+
+        def wrong_kind():
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            policy.call(wrong_kind, retry_on=(PowerError,), clock=clock)
+        assert clock.sleeps == []
+
+    def test_on_retry_hook_sees_each_failure(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.1)
+        seen = []
+        with pytest.raises(RetryExhausted):
+            policy.call(
+                lambda: (_ for _ in ()).throw(PowerError("bmc")),
+                retry_on=(PowerError,),
+                clock=SimClock(),
+                on_retry=lambda attempt, exc: seen.append(attempt),
+            )
+        # The hook fires before each backoff, not after the last attempt.
+        assert seen == [1, 2]
+
+    def test_describe_round_trips_the_parameters(self):
+        policy = RetryPolicy(max_attempts=2, base_delay_s=0.25, seed=9)
+        info = policy.describe()
+        assert info["max_attempts"] == 2
+        assert info["base_delay_s"] == 0.25
+        assert info["seed"] == 9
+
+
+class TestClocks:
+    def test_sim_clock_advances_and_records(self):
+        clock = SimClock(start=100.0)
+        clock.sleep(2.5)
+        clock.sleep(0.5)
+        assert clock.now() == 103.0
+        assert clock.sleeps == [2.5, 0.5]
+
+    def test_sim_clock_rejects_negative_sleep(self):
+        with pytest.raises(ValueError):
+            SimClock().sleep(-1.0)
+
+    def test_system_clock_skips_nonpositive_sleep(self):
+        # Must return immediately — no real blocking in the test suite.
+        SystemClock().sleep(0.0)
+        SystemClock().sleep(-1.0)

@@ -101,6 +101,78 @@ class TestCommands:
         assert "runs completed: 1" in capsys.readouterr().out
 
 
+class TestResilienceFlags:
+    def test_on_error_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--results", "/tmp/r",
+                                  "--on-error", "continue"])
+        assert args.on_error == "continue"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--results", "/tmp/r",
+                               "--on-error", "shrug"])
+
+    def test_fault_plan_failures_recorded_under_continue(self, tmp_path, capsys):
+        plan = tmp_path / "faults.yml"
+        plan.write_text(
+            "faults:\n"
+            "  - kind: script\n"
+            "    node: tartu\n"
+            "    runs: [1]\n"
+        )
+        code = main([
+            "run", "--platform", "pos", "--results", str(tmp_path / "r"),
+            "--rates", "1000,2000,3000", "--sizes", "64",
+            "--duration", "0.01", "--script-style", "shell",
+            "--fault-plan", str(plan), "--on-error", "continue",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "runs completed: 2, failed: 1" in output
+
+    def test_bad_fault_plan_fails_cleanly(self, tmp_path, capsys):
+        plan = tmp_path / "faults.yml"
+        plan.write_text("faults:\n  - kind: gremlin\n")
+        code = main([
+            "run", "--platform", "pos", "--results", str(tmp_path / "r"),
+            "--fault-plan", str(plan),
+        ])
+        assert code == 1
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_resume_flag_continues_from_journal(self, tmp_path, capsys):
+        results_root = str(tmp_path / "results")
+        common = [
+            "run", "--platform", "pos", "--results", results_root,
+            "--rates", "1000,2000,3000", "--sizes", "64",
+            "--duration", "0.01",
+        ]
+        # First execution covers only part of the cross product, leaving
+        # a journal that declares 3 total runs with 2 completed.
+        assert main(common + ["--max-runs", "2"]) == 0
+        output = capsys.readouterr().out
+        result_path = [
+            line.split(": ", 1)[1]
+            for line in output.splitlines()
+            if line.startswith("results: ")
+        ][0]
+        # Patch the journal header to the full total (the partial
+        # execution recorded total_runs=2 by design of --max-runs).
+        journal_path = os.path.join(result_path, "journal.jsonl")
+        with open(journal_path) as handle:
+            lines = handle.read().splitlines()
+        lines[0] = lines[0].replace('"total_runs": 2', '"total_runs": 3')
+        with open(journal_path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+        assert main(common + ["--resume", result_path]) == 0
+        resumed_output = capsys.readouterr().out
+        assert "runs completed: 3" in resumed_output
+        # The adopted runs were not re-executed into duplicate folders.
+        run_dirs = [name for name in os.listdir(result_path)
+                    if name.startswith("run-")]
+        assert sorted(run_dirs) == ["run-000", "run-001", "run-002"]
+
+
 class TestReplicationCommand:
     def _run_once(self, root, seed):
         handle = run_case_study(

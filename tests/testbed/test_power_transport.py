@@ -116,6 +116,18 @@ class TestSshTransport:
         with pytest.raises(TransportError):
             ssh.execute("echo hi")
 
+    def test_slow_command_times_out(self, host):
+        ssh = SshTransport(host)
+        ssh.connect()
+        with pytest.raises(TransportTimeout, match="exceeded"):
+            ssh.execute("sleep 10", timeout_s=1.0)
+
+    def test_fast_command_beats_the_deadline(self, host):
+        ssh = SshTransport(host)
+        ssh.connect()
+        assert ssh.execute("sleep 0.5", timeout_s=1.0).exit_code == 0
+        assert ssh.execute("echo hi", timeout_s=1.0).stdout == "hi"
+
 
 class TestSnmpTransport:
     def test_get_system_name(self, host):
