@@ -1,0 +1,163 @@
+"""Parallel scheduler + batched fast path — the PR's two performance levers.
+
+Measures (1) wall-clock for a thinned Fig. 3a sweep at ``jobs=1`` vs
+``jobs=4`` on the legacy event path (the measurement-dominated workload
+the scheduler was built to shard) and (2) events processed by the
+simulator for one measurement run on the legacy vs the batched path.
+Both are recorded in ``benchmarks/BENCH_parallel.json``; the events
+section doubles as the CI perf-smoke baseline — the gate fails when the
+batched path starts scheduling measurably more events than the
+committed baseline, i.e. when the fast path silently stops engaging.
+
+Correctness rides along: the parsed throughput rows must be *identical*
+between job counts and between event paths, not merely close.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.casestudy import POS_RATES, run_case_study
+from repro.evaluation.loader import load_experiment
+from repro.loadgen.moongen import MoonGen
+from repro.netsim.engine import Simulator
+from repro.netsim.link import DirectWire
+from repro.netsim.nic import HardwareNic
+from repro.netsim.router import LinuxRouter
+
+from conftest import sweep, throughput_rows
+
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_parallel.json")
+
+#: Regression slack over the recorded events baseline.  The batched
+#: path's event count is deterministic, so any real regression is a
+#: step change far above 5%.
+EVENT_GATE_SLACK = 1.05
+
+SWEEP = dict(
+    rates=sweep(POS_RATES, keep_every=3),
+    sizes=(64, 1500),
+    duration_s=0.05,
+    interval_s=0.01,
+)
+
+
+def _update_bench_json(section, payload):
+    data = {}
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as handle:
+            data = json.load(handle)
+    data[section] = payload
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _timed_sweep(root, jobs, batched):
+    os.environ["POS_NETSIM_BATCH"] = "1" if batched else "0"
+    try:
+        start = time.perf_counter()
+        handle = run_case_study("pos", str(root), jobs=jobs, **SWEEP)
+        elapsed = time.perf_counter() - start
+    finally:
+        os.environ.pop("POS_NETSIM_BATCH", None)
+    assert handle.failed_runs == 0
+    return elapsed, load_experiment(handle.result_path)
+
+
+def _one_measurement_run(batched):
+    """Events the simulator processes for one Fig. 3a-style run."""
+    os.environ["POS_NETSIM_BATCH"] = "1" if batched else "0"
+    try:
+        sim = Simulator()
+        tx = HardwareNic(sim, "lg.tx")
+        rx = HardwareNic(sim, "lg.rx")
+        p0 = HardwareNic(sim, "dut.p0")
+        p1 = HardwareNic(sim, "dut.p1")
+        router = LinuxRouter(sim)
+        router.add_port(p0)
+        router.add_port(p1)
+        DirectWire(sim, tx, p0)
+        DirectWire(sim, p1, rx)
+        gen = MoonGen(sim, tx, rx, seed=3)
+        job = gen.start(rate_pps=500_000, frame_size=64, duration_s=0.05,
+                        interval_s=0.01)
+        sim.run(until=0.1)
+        assert job.finished and job.rx_packets > 0
+        return sim.events_processed, job
+    finally:
+        os.environ.pop("POS_NETSIM_BATCH", None)
+
+
+def test_bench_parallel_speedup(tmp_path_factory):
+    jobs1_s, seq = _timed_sweep(
+        tmp_path_factory.mktemp("jobs1"), jobs=1, batched=False
+    )
+    jobs4_s, par = _timed_sweep(
+        tmp_path_factory.mktemp("jobs4"), jobs=4, batched=False
+    )
+    __, fast = _timed_sweep(
+        tmp_path_factory.mktemp("batched"), jobs=1, batched=True
+    )
+
+    # Parallel and batched executions are *identical* where it counts:
+    # the parsed throughput series feeding the Fig. 3 benches.
+    rows = throughput_rows(seq)
+    assert throughput_rows(par) == rows
+    assert throughput_rows(fast) == rows
+
+    cpu_count = os.cpu_count() or 1
+    speedup = jobs1_s / jobs4_s
+    runs = len(SWEEP["rates"]) * len(SWEEP["sizes"])
+    print(f"\n=== parallel scheduler: thinned Fig. 3a sweep ({runs} runs) ===")
+    print(f"jobs=1: {jobs1_s:6.2f} s   jobs=4: {jobs4_s:6.2f} s   "
+          f"speedup: {speedup:.2f}x   (cpus: {cpu_count})")
+    _update_bench_json("wallclock", {
+        "sweep_runs": runs,
+        "jobs1_s": round(jobs1_s, 3),
+        "jobs4_s": round(jobs4_s, 3),
+        "speedup": round(speedup, 3),
+        "cpu_count": cpu_count,
+        "event_path": "legacy (POS_NETSIM_BATCH=0)",
+    })
+
+    # The ISSUE's >=2x target assumes >=4 usable cores; on smaller CI
+    # boxes 4 workers cannot physically double throughput, so the floor
+    # adapts (and the JSON records the box it was measured on).
+    floor = 2.0 if cpu_count >= 4 else 1.5
+    assert speedup >= floor, (
+        f"jobs=4 speedup {speedup:.2f}x below {floor}x on {cpu_count} cpus"
+    )
+
+
+def test_bench_event_reduction_gate():
+    baseline = None
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as handle:
+            baseline = json.load(handle).get("events", {}).get("batched")
+
+    legacy_events, legacy_job = _one_measurement_run(batched=False)
+    batched_events, batched_job = _one_measurement_run(batched=True)
+    assert (batched_job.tx_packets, batched_job.rx_packets) == (
+        legacy_job.tx_packets, legacy_job.rx_packets
+    )
+
+    reduction = legacy_events / batched_events
+    print(f"\n=== batched fast path: events per measurement run ===")
+    print(f"legacy: {legacy_events}   batched: {batched_events}   "
+          f"reduction: {reduction:.0f}x")
+    _update_bench_json("events", {
+        "legacy": legacy_events,
+        "batched": batched_events,
+        "reduction": round(reduction, 1),
+        "run": {"rate_pps": 500_000, "frame_size": 64, "duration_s": 0.05},
+    })
+
+    assert reduction >= 10.0, f"batching only cut events {reduction:.1f}x"
+    if baseline is not None:
+        assert batched_events <= baseline * EVENT_GATE_SLACK, (
+            f"batched path scheduled {batched_events} events, baseline "
+            f"{baseline}: the fast path stopped engaging"
+        )

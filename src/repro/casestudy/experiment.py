@@ -24,6 +24,7 @@ from repro.core.controller import Controller, ExperimentHandle
 from repro.core.errors import ExperimentError
 from repro.core.experiment import Experiment, Role
 from repro.core.results import ResultStore
+from repro.core.scheduler import WorkerEnv, WorkerWorld
 from repro.core.scripts import CommandScript, PythonScript, ScriptContext
 from repro.core.variables import Variables
 from repro.loadgen.moongen import format_report, latency_histogram_csv
@@ -36,6 +37,7 @@ __all__ = [
     "CaseStudyEnvironment",
     "build_environment",
     "build_case_study_experiment",
+    "case_study_worker_env",
     "run_case_study",
 ]
 
@@ -107,7 +109,15 @@ def _loadgen_measurement(ctx: ScriptContext) -> dict:
 
 
 def _dut_measurement(ctx: ScriptContext) -> None:
-    """Capture DuT-side state after the run: counters and stats."""
+    """Capture DuT-side state after the run: counters and stats.
+
+    Counters are reported as *this run's* deltas against the baseline
+    snapshot the run-isolation hook took at run start, so the uploaded
+    numbers are a pure function of the run — identical no matter how
+    many runs preceded it or which parallel worker executed it.  Without
+    a baseline (a standalone script invocation outside the controller
+    loop) the cumulative counters are reported, as ethtool would.
+    """
     setup: TestbedSetup = ctx.setup
     if setup is None:
         raise ExperimentError("case-study measurement needs the testbed setup")
@@ -118,7 +128,22 @@ def _dut_measurement(ctx: ScriptContext) -> None:
     nic_stats = {
         port.name: port.stats.snapshot() for port in setup.router.ports
     }
-    lines = ["router forwarding statistics (cumulative):"]
+    baseline = getattr(setup, "run_baseline", None)
+    if baseline is not None:
+        stats = {
+            key: value - baseline["router"].get(key, 0)
+            for key, value in stats.items()
+        }
+        nic_stats = {
+            name: {
+                key: value - baseline["nics"].get(name, {}).get(key, 0)
+                for key, value in counters.items()
+            }
+            for name, counters in nic_stats.items()
+        }
+        lines = ["router forwarding statistics (this run):"]
+    else:
+        lines = ["router forwarding statistics (cumulative):"]
     for key, value in stats.items():
         lines.append(f"  {key}: {value}")
     for name, counters in nic_stats.items():
@@ -266,7 +291,7 @@ def build_environment(
     faults strike by run index and are recorded in the inventory.
     """
     if platform == "pos":
-        setup = build_pos_pair()
+        setup = build_pos_pair(seed=seed)
     elif platform == "vpos":
         setup = build_vpos_pair(seed=seed)
     else:
@@ -297,6 +322,46 @@ def build_environment(
     )
 
 
+def _build_worker_world(
+    platform: str, seed: int = 0, fault_plan=None
+) -> WorkerWorld:
+    """Build one parallel worker's isolated testbed world.
+
+    Module-level on purpose: the :class:`WorkerEnv` recipe crosses the
+    process boundary by reference.  Each call produces a *fresh* world —
+    its own simulator, hosts, router, generator, and (when a fault plan
+    is attached) its own injector copy — sharing nothing with the
+    parent's or any sibling's.
+    """
+    if platform == "pos":
+        setup = build_pos_pair(seed=seed)
+    elif platform == "vpos":
+        setup = build_vpos_pair(seed=seed)
+    else:
+        raise ExperimentError(f"unknown platform {platform!r} (pos or vpos)")
+    injector = None
+    if fault_plan is not None:
+        from repro.faults.injector import install_fault_plan
+
+        injector = install_fault_plan(setup.nodes, fault_plan)
+    return WorkerWorld(
+        nodes=setup.nodes,
+        images=setup.images,
+        context_extra={"setup": setup},
+        fault_injector=injector,
+    )
+
+
+def case_study_worker_env(
+    platform: str, seed: int = 0, fault_plan=None
+) -> WorkerEnv:
+    """The :class:`WorkerEnv` recipe for parallel case-study execution."""
+    return WorkerEnv(
+        factory=_build_worker_world,
+        kwargs={"platform": platform, "seed": seed, "fault_plan": fault_plan},
+    )
+
+
 def run_case_study(
     platform: str,
     result_root: str,
@@ -313,6 +378,7 @@ def run_case_study(
     on_error: str = "abort",
     fault_plan=None,
     resume_path: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentHandle:
     """Execute the whole case study on one platform, end to end.
 
@@ -320,6 +386,11 @@ def run_case_study(
     recover), ``fault_plan`` attaches a seeded fault-injection plan, and
     ``resume_path`` continues a killed execution from its run journal
     instead of starting a fresh result folder.
+
+    ``jobs`` (default: the ``POS_JOBS`` environment variable, else 1)
+    shards the measurement cross product over that many worker
+    processes, each owning an isolated testbed world; the result tree
+    is byte-identical to a sequential execution.
 
     Returns the experiment handle; ``handle.result_path`` is the result
     folder ready for evaluation and publication.
@@ -336,6 +407,7 @@ def run_case_study(
         interval_s=interval_s,
         script_style=script_style,
     )
+    worker_env = case_study_worker_env(platform, seed=seed, fault_plan=fault_plan)
     try:
         if resume_path is not None:
             handle = env.controller.resume(
@@ -345,6 +417,8 @@ def run_case_study(
                 on_error=on_error,
                 max_runs=max_runs,
                 setup_context_extra={"setup": env.setup},
+                jobs=jobs,
+                worker_env=worker_env,
             )
         else:
             handle = env.controller.run(
@@ -353,6 +427,8 @@ def run_case_study(
                 on_error=on_error,
                 max_runs=max_runs,
                 setup_context_extra={"setup": env.setup},
+                jobs=jobs,
+                worker_env=worker_env,
             )
     finally:
         if env.setup.hypervisor is not None:

@@ -68,6 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--duration", type=float, default=0.3,
                      help="measurement duration per run, simulated seconds")
     run.add_argument("--max-runs", type=int, default=None)
+    run.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="run the measurement cross product on N parallel "
+                          "worker processes (default: the POS_JOBS "
+                          "environment variable, else 1); the result tree "
+                          "is byte-identical for any N")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--user", default="user")
     run.add_argument("--script-style", choices=("python", "shell"),
@@ -155,6 +160,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         on_error=args.on_error,
         fault_plan=fault_plan,
         resume_path=args.resume,
+        jobs=args.jobs,
     )
     print(f"results: {handle.result_path}")
     print(f"runs completed: {handle.completed_runs}, failed: {handle.failed_runs}")
@@ -187,6 +193,7 @@ def _run_experiment_dir(args: argparse.Namespace) -> int:
                 on_error=args.on_error,
                 max_runs=args.max_runs,
                 setup_context_extra={"setup": env.setup},
+                jobs=args.jobs,
             )
         else:
             handle = env.controller.run(
@@ -195,6 +202,7 @@ def _run_experiment_dir(args: argparse.Namespace) -> int:
                 on_error=args.on_error,
                 max_runs=args.max_runs,
                 setup_context_extra={"setup": env.setup},
+                jobs=args.jobs,
             )
     finally:
         if env.setup.hypervisor is not None:

@@ -28,6 +28,17 @@ Resilience plumbing on top of the policies:
   :class:`~repro.faults.retry.RetryPolicy`;
 * a :class:`~repro.faults.injector.FaultInjector` can be attached so a
   seeded fault plan strikes by run index.
+
+The measurement loop can also run *in parallel*: ``run(jobs=N)`` (or
+``POS_JOBS=N``) shards the cross product over worker processes that
+each own a fully isolated testbed world (see
+:mod:`repro.core.scheduler`), while the parent merges results into the
+canonical artifact tree in deterministic cross-product order — the
+artifacts of a parallel execution are byte-identical to a sequential
+one.  The workflow primitives themselves (boot, tool deployment, setup,
+run execution, recovery) live in :mod:`repro.core.scheduler` and are
+shared between this controller and the workers, so the two paths cannot
+drift apart.
 """
 
 from __future__ import annotations
@@ -36,35 +47,33 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.core import scheduler as _scheduler
 from repro.core.allocation import Allocation, Allocator
 from repro.core.errors import (
     ExperimentError,
     NodeError,
     PosError,
-    RetryExhausted,
     ScriptError,
     TransportError,
 )
 from repro.core.experiment import Experiment, Role
 from repro.core.journal import RunJournal
 from repro.core.results import ExperimentDir, ResultStore, RunDir
-from repro.core.scripts import Script, ScriptContext, ScriptResult
-from repro.core.tools import PosTools, SharedStore
+from repro.core.scheduler import (
+    POS_TOOLS_PATH,
+    ParallelScheduler,
+    RunRecord,
+    WorkerEnv,
+    resolve_jobs,
+)
+from repro.core.scripts import Script, ScriptResult
+from repro.core.tools import SharedStore
 from repro.faults.clock import Clock, SimClock
 from repro.faults.retry import RetryPolicy
 from repro.testbed.images import ImageRegistry
 from repro.testbed.node import Node
 
 __all__ = ["RunRecord", "ExperimentHandle", "Controller", "POS_TOOLS_PATH"]
-
-#: Where the deployed utility-tool stub lives on every experiment host.
-POS_TOOLS_PATH = "/usr/local/bin/pos"
-
-_POS_TOOLS_STUB = (
-    "#!/bin/sh\n"
-    "# pos utility tools: variable access, barriers, command capture.\n"
-    "# Deployed automatically by the testbed controller after boot.\n"
-)
 
 #: How the controller retries its own recovery procedure before giving
 #: up on a wedged node.
@@ -97,20 +106,6 @@ class _WorkflowLog:
 
     def close(self) -> None:
         self._handle.close()
-
-
-@dataclass
-class RunRecord:
-    """Bookkeeping for one measurement run."""
-
-    index: int
-    loop_instance: Dict[str, Any]
-    ok: bool
-    retried: bool = False
-    skipped: bool = False
-    resumed: bool = False
-    error: Optional[str] = None
-    script_results: List[ScriptResult] = field(default_factory=list)
 
 
 @dataclass
@@ -179,6 +174,8 @@ class Controller:
         max_runs: Optional[int] = None,
         setup_context_extra: Optional[dict] = None,
         on_run_complete: Optional[Callable[[RunRecord, str], None]] = None,
+        jobs: Optional[int] = None,
+        worker_env: Optional[WorkerEnv] = None,
     ) -> ExperimentHandle:
         """Execute the whole experimental workflow for ``experiment``.
 
@@ -190,8 +187,15 @@ class Controller:
         result files either after all runs have been completed or
         asynchronously during their runtime" — the callback fires after
         each measurement run with that run's result folder.
+
+        ``jobs`` (default: the ``POS_JOBS`` environment variable, else 1)
+        shards the measurement cross product over that many worker
+        processes; ``worker_env`` must then supply the recipe for
+        building each worker's isolated testbed world.  Artifacts are
+        byte-identical for any job count.
         """
         self._check_policy(on_error)
+        jobs = self._check_parallel(jobs, worker_env, on_error)
         experiment.validate()
         exp_dir = self._results.create_experiment_dir(user, experiment.name)
         total = self._total_runs(experiment, max_runs)
@@ -201,6 +205,7 @@ class Controller:
             on_error=on_error, max_runs=max_runs,
             setup_context_extra=setup_context_extra,
             on_run_complete=on_run_complete, resumed=False,
+            jobs=jobs, worker_env=worker_env,
         )
 
     def resume(
@@ -212,6 +217,8 @@ class Controller:
         max_runs: Optional[int] = None,
         setup_context_extra: Optional[dict] = None,
         on_run_complete: Optional[Callable[[RunRecord, str], None]] = None,
+        jobs: Optional[int] = None,
+        worker_env: Optional[WorkerEnv] = None,
     ) -> ExperimentHandle:
         """Continue a killed or aborted experiment from its journal.
 
@@ -220,9 +227,12 @@ class Controller:
         measurement loop replays the cross product, *skipping* every
         loop instance the journal records as completed.  Adopted run
         folders are left untouched; re-executed runs land in
-        attempt-suffixed folders so nothing is overwritten.
+        attempt-suffixed folders so nothing is overwritten.  ``jobs``
+        parallelizes the remaining runs exactly as in :meth:`run` —
+        a sequential sweep may be resumed in parallel and vice versa.
         """
         self._check_policy(on_error)
+        jobs = self._check_parallel(jobs, worker_env, on_error)
         experiment.validate()
         journal = RunJournal.open(result_path)
         try:
@@ -239,6 +249,7 @@ class Controller:
             on_error=on_error, max_runs=max_runs,
             setup_context_extra=setup_context_extra,
             on_run_complete=on_run_complete, resumed=True,
+            jobs=jobs, worker_env=worker_env,
         )
 
     # -- workflow ---------------------------------------------------------------
@@ -247,6 +258,29 @@ class Controller:
     def _check_policy(on_error: str) -> None:
         if on_error not in ("abort", "continue", "recover"):
             raise ExperimentError(f"unknown error policy {on_error!r}")
+
+    def _check_parallel(
+        self, jobs: Optional[int], worker_env: Optional[WorkerEnv],
+        on_error: str,
+    ) -> int:
+        """Validate the parallel-execution request; return the job count."""
+        jobs = resolve_jobs(jobs)
+        if jobs == 1:
+            return jobs
+        if worker_env is None:
+            raise ExperimentError(
+                "parallel execution (jobs > 1) needs a worker_env recipe "
+                "for building isolated per-worker testbed worlds"
+            )
+        if on_error == "continue":
+            raise ExperimentError(
+                "parallel execution supports on_error='abort' or 'recover'; "
+                "the 'continue' policy couples runs through shared "
+                "watchdog/quarantine state and cannot be sharded"
+            )
+        if self.fault_injector is not None:
+            _scheduler.validate_parallel_fault_plan(self.fault_injector.plan)
+        return jobs
 
     @staticmethod
     def _total_runs(experiment: Experiment, max_runs: Optional[int]) -> int:
@@ -265,6 +299,8 @@ class Controller:
         setup_context_extra: Optional[dict],
         on_run_complete: Optional[Callable[[RunRecord, str], None]],
         resumed: bool,
+        jobs: int = 1,
+        worker_env: Optional[WorkerEnv] = None,
     ) -> ExperimentHandle:
         # ---- setup phase: allocate, configure, boot -------------------------
         allocation = self._allocator.allocate(
@@ -297,6 +333,7 @@ class Controller:
                 on_error=on_error, max_runs=max_runs,
                 on_run_complete=on_run_complete, log=log,
                 journal=journal, completed=completed,
+                jobs=jobs, worker_env=worker_env,
             )
             log.event(
                 f"measurement phase done: {handle.completed_runs} ok, "
@@ -324,26 +361,11 @@ class Controller:
 
     def _boot_phase(self, experiment: Experiment, allocation: Allocation) -> None:
         """Pin images and boot parameters, then reset every node."""
-        for role in experiment.roles:
-            node = allocation.node(role.node)
-            image_name, image_version = role.image
-            node.set_image(self._images.resolve(image_name, image_version))
-            node.set_boot_parameters(role.boot_parameters)
-        # Booting happens in a second pass so a resolution error in any
-        # role's image leaves no node rebooted.
-        for role in experiment.roles:
-            allocation.node(role.node).reset()
+        _scheduler.boot_nodes(experiment, allocation.node, self._images)
 
     def _deploy_tools(self, experiment: Experiment, allocation: Allocation) -> None:
         """Upload the utility-tool stub to every host that takes files."""
-        for role in experiment.roles:
-            node = allocation.node(role.node)
-            try:
-                node.put_file(POS_TOOLS_PATH, _POS_TOOLS_STUB)
-            except TransportError:
-                # Devices managed via SNMP-style transports have no
-                # filesystem; the controller-side tools still work.
-                pass
+        _scheduler.deploy_tools(experiment, allocation.node)
 
     def _setup_phase(
         self,
@@ -353,19 +375,10 @@ class Controller:
         exp_dir: ExperimentDir,
         extra: dict,
     ) -> List[ScriptResult]:
-        results: List[ScriptResult] = []
-        for role in experiment.roles:
-            result = self._run_script(
-                role.setup, experiment, role, allocation, store,
-                phase="setup", loop_instance={}, run_index=None, extra=extra,
-            )
-            exp_dir.record_setup_script(result)
-            results.append(result)
-            if not result.ok:
-                raise ScriptError(
-                    f"setup of role {role.name!r} failed: {result.error}"
-                )
-        return results
+        return _scheduler.run_setup_phase(
+            experiment, allocation.node, store, extra,
+            record=exp_dir.record_setup_script,
+        )
 
     def _measurement_phase(
         self,
@@ -381,6 +394,8 @@ class Controller:
         log: Optional["_WorkflowLog"] = None,
         journal: Optional[RunJournal] = None,
         completed: Optional[Dict[int, dict]] = None,
+        jobs: int = 1,
+        worker_env: Optional[WorkerEnv] = None,
     ) -> None:
         runs = experiment.variables.runs()
         if max_runs is not None:
@@ -390,10 +405,20 @@ class Controller:
         health: Dict[str, int] = {}
         injector = self.fault_injector
         if log is not None:
+            # Deliberately job-count-agnostic: the artifact tree of a
+            # parallel execution is byte-identical to a sequential one.
             log.event(
                 f"measurement phase: {total} runs queued "
                 f"(cross product of loop variables)"
             )
+        if jobs > 1:
+            ParallelScheduler(jobs, worker_env, self.recovery_policy).execute(
+                experiment, runs, completed, exp_dir, journal, handle, log,
+                injector, on_error, on_run_complete=on_run_complete,
+                progress=self._progress, adopt=self._adopt_completed_run,
+            )
+            return
+        isolation = getattr(extra.get("setup"), "begin_run", None)
         for index, loop_instance in enumerate(runs):
             # -- resume: adopt journalled runs without re-executing ---------
             if index in completed:
@@ -433,28 +458,12 @@ class Controller:
                     self._progress(index + 1, total)
                 continue
             # -- execute ----------------------------------------------------
-            if injector is not None:
-                injector.begin_run(index)
-            try:
-                record, run_dir = self._execute_run(
-                    experiment, allocation, store, exp_dir, extra, index,
-                    loop_instance,
-                )
-                if not record.ok and on_error == "recover" and not record.retried:
-                    self._recover(experiment, allocation, store, exp_dir, extra)
-                    if log is not None:
-                        log.event(
-                            f"run {index}: recovery power-cycle + setup replay"
-                        )
-                    retry, run_dir = self._execute_run(
-                        experiment, allocation, store, exp_dir, extra, index,
-                        loop_instance,
-                    )
-                    retry.retried = True
-                    record = retry
-            finally:
-                if injector is not None:
-                    injector.end_run()
+            outcome = _scheduler.execute_run(
+                experiment, allocation.node, store, extra, index,
+                loop_instance, on_error, self.recovery_policy, self.clock,
+                injector, isolation,
+            )
+            record, run_dir = _scheduler.persist_outcome(exp_dir, outcome, log)
             handle.runs.append(record)
             if journal is not None:
                 journal.record_run(
@@ -503,50 +512,6 @@ class Controller:
             retried=bool(entry.get("retried", False)), resumed=True,
         )
 
-    def _execute_run(
-        self,
-        experiment: Experiment,
-        allocation: Allocation,
-        store: SharedStore,
-        exp_dir: ExperimentDir,
-        extra: dict,
-        index: int,
-        loop_instance: Dict[str, Any],
-    ) -> tuple:
-        run_dir = exp_dir.create_run_dir(index)
-        run_dir.write_metadata(loop_instance)
-        record = RunRecord(index=index, loop_instance=dict(loop_instance), ok=True)
-        for role in experiment.roles:
-            try:
-                result = self._run_script(
-                    role.measurement, experiment, role, allocation, store,
-                    phase="measurement", loop_instance=loop_instance,
-                    run_index=index, extra=extra,
-                )
-            except (ScriptError, TransportError) as exc:
-                record.ok = False
-                record.error = str(exc)
-                failure = ScriptResult(
-                    script=role.measurement.name,
-                    role=role.name,
-                    phase="measurement",
-                    ok=False,
-                    error=str(exc),
-                )
-                run_dir.record_script(failure)
-                record.script_results.append(failure)
-                break
-            run_dir.record_script(result)
-            record.script_results.append(result)
-        if record.ok:
-            try:
-                store.check_barriers(set(experiment.role_names))
-            except PosError as exc:
-                record.ok = False
-                record.error = str(exc)
-        store.reset_barriers()
-        return record, run_dir
-
     # -- recovery & health -------------------------------------------------------
 
     def _recover(
@@ -558,41 +523,10 @@ class Controller:
         extra: dict,
     ) -> None:
         """Run the recovery procedure under the controller's retry policy."""
-        try:
-            self.recovery_policy.call(
-                lambda: self._recover_nodes(
-                    experiment, allocation, store, exp_dir, extra
-                ),
-                retry_on=(NodeError, ScriptError, TransportError),
-                clock=self.clock,
-                describe="node recovery",
-            )
-        except RetryExhausted as exc:
-            raise exc.last_error
-
-    def _recover_nodes(
-        self,
-        experiment: Experiment,
-        allocation: Allocation,
-        store: SharedStore,
-        exp_dir: ExperimentDir,
-        extra: dict,
-    ) -> None:
-        """R3 in action: power-cycle every node back into the clean state
-        and replay the setup scripts before retrying the failed run."""
-        for role in experiment.roles:
-            allocation.node(role.node).reset()
-        self._deploy_tools(experiment, allocation)
-        for role in experiment.roles:
-            result = self._run_script(
-                role.setup, experiment, role, allocation, store,
-                phase="setup", loop_instance={}, run_index=None, extra=extra,
-            )
-            if not result.ok:
-                raise ScriptError(
-                    f"recovery setup of role {role.name!r} failed: {result.error}"
-                )
-        store.reset_barriers()
+        _scheduler.recover_with_policy(
+            experiment, allocation.node, store, extra,
+            self.recovery_policy, self.clock,
+        )
 
     def _watchdog(
         self,
@@ -660,34 +594,10 @@ class Controller:
         run_index: Optional[int],
         extra: dict,
     ) -> ScriptResult:
-        node = allocation.node(role.node)
-        tools = PosTools(store, node, role.name)
-        ctx = ScriptContext(
-            node=node,
-            role=role.name,
-            phase=phase,
-            variables=experiment.variables.for_host(role.name, loop_instance),
-            tools=tools,
-            setup=extra.get("setup"),
-            run_index=run_index,
-            loop_instance=dict(loop_instance),
+        return _scheduler.run_role_script(
+            script, experiment, role, allocation.node(role.node), store,
+            phase, loop_instance, run_index, extra,
         )
-        try:
-            return script.run(ctx)
-        except ScriptError as exc:
-            result = ScriptResult(
-                script=script.name,
-                role=role.name,
-                phase=phase,
-                ok=False,
-                commands=list(tools.command_log),
-                uploads=list(tools.uploads),
-                log_lines=list(tools.log_lines),
-                error=str(exc),
-            )
-            if phase == "setup":
-                return result
-            raise
 
     def _finalize(
         self,

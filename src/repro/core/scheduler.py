@@ -1,0 +1,623 @@
+"""Parallel cross-product run scheduler.
+
+pos explicitly supports running multiple independent experiments in
+parallel on a shared testbed (Sec. 4.4), and sweep-style experiments —
+the loop-variable cross product of the case study — are embarrassingly
+parallel *if* each run is independent of execution history.  This
+module makes that independence real and exploits it:
+
+* the expanded cross product is sharded round-robin into
+  **node-disjoint** shards: every worker process builds its *own*
+  isolated testbed world from a factory, so no two shards ever share a
+  node, a simulator, or any mutable state;
+* each worker replays the full workflow for its shard — boot, tool
+  deployment, setup (with barrier), then its runs in ascending index
+  order — and returns in-memory :class:`RunOutcome` payloads;
+* the parent merges outcomes into the canonical ``run-NNN`` tree **in
+  deterministic cross-product order** and appends journal entries in
+  completion-safe order: run *k* is persisted and journalled only after
+  every run below *k*, so a crash leaves a journal prefix that
+  :meth:`Controller.resume` understands, identical to the sequential
+  controller's.
+
+Runs are made history-independent by the run-isolation hook (see
+:meth:`repro.testbed.scenarios.TestbedSetup.begin_run`): before each
+run the testbed clock is aligned to a canonical per-run-index epoch and
+every stochastic component is reseeded from the run index.  A run then
+produces bit-identical artifacts no matter which worker executes it or
+which runs preceded it — ``--jobs 4`` and ``--jobs 1`` result trees are
+byte-identical.
+
+The sequential controller shares the primitives below
+(:func:`perform_run`, :func:`persist_outcome`, …), so equality between
+job counts holds by construction rather than by testing luck.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import (
+    ExperimentError,
+    NodeError,
+    PosError,
+    RetryExhausted,
+    ScriptError,
+    TransportError,
+)
+from repro.core.experiment import Experiment, Role
+from repro.core.results import ExperimentDir, RunDir
+from repro.core.scripts import Script, ScriptContext, ScriptResult
+from repro.core.tools import PosTools, SharedStore
+from repro.faults.clock import Clock, SimClock
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "POS_TOOLS_PATH",
+    "RunRecord",
+    "AttemptResult",
+    "RunOutcome",
+    "WorkerEnv",
+    "WorkerWorld",
+    "ParallelScheduler",
+    "resolve_jobs",
+    "shard_runs",
+    "boot_nodes",
+    "deploy_tools",
+    "run_setup_phase",
+    "perform_run",
+    "execute_run",
+    "persist_outcome",
+    "recover_with_policy",
+    "validate_parallel_fault_plan",
+]
+
+#: Where the deployed utility-tool stub lives on every experiment host.
+POS_TOOLS_PATH = "/usr/local/bin/pos"
+
+_POS_TOOLS_STUB = (
+    "#!/bin/sh\n"
+    "# pos utility tools: variable access, barriers, command capture.\n"
+    "# Deployed automatically by the testbed controller after boot.\n"
+)
+
+
+@dataclass
+class RunRecord:
+    """Bookkeeping for one measurement run."""
+
+    index: int
+    loop_instance: Dict[str, Any]
+    ok: bool
+    retried: bool = False
+    skipped: bool = False
+    resumed: bool = False
+    error: Optional[str] = None
+    script_results: List[ScriptResult] = field(default_factory=list)
+
+
+@dataclass
+class AttemptResult:
+    """One execution attempt of one run: script results, no filesystem."""
+
+    ok: bool = True
+    error: Optional[str] = None
+    script_results: List[ScriptResult] = field(default_factory=list)
+
+
+@dataclass
+class RunOutcome:
+    """Everything one run produced, in memory and picklable.
+
+    ``attempts`` holds one entry normally, two when the ``recover``
+    policy power-cycled and retried.  ``fault_events`` are the injected
+    faults that fired during this run, for the parent's inventory.
+    """
+
+    index: int
+    loop_instance: Dict[str, Any]
+    attempts: List[AttemptResult]
+    fault_events: List[Any] = field(default_factory=list)
+
+
+@dataclass
+class WorkerEnv:
+    """Recipe for building an isolated testbed world inside a worker.
+
+    ``factory(**kwargs)`` must be a module-level callable (it crosses
+    the process boundary by reference) returning a :class:`WorkerWorld`
+    — a *fresh* world per call, sharing nothing with the parent's.
+    """
+
+    factory: Callable[..., "WorkerWorld"]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class WorkerWorld:
+    """What a worker needs to run the workflow without a controller."""
+
+    nodes: Dict[str, Any]
+    images: Any
+    context_extra: Dict[str, Any] = field(default_factory=dict)
+    fault_injector: Any = None
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Resolve the worker count: explicit value, else ``POS_JOBS``, else 1."""
+    if jobs is None:
+        raw = os.environ.get("POS_JOBS", "1")
+        try:
+            jobs = int(raw)
+        except ValueError as exc:
+            raise ExperimentError(f"POS_JOBS must be an integer, got {raw!r}") from exc
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be at least 1, got {jobs}")
+    return jobs
+
+
+def shard_runs(indices: List[int], jobs: int) -> List[List[int]]:
+    """Shard run indices round-robin into at most ``jobs`` shards.
+
+    Round-robin keeps shard sizes balanced for homogeneous runs and is
+    order-independent: the shard of run *k* is ``k mod jobs`` over the
+    pending list, a pure function of the pending set and the job count.
+    Every shard is internally ascending, so each worker executes its
+    runs in cross-product order.
+    """
+    shards: List[List[int]] = [[] for _ in range(jobs)]
+    for position, index in enumerate(indices):
+        shards[position % jobs].append(index)
+    return [shard for shard in shards if shard]
+
+
+def validate_parallel_fault_plan(plan) -> None:
+    """Reject fault plans whose firing state couples runs together.
+
+    Under ``--jobs N`` every worker owns a fresh copy of the plan, so a
+    spec's firing budget and PRNG are per-worker.  Identical firing
+    under any job count therefore requires *run-scoped* specs: pinned
+    to explicit run indices, deterministic (probability 1), with a
+    budget that never truncates the pinned set.  Wildcard or
+    probabilistic specs consume shared state in sequential-history
+    order and cannot be replayed shard-locally.
+    """
+    for position, spec in enumerate(getattr(plan, "specs", [])):
+        if spec.runs is None:
+            raise ExperimentError(
+                f"fault spec #{position} ({spec.kind}) is not pinned to run "
+                f"indices; parallel execution needs run-scoped fault specs"
+            )
+        if spec.probability < 1.0:
+            raise ExperimentError(
+                f"fault spec #{position} ({spec.kind}) is probabilistic; "
+                f"parallel execution needs deterministic fault specs"
+            )
+        if spec.times is not None and spec.times < len(spec.runs):
+            raise ExperimentError(
+                f"fault spec #{position} ({spec.kind}) has a firing budget "
+                f"({spec.times}) below its pinned run count ({len(spec.runs)}); "
+                f"the budget would be consumed in execution order, which is "
+                f"job-count-dependent"
+            )
+
+
+# --------------------------------------------------------------------------
+# workflow primitives, shared by the sequential controller and the workers
+# --------------------------------------------------------------------------
+
+def boot_nodes(experiment: Experiment, node_of: Callable[[str], Any], images) -> None:
+    """Pin images and boot parameters, then reset every node."""
+    for role in experiment.roles:
+        node = node_of(role.node)
+        image_name, image_version = role.image
+        node.set_image(images.resolve(image_name, image_version))
+        node.set_boot_parameters(role.boot_parameters)
+    # Booting happens in a second pass so a resolution error in any
+    # role's image leaves no node rebooted.
+    for role in experiment.roles:
+        node_of(role.node).reset()
+
+
+def deploy_tools(experiment: Experiment, node_of: Callable[[str], Any]) -> None:
+    """Upload the utility-tool stub to every host that takes files."""
+    for role in experiment.roles:
+        node = node_of(role.node)
+        try:
+            node.put_file(POS_TOOLS_PATH, _POS_TOOLS_STUB)
+        except TransportError:
+            # Devices managed via SNMP-style transports have no
+            # filesystem; the controller-side tools still work.
+            pass
+
+
+def run_role_script(
+    script: Script,
+    experiment: Experiment,
+    role: Role,
+    node,
+    store: SharedStore,
+    phase: str,
+    loop_instance: Dict[str, Any],
+    run_index: Optional[int],
+    extra: dict,
+) -> ScriptResult:
+    """Run one role's script with the full pos tool surface attached."""
+    tools = PosTools(store, node, role.name)
+    ctx = ScriptContext(
+        node=node,
+        role=role.name,
+        phase=phase,
+        variables=experiment.variables.for_host(role.name, loop_instance),
+        tools=tools,
+        setup=extra.get("setup"),
+        run_index=run_index,
+        loop_instance=dict(loop_instance),
+    )
+    try:
+        return script.run(ctx)
+    except ScriptError as exc:
+        result = ScriptResult(
+            script=script.name,
+            role=role.name,
+            phase=phase,
+            ok=False,
+            commands=list(tools.command_log),
+            uploads=list(tools.uploads),
+            log_lines=list(tools.log_lines),
+            error=str(exc),
+        )
+        if phase == "setup":
+            return result
+        raise
+
+
+def run_setup_phase(
+    experiment: Experiment,
+    node_of: Callable[[str], Any],
+    store: SharedStore,
+    extra: dict,
+    record: Optional[Callable[[ScriptResult], None]] = None,
+) -> List[ScriptResult]:
+    """Run every role's setup script; raise on the first failure."""
+    results: List[ScriptResult] = []
+    for role in experiment.roles:
+        result = run_role_script(
+            role.setup, experiment, role, node_of(role.node), store,
+            phase="setup", loop_instance={}, run_index=None, extra=extra,
+        )
+        if record is not None:
+            record(result)
+        results.append(result)
+        if not result.ok:
+            raise ScriptError(
+                f"setup of role {role.name!r} failed: {result.error}"
+            )
+    return results
+
+
+def perform_run(
+    experiment: Experiment,
+    node_of: Callable[[str], Any],
+    store: SharedStore,
+    extra: dict,
+    index: int,
+    loop_instance: Dict[str, Any],
+) -> AttemptResult:
+    """Execute one measurement run's scripts.  No filesystem access."""
+    attempt = AttemptResult()
+    for role in experiment.roles:
+        try:
+            result = run_role_script(
+                role.measurement, experiment, role, node_of(role.node), store,
+                phase="measurement", loop_instance=loop_instance,
+                run_index=index, extra=extra,
+            )
+        except (ScriptError, TransportError) as exc:
+            attempt.ok = False
+            attempt.error = str(exc)
+            attempt.script_results.append(
+                ScriptResult(
+                    script=role.measurement.name,
+                    role=role.name,
+                    phase="measurement",
+                    ok=False,
+                    error=str(exc),
+                )
+            )
+            break
+        attempt.script_results.append(result)
+    if attempt.ok:
+        try:
+            store.check_barriers(set(experiment.role_names))
+        except PosError as exc:
+            attempt.ok = False
+            attempt.error = str(exc)
+    store.reset_barriers()
+    return attempt
+
+
+def recover_nodes(
+    experiment: Experiment,
+    node_of: Callable[[str], Any],
+    store: SharedStore,
+    extra: dict,
+) -> None:
+    """R3 in action: power-cycle every node back into the clean state
+    and replay the setup scripts before retrying the failed run."""
+    for role in experiment.roles:
+        node_of(role.node).reset()
+    deploy_tools(experiment, node_of)
+    for role in experiment.roles:
+        result = run_role_script(
+            role.setup, experiment, role, node_of(role.node), store,
+            phase="setup", loop_instance={}, run_index=None, extra=extra,
+        )
+        if not result.ok:
+            raise ScriptError(
+                f"recovery setup of role {role.name!r} failed: {result.error}"
+            )
+    store.reset_barriers()
+
+
+def recover_with_policy(
+    experiment: Experiment,
+    node_of: Callable[[str], Any],
+    store: SharedStore,
+    extra: dict,
+    recovery_policy: RetryPolicy,
+    clock: Clock,
+) -> None:
+    """Run the recovery procedure under the unified retry policy."""
+    try:
+        recovery_policy.call(
+            lambda: recover_nodes(experiment, node_of, store, extra),
+            retry_on=(NodeError, ScriptError, TransportError),
+            clock=clock,
+            describe="node recovery",
+        )
+    except RetryExhausted as exc:
+        raise exc.last_error
+
+
+def execute_run(
+    experiment: Experiment,
+    node_of: Callable[[str], Any],
+    store: SharedStore,
+    extra: dict,
+    index: int,
+    loop_instance: Dict[str, Any],
+    on_error: str,
+    recovery_policy: RetryPolicy,
+    clock: Clock,
+    injector=None,
+    isolation: Optional[Callable[[int], None]] = None,
+) -> RunOutcome:
+    """One run end to end: isolate, inject, execute, maybe recover+retry.
+
+    ``isolation`` is the run-isolation hook (clock epoch alignment and
+    reseeding); it runs first so the run's world state is a function of
+    the run index alone, which is what makes outcomes identical under
+    any job count.
+    """
+    if isolation is not None:
+        isolation(index)
+    events_before = len(injector.events) if injector is not None else 0
+    if injector is not None:
+        injector.begin_run(index)
+    try:
+        attempts = [
+            perform_run(experiment, node_of, store, extra, index, loop_instance)
+        ]
+        if not attempts[0].ok and on_error == "recover":
+            recover_with_policy(
+                experiment, node_of, store, extra, recovery_policy, clock
+            )
+            attempts.append(
+                perform_run(
+                    experiment, node_of, store, extra, index, loop_instance
+                )
+            )
+    finally:
+        if injector is not None:
+            injector.end_run()
+    events = (
+        list(injector.events[events_before:]) if injector is not None else []
+    )
+    return RunOutcome(
+        index=index,
+        loop_instance=dict(loop_instance),
+        attempts=attempts,
+        fault_events=events,
+    )
+
+
+def persist_outcome(
+    exp_dir: ExperimentDir,
+    outcome: RunOutcome,
+    log=None,
+) -> Tuple[RunRecord, RunDir]:
+    """Write one run's attempts into the canonical result tree.
+
+    One ``run-NNN[-retry]`` folder per attempt, exactly like the
+    sequential controller: a recovery retry never overwrites the failed
+    attempt's artifacts.
+    """
+    run_dir: Optional[RunDir] = None
+    for attempt_number, attempt in enumerate(outcome.attempts):
+        if attempt_number == 1 and log is not None:
+            log.event(
+                f"run {outcome.index}: recovery power-cycle + setup replay"
+            )
+        run_dir = exp_dir.create_run_dir(outcome.index)
+        run_dir.write_metadata(outcome.loop_instance)
+        for result in attempt.script_results:
+            run_dir.record_script(result)
+    last = outcome.attempts[-1]
+    record = RunRecord(
+        index=outcome.index,
+        loop_instance=dict(outcome.loop_instance),
+        ok=last.ok,
+        retried=len(outcome.attempts) > 1,
+        error=last.error,
+        script_results=list(last.script_results),
+    )
+    return record, run_dir
+
+
+# --------------------------------------------------------------------------
+# worker side
+# --------------------------------------------------------------------------
+
+def _shard_worker(
+    worker_env: WorkerEnv,
+    experiment: Experiment,
+    indices: List[int],
+    instances: List[Dict[str, Any]],
+    on_error: str,
+    recovery_policy: RetryPolicy,
+) -> List[RunOutcome]:
+    """Execute one shard in an isolated world: full pipeline, no disk.
+
+    Runs in a worker process.  Builds a private testbed world, replays
+    boot → tools → setup (with barrier), then executes the shard's runs
+    in ascending index order.  Results travel back as picklable
+    :class:`RunOutcome` payloads; the parent does all persistence.
+    """
+    world = worker_env.factory(**worker_env.kwargs)
+    node_of = world.nodes.__getitem__
+    store = SharedStore()
+    extra = dict(world.context_extra or {})
+    boot_nodes(experiment, node_of, world.images)
+    deploy_tools(experiment, node_of)
+    run_setup_phase(experiment, node_of, store, extra)
+    store.check_barriers(set(experiment.role_names))
+    store.reset_barriers()
+    setup = extra.get("setup")
+    isolation = getattr(setup, "begin_run", None)
+    injector = world.fault_injector
+    clock = SimClock()
+    outcomes = []
+    for index, instance in zip(indices, instances):
+        outcomes.append(
+            execute_run(
+                experiment, node_of, store, extra, index, instance,
+                on_error, recovery_policy, clock, injector, isolation,
+            )
+        )
+    hypervisor = getattr(setup, "hypervisor", None)
+    if hypervisor is not None:
+        hypervisor.stop()
+    return outcomes
+
+
+# --------------------------------------------------------------------------
+# parent side
+# --------------------------------------------------------------------------
+
+class ParallelScheduler:
+    """Fan a measurement phase out over a process pool and merge back.
+
+    The merge is a reorder buffer: outcomes arrive shard by shard in
+    completion order, but run *k* is persisted, journalled, logged and
+    reported strictly after every run below *k* — the artifacts of a
+    parallel execution are byte-identical to a sequential one, and a
+    crash leaves the same resumable journal prefix.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        worker_env: WorkerEnv,
+        recovery_policy: RetryPolicy,
+    ):
+        self.jobs = jobs
+        self.worker_env = worker_env
+        self.recovery_policy = recovery_policy
+
+    def execute(
+        self,
+        experiment: Experiment,
+        runs: List[Dict[str, Any]],
+        completed: Dict[int, dict],
+        exp_dir: ExperimentDir,
+        journal,
+        handle,
+        log,
+        injector,
+        on_error: str,
+        on_run_complete: Optional[Callable] = None,
+        progress: Optional[Callable[[int, int], None]] = None,
+        adopt: Optional[Callable] = None,
+    ) -> None:
+        total = len(runs)
+        pending = [index for index in range(total) if index not in completed]
+        shards = shard_runs(pending, self.jobs)
+        outcomes: Dict[int, RunOutcome] = {}
+        state = {"next": 0}
+
+        def drain() -> None:
+            """Persist every consecutive ready run, in index order."""
+            while state["next"] < total:
+                index = state["next"]
+                if index in completed:
+                    record = adopt(exp_dir, index, runs[index], completed[index])
+                    handle.runs.append(record)
+                    if log is not None:
+                        log.event(
+                            f"run {index}: {runs[index]} -> ok (adopted from journal)"
+                        )
+                    if progress is not None:
+                        progress(index + 1, total)
+                    state["next"] += 1
+                    continue
+                if index not in outcomes:
+                    return
+                outcome = outcomes.pop(index)
+                record, run_dir = persist_outcome(exp_dir, outcome, log)
+                handle.runs.append(record)
+                if injector is not None:
+                    injector.events.extend(outcome.fault_events)
+                if journal is not None:
+                    journal.record_run(
+                        index, outcome.loop_instance, ok=record.ok,
+                        retried=record.retried, error=record.error,
+                        run_dir=os.path.basename(run_dir.path),
+                    )
+                if log is not None:
+                    status = "ok" if record.ok else f"FAILED ({record.error})"
+                    log.event(f"run {index}: {outcome.loop_instance} -> {status}")
+                if on_run_complete is not None:
+                    on_run_complete(record, run_dir.path)
+                if progress is not None:
+                    progress(index + 1, total)
+                state["next"] += 1
+                if not record.ok and on_error == "abort":
+                    raise ScriptError(
+                        f"measurement run {index} failed: {record.error}"
+                    )
+
+        if not shards:
+            drain()
+            return
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            futures = [
+                pool.submit(
+                    _shard_worker,
+                    self.worker_env,
+                    experiment,
+                    shard,
+                    [runs[index] for index in shard],
+                    on_error,
+                    self.recovery_policy,
+                )
+                for shard in shards
+            ]
+            drain()
+            for future in as_completed(futures):
+                for outcome in future.result():
+                    outcomes[outcome.index] = outcome
+                drain()

@@ -110,6 +110,10 @@ class MoonGen:
         print(format_report(job))
     """
 
+    #: Every how many generated packets one is hardware-timestamped.
+    #: Subclasses model denser samplers (OSNT stamps every frame).
+    latency_sample_every = LATENCY_SAMPLE_INTERVAL
+
     def __init__(self, sim: Simulator, tx_nic: Nic, rx_nic: Nic, seed: int = 0):
         self.sim = sim
         self.tx_nic = tx_nic
@@ -120,6 +124,18 @@ class MoonGen:
         self._seq = 0
         self._interval: Optional[IntervalStats] = None
         rx_nic.set_rx_handler(self._on_receive)
+        rx_nic.rx_owner = self
+
+    def reseed(self, seed: int) -> None:
+        """Restart the pacing RNG from a fresh seed.
+
+        Run isolation hook: the parallel scheduler reseeds every
+        stochastic component from the run index before each run, so a
+        run's traffic is a function of the run alone, not of which runs
+        the same generator executed earlier.
+        """
+        self.seed = seed
+        self._rng = random.Random(seed)
 
     @property
     def supports_latency(self) -> bool:
@@ -156,13 +172,35 @@ class MoonGen:
             timestamping=self.supports_latency,
         )
         self._job = job
+        self._seq = 0
         self._interval = IntervalStats(start=self.sim.now)
         job.intervals.append(self._interval)
         self._deadline = self.sim.now + duration_s
         self._next_interval_end = self.sim.now + interval_s
-        self.sim.schedule(0.0, self._send_next)
+        # The finish event is scheduled first in both paths so it wins
+        # the heap tie against any packet event landing exactly on the
+        # deadline — frames arriving at or after it never count.
         self.sim.schedule(duration_s, self._finish, job)
+        if not self._start_batched(job):
+            self.sim.schedule(0.0, self._send_next)
         return job
+
+    def _start_batched(self, job: MoonGenJob) -> bool:
+        """Replay the run on the batched fast path when the topology allows.
+
+        Returns False when the traffic path is not an analytically
+        replayable chain (or batching is disabled), in which case the
+        caller schedules the legacy per-packet event loop.
+        """
+        from repro.netsim import fastpath
+
+        if not fastpath.enabled():
+            return False
+        chain = fastpath.compile_chain(self)
+        if chain is None:
+            return False
+        fastpath.run_batched(self, job, chain)
+        return True
 
     # -- transmit ------------------------------------------------------------
 
@@ -179,7 +217,7 @@ class MoonGen:
             dst=f"{self.rx_nic.name}",
         )
         self._seq += 1
-        if job.timestamping and packet.seq % LATENCY_SAMPLE_INTERVAL == 0:
+        if job.timestamping and packet.seq % self.latency_sample_every == 0:
             packet.tx_time = self.sim.now
         if self.tx_nic.transmit(packet):
             job.tx_packets += 1

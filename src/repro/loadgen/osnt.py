@@ -26,6 +26,8 @@ __all__ = ["Osnt"]
 class Osnt(MoonGen):
     """NetFPGA-based generator: zero-jitter CBR, per-packet timestamps."""
 
+    latency_sample_every = 1
+
     def __init__(self, sim: Simulator, tx_nic: Nic, rx_nic: Nic):
         if not isinstance(tx_nic, HardwareNic) or not isinstance(rx_nic, HardwareNic):
             raise SimulationError(

@@ -25,7 +25,7 @@ __all__ = ["Event", "Simulator", "Process", "PeriodicTimer"]
 class Event:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
         self.time = time
@@ -33,10 +33,25 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
-        """Prevent the callback from running.  Idempotent."""
+        """Prevent the callback from running.  Idempotent.
+
+        Cancelling also drops the callback and argument references, so a
+        large closure (a stopped process's generator frame, a timer's
+        bound state) is freed immediately instead of living on in the
+        event heap until its scheduled time is reached.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        self.callback = None
+        self.args = ()
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -55,6 +70,7 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._processed = 0
+        self._cancelled_in_heap = 0
 
     @property
     def now(self) -> float:
@@ -68,8 +84,24 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    def _note_cancelled(self) -> None:
+        """An in-heap event was cancelled; compact when mostly garbage.
+
+        Long-lived simulations that start and stop many processes and
+        timers would otherwise accumulate an unbounded tail of cancelled
+        entries that ``run`` only discards once their scheduled time
+        arrives.  Rebuilding costs O(live) and is amortized O(1) per
+        cancellation because it only fires when more than half the heap
+        is garbage.
+        """
+        self._cancelled_in_heap += 1
+        if self._cancelled_in_heap > len(self._heap) // 2:
+            self._heap = [event for event in self._heap if not event.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_in_heap = 0
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
         """Run ``callback(*args)`` after ``delay`` seconds of simulated time."""
@@ -84,6 +116,7 @@ class Simulator:
                 f"cannot schedule at {time} before current time {self._now}"
             )
         event = Event(time, next(self._seq), callback, args)
+        event._sim = self
         heapq.heappush(self._heap, event)
         return event
 
@@ -102,10 +135,14 @@ class Simulator:
                 event = self._heap[0]
                 if event.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled_in_heap -= 1
                     continue
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._heap)
+                # The event left the heap: a later cancel() must not count
+                # it against the in-heap garbage tally.
+                event._sim = None
                 self._now = event.time
                 event.callback(*event.args)
                 self._processed += 1

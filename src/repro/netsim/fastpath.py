@@ -1,0 +1,327 @@
+"""Batched packet-event fast path for the measurement hot loop.
+
+The discrete-event engine schedules roughly six Python-level events per
+generated packet (send, two serializations, two deliveries, one router
+service), so a Fig. 3 sweep costs ``rates x sizes x packets`` heap
+operations and callback dispatches.  For the topology the case study
+actually measures — a load generator wired through a deterministic
+store-and-forward router and back — every one of those events is
+analytically predictable: the network between the generator's TX and RX
+ports is a *feed-forward chain of FIFO stages* with constant per-stage
+delays, so each packet's full trajectory follows from Lindley-style
+recurrences over the packets sent before it.
+
+:func:`compile_chain` inspects the wiring and returns a
+:class:`ChainSpec` when the topology qualifies; :func:`run_batched`
+replays one whole measurement job through the chain in a single tight
+loop — no heap, no callbacks, no per-packet ``Packet`` allocations —
+while reproducing the event engine's arithmetic exactly:
+
+* send times and interval boundaries accumulate iteratively
+  (``t += gap``, ``boundary += interval_s``), like the event chain
+  does, so float rounding matches bit for bit;
+* TX-ring occupancy uses the pop-at-serialization-start semantics of
+  :class:`~repro.netsim.nic.Nic`, the router backlog the
+  pop-at-completion semantics of
+  :class:`~repro.netsim.router.ForwardingDevice`;
+* latency samples, per-interval counters, NIC statistics and router
+  statistics are accounted under the same conditions (a frame arriving
+  at or after the job deadline is not counted against the job because
+  the job's finish event wins the tie, interval boundaries roll on
+  ``now >= boundary`` capped at the deadline, the send sequence number
+  advances even for ring-dropped frames, the Poisson RNG is drawn once
+  per send after the send).
+
+Ineligible topologies — virtualized routers with stochastic service
+times, bridges, multi-queue RSS devices, contended cut-through switch
+ports — silently fall back to the legacy per-packet event path, which
+remains the semantic reference.  ``POS_NETSIM_BATCH=0`` disables the
+fast path globally, which is how the equivalence tests and benchmarks
+pit the two implementations against each other.
+
+The fast path computes the *fully drained* end state: every frame in
+flight at the deadline is followed to its terminal stage.  The chain's
+queues are bounded (TX rings, router backlog) and its service times
+deterministic, so the residual drain spans at most a few milliseconds
+of simulated time — far below the drain window every caller in this
+repository runs the simulator for — which makes the drained state and
+the event path's post-run state identical.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.loadgen.moongen import IntervalStats
+from repro.netsim.link import CutThroughSwitchPort, DirectWire, OpticalL1Switch
+from repro.netsim.nic import Nic
+from repro.netsim.packet import wire_bits
+from repro.netsim.router import LinuxRouter
+
+__all__ = ["ChainSpec", "compile_chain", "run_batched", "enabled"]
+
+_SUPPORTED_LINKS = (DirectWire, OpticalL1Switch, CutThroughSwitchPort)
+
+
+def enabled() -> bool:
+    """Whether the batched path may engage (``POS_NETSIM_BATCH`` != 0)."""
+    return os.environ.get("POS_NETSIM_BATCH", "1") != "0"
+
+
+@dataclass
+class ChainSpec:
+    """A compiled, analytically replayable LoadGen->DuT->LoadGen chain."""
+
+    tx_nic: Nic
+    ingress_nic: Nic
+    router: LinuxRouter
+    egress_nic: Nic
+    rx_nic: Nic
+    forward_delay_s: float
+    return_delay_s: float
+
+
+def _constant_link_delay(link) -> Optional[float]:
+    """Constant carry delay of a link, or None when not replayable."""
+    if type(link) not in _SUPPORTED_LINKS:
+        return None
+    if getattr(link, "background_load", 0.0):
+        # A contended cut-through port adds random queueing jitter drawn
+        # per frame, which can reorder deliveries — not feed-forward.
+        return None
+    return link.propagation_delay + link.switching_delay
+
+
+def compile_chain(moongen) -> Optional[ChainSpec]:
+    """Discover whether ``moongen``'s traffic path is a replayable chain.
+
+    Requirements: TX port wired through a constant-delay link into a
+    port of a *deterministic* :class:`LinuxRouter` (the exact class —
+    stochastic subclasses like the virtualized router are rejected),
+    whose opposite port is wired through a constant-delay link back to
+    the generator's RX port, with every stage idle and empty, so the
+    recurrences start from the same blank state a fresh run does.
+    """
+    tx, rx = moongen.tx_nic, moongen.rx_nic
+    if tx is rx or tx.link is None or rx.link is None:
+        return None
+    forward_delay = _constant_link_delay(tx.link)
+    if forward_delay is None:
+        return None
+    try:
+        ingress = tx.link.peer(tx)
+    except Exception:  # noqa: BLE001 - exotic link without a peer() notion
+        return None
+    router = getattr(ingress, "rx_owner", None)
+    if type(router) is not LinuxRouter:
+        return None
+    if len(router.ports) != 2 or ingress not in router.ports:
+        return None
+    egress = router.ports[1] if ingress is router.ports[0] else router.ports[0]
+    if egress.link is None:
+        return None
+    return_delay = _constant_link_delay(egress.link)
+    if return_delay is None:
+        return None
+    try:
+        back = egress.link.peer(egress)
+    except Exception:  # noqa: BLE001
+        return None
+    if back is not rx or getattr(rx, "rx_owner", None) is not moongen:
+        return None
+    if tx._tx_queue or tx._tx_busy or egress._tx_queue or egress._tx_busy:
+        return None
+    if router.backlog_depth or router.paused or router._busy:
+        return None
+    if ingress._rx_backlog or ingress._rx_handler is None:
+        return None
+    if rx._rx_backlog or rx._rx_handler is None:
+        return None
+    return ChainSpec(
+        tx_nic=tx,
+        ingress_nic=ingress,
+        router=router,
+        egress_nic=egress,
+        rx_nic=rx,
+        forward_delay_s=forward_delay,
+        return_delay_s=return_delay,
+    )
+
+
+def run_batched(moongen, job, chain: ChainSpec) -> None:
+    """Replay one whole measurement job through ``chain`` in one loop.
+
+    Mutates ``job`` (counters, intervals, latency samples) and every
+    stage's statistics exactly as the event path would have after the
+    run fully drained.  Called by ``MoonGen.start`` right after the job
+    state was initialized; the job's finish event stays scheduled, so
+    overlap detection and ``finished`` timing are unchanged.
+    """
+    deadline = moongen._deadline
+    timestamping = job.timestamping
+    sample_every = moongen.latency_sample_every
+    poisson = job.pattern == "poisson"
+    rng = moongen._rng
+
+    tx_nic = chain.tx_nic
+    router = chain.router
+    egress = chain.egress_nic
+    gate_open = router.gate() if router.gate is not None else True
+
+    # Per-stage constants; the same expressions (and therefore the same
+    # float results) as the per-packet computations of the event path.
+    bits = wire_bits(job.frame_size)
+    tx_delay = bits / tx_nic.line_rate_bps
+    eg_delay = bits / egress.line_rate_bps
+    extra_desc = router.descriptors_for(job.frame_size) - 1
+    service = (
+        router.base_cost_s
+        + router.per_byte_s * job.frame_size
+        + extra_desc * router.extra_descriptor_cost_s
+    ) / router.frequency_scale
+
+    tx_ring = tx_nic.tx_ring_size
+    eg_ring = egress.tx_ring_size
+    backlog_limit = router.backlog_limit
+
+    # Lindley state per stage: the previous frame's finish time plus the
+    # queue-pop times of still-occupying frames.  A TX ring slot frees
+    # when its frame *starts* serializing; a router backlog slot frees
+    # when its frame's service *completes*.
+    tx_free = -1.0
+    tx_pops: deque = deque()
+    rt_free = -1.0
+    rt_pops: deque = deque()
+    eg_free = -1.0
+    eg_pops: deque = deque()
+
+    # Interval attribution.  The event path rolls one shared boundary
+    # cursor in global time order; attribution is therefore a pure
+    # function of the event's time.  We replay it with two independent
+    # cursors (sends are visited in send order, receives ride along with
+    # their send, which runs ahead of time order) plus one creation
+    # cursor appending IntervalStats in boundary order — all three
+    # accumulate ``+= interval_s`` from the same start, so they yield
+    # bit-identical boundary floats at equal indices.
+    intervals = job.intervals
+    interval_s = job.interval_s
+    tx_boundary = moongen._next_interval_end
+    rx_boundary = tx_boundary
+    create_boundary = tx_boundary
+    tx_idx = 0
+    rx_idx = 0
+
+    tx_stats = tx_nic.stats
+    in_stats = chain.ingress_nic.stats
+    rt_stats = router.stats
+    eg_stats = egress.stats
+    rx_stats = chain.rx_nic.stats
+    samples = job.latency_samples_s
+    frame = job.frame_size
+    fwd_delay = chain.forward_delay_s
+    ret_delay = chain.return_delay_s
+    rate = job.rate_pps
+
+    t = moongen.sim.now
+    seq = moongen._seq
+    while t < deadline:
+        # -- MoonGen._send_next at time t --------------------------------
+        while t >= tx_boundary and tx_boundary <= deadline:
+            tx_boundary += interval_s
+            tx_idx += 1
+        while len(intervals) <= tx_idx:
+            intervals.append(IntervalStats(start=create_boundary))
+            create_boundary += interval_s
+        sampled = timestamping and seq % sample_every == 0
+        seq += 1
+
+        # -- TX NIC ring + serialization ---------------------------------
+        while tx_pops and tx_pops[0] <= t:
+            tx_pops.popleft()
+        if len(tx_pops) >= tx_ring:
+            tx_stats.tx_dropped += 1
+        else:
+            start = t if t >= tx_free else tx_free
+            finish = start + tx_delay
+            tx_pops.append(start)
+            tx_free = finish
+            tx_stats.tx_packets += 1
+            tx_stats.tx_bytes += frame
+            job.tx_packets += 1
+            job.tx_bytes += frame
+            interval = intervals[tx_idx]
+            interval.tx_packets += 1
+            interval.tx_bytes += frame
+
+            # -- wire -> DuT ingress port --------------------------------
+            arrive = finish + fwd_delay
+            in_stats.rx_packets += 1
+            in_stats.rx_bytes += frame
+            rt_stats.received += 1
+            if not gate_open:
+                rt_stats.backlog_dropped += 1
+            else:
+                while rt_pops and rt_pops[0] <= arrive:
+                    rt_pops.popleft()
+                if len(rt_pops) >= backlog_limit:
+                    rt_stats.backlog_dropped += 1
+                else:
+                    begin = arrive if arrive >= rt_free else rt_free
+                    done = begin + service
+                    rt_pops.append(done)
+                    rt_free = done
+                    rt_stats.forwarded += 1
+
+                    # -- egress NIC ring + serialization -----------------
+                    while eg_pops and eg_pops[0] <= done:
+                        eg_pops.popleft()
+                    if len(eg_pops) >= eg_ring:
+                        eg_stats.tx_dropped += 1
+                    else:
+                        start2 = done if done >= eg_free else eg_free
+                        finish2 = start2 + eg_delay
+                        eg_pops.append(start2)
+                        eg_free = finish2
+                        eg_stats.tx_packets += 1
+                        eg_stats.tx_bytes += frame
+
+                        # -- wire -> LoadGen RX port ---------------------
+                        back = finish2 + ret_delay
+                        rx_stats.rx_packets += 1
+                        rx_stats.rx_bytes += frame
+                        if back < deadline:
+                            while (
+                                back >= rx_boundary
+                                and rx_boundary <= deadline
+                            ):
+                                rx_boundary += interval_s
+                                rx_idx += 1
+                            while len(intervals) <= rx_idx:
+                                intervals.append(
+                                    IntervalStats(start=create_boundary)
+                                )
+                                create_boundary += interval_s
+                            rstats = intervals[rx_idx]
+                            job.rx_packets += 1
+                            job.rx_bytes += frame
+                            rstats.rx_packets += 1
+                            rstats.rx_bytes += frame
+                            if sampled:
+                                samples.append(back - t)
+
+        # -- pacing -------------------------------------------------------
+        gap = rng.expovariate(rate) if poisson else 1.0 / rate
+        t = t + gap
+
+    moongen._seq = seq
+    # Leave the shared roll state where the last (latest-time) counted
+    # event would have left it.
+    if rx_idx >= tx_idx:
+        moongen._interval = intervals[rx_idx]
+        moongen._next_interval_end = rx_boundary
+    else:
+        moongen._interval = intervals[tx_idx]
+        moongen._next_interval_end = tx_boundary

@@ -78,6 +78,11 @@ class Nic:
         self.rx_ring_size = rx_ring_size
         self.stats = NicStats()
         self.link = None  # type: Optional["object"]
+        #: The device consuming this port's received frames (a forwarding
+        #: device or a load generator).  Purely informational: the batched
+        #: fast path uses it to discover whether a topology chain is
+        #: analytically replayable (:mod:`repro.netsim.fastpath`).
+        self.rx_owner: Optional[object] = None
         self._tx_queue: deque = deque()
         self._tx_busy = False
         self._rx_handler: Optional[Callable[[Packet], None]] = None

@@ -79,6 +79,7 @@ class ForwardingDevice:
     def add_port(self, nic: Nic) -> Nic:
         """Attach a NIC port; its received frames feed this device."""
         nic.set_rx_handler(lambda packet, port=nic: self._on_receive(port, packet))
+        nic.rx_owner = self
         self.ports.append(nic)
         return nic
 

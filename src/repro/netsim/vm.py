@@ -77,6 +77,21 @@ class Hypervisor:
         """Stop scheduling (end of simulation)."""
         self._timer.stop()
 
+    def reseed(self, seed: int) -> None:
+        """Restart preemption from a fresh seed and a fresh timer phase.
+
+        Run isolation hook: cancels the current quantum timer (whose
+        phase encodes execution history), resumes any paused guest, and
+        restarts scheduling aligned to the current simulation time, so
+        the preemption pattern of a run depends only on its seed and its
+        start epoch.
+        """
+        self._rng = random.Random(seed)
+        self._timer.stop()
+        for guest in self._guests:
+            guest.resume()
+        self._timer = PeriodicTimer(self.sim, self.quantum_s, self._preempt)
+
     def _preempt(self) -> None:
         if not self._guests:
             return
@@ -121,6 +136,15 @@ class VirtualizedLinuxRouter(LinuxRouter):
         self.overload_backlog = overload_backlog
         self.overload_sigma = overload_sigma
         self.calm_sigma = calm_sigma
+        self._rng = random.Random(seed)
+        self._epoch_end = -1.0
+        self._epoch_factor = 1.0
+
+    def reseed(self, seed: int) -> None:
+        """Restart the service-time RNG and forget the overload epoch.
+
+        Run isolation hook, see :meth:`Hypervisor.reseed`.
+        """
         self._rng = random.Random(seed)
         self._epoch_end = -1.0
         self._epoch_factor = 1.0

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.errors import ExperimentError
 from repro.loadgen.moongen import MoonGen
 from repro.netsim.bridge import LinuxBridge
 from repro.netsim.engine import Simulator
@@ -35,7 +36,26 @@ from repro.testbed.power import IpmiController, PowerControl
 from repro.testbed.topology import Topology
 from repro.testbed.transport import SshTransport
 
-__all__ = ["TestbedSetup", "build_pos_pair", "build_vpos_pair"]
+__all__ = [
+    "TestbedSetup",
+    "build_pos_pair",
+    "build_vpos_pair",
+    "RUN_EPOCH_BASE",
+    "RUN_EPOCH_STRIDE",
+    "RUN_SEED_STRIDE",
+]
+
+#: Simulated time each run's clock is aligned to: run *k* always starts
+#: at exactly ``RUN_EPOCH_BASE + k * RUN_EPOCH_STRIDE`` seconds.  Pinning
+#: runs to canonical absolute epochs makes every timestamp inside a run a
+#: bit-identical float regardless of which runs (on which worker) came
+#: before it — the keystone of ``--jobs N`` determinism.
+RUN_EPOCH_BASE = 1000.0
+RUN_EPOCH_STRIDE = 100.0
+
+#: Stride between per-run seed blocks (a prime, so run seeds never
+#: collide with the small hand-picked component offsets within a block).
+RUN_SEED_STRIDE = 7919
 
 
 @dataclass
@@ -51,6 +71,57 @@ class TestbedSetup:
     images: ImageRegistry
     hypervisor: Optional[Hypervisor] = None
     bridges: List[LinuxBridge] = field(default_factory=list)
+    #: Base seed all per-run component seeds are derived from.
+    seed: int = 0
+    #: Statistics snapshot taken at the start of the current run; the
+    #: DuT measurement script reports per-run deltas against it.
+    run_baseline: Optional[dict] = None
+
+    def begin_run(self, run_index: int) -> None:
+        """Isolate the upcoming run from all execution history.
+
+        Called by the controller before each measurement run (the
+        *run-isolation hook*).  Three steps:
+
+        1. **Epoch alignment** — fast-forward the simulator to the
+           run's canonical epoch (``RUN_EPOCH_BASE + index * STRIDE``),
+           draining every leftover event (in-flight frames, backlogs,
+           pause releases) of the previous run along the way.  Every
+           run thus starts at the same absolute simulated time under
+           any job partition, so float arithmetic inside the run is
+           bit-identical.
+        2. **Reseeding** — every stochastic component restarts from a
+           seed derived only from the testbed seed and the run index.
+        3. **Baseline snapshot** — cumulative DuT counters are recorded
+           so measurement scripts can report this run's deltas.
+        """
+        epoch = RUN_EPOCH_BASE + RUN_EPOCH_STRIDE * run_index
+        if self.hypervisor is not None:
+            # Stop the quantum timer first so the fast-forward does not
+            # grind through thousands of idle preemption events; the
+            # reseed below restarts it phase-aligned to the epoch.
+            self.hypervisor.stop()
+        if self.sim.now > epoch:
+            raise ExperimentError(
+                f"run {run_index}: simulated time {self.sim.now:.3f}s is "
+                f"already past the run epoch {epoch:.3f}s; increase "
+                f"RUN_EPOCH_STRIDE"
+            )
+        if self.sim.now < epoch:
+            self.sim.run(until=epoch)
+        seed0 = self.seed + RUN_SEED_STRIDE * (run_index + 1)
+        reseed_router = getattr(self.router, "reseed", None)
+        if reseed_router is not None:
+            reseed_router(seed0)
+        if self.hypervisor is not None:
+            self.hypervisor.reseed(seed0 + 1)
+        self.loadgen.reseed(seed0 + 2)
+        self.run_baseline = {
+            "router": self.router.stats.snapshot(),
+            "nics": {
+                port.name: port.stats.snapshot() for port in self.router.ports
+            },
+        }
 
     @property
     def loadgen_node(self) -> Node:
@@ -162,6 +233,7 @@ def build_pos_pair(
     images: Optional[ImageRegistry] = None,
     link_kind: str = "direct",
     link_kwargs: Optional[dict] = None,
+    seed: int = 0,
 ) -> TestbedSetup:
     """The hardware testbed of the case study (Fig. 3a).
 
@@ -183,6 +255,7 @@ def build_pos_pair(
         sim,
         tx_nic=loadgen_host.interfaces["eno1"].nic,
         rx_nic=loadgen_host.interfaces["eno2"].nic,
+        seed=seed + 2,
     )
     _install_moongen_command(loadgen_host, sim, moongen)
 
@@ -202,6 +275,7 @@ def build_pos_pair(
         loadgen=moongen,
         router=router,
         images=images,
+        seed=seed,
     )
 
 
@@ -278,4 +352,5 @@ def build_vpos_pair(
         images=images,
         hypervisor=hypervisor,
         bridges=bridges,
+        seed=seed,
     )
