@@ -123,6 +123,17 @@ def build_parser() -> argparse.ArgumentParser:
     topology.add_argument("--platform", choices=("pos", "vpos"), default="pos")
     topology.add_argument("--output", required=True, help="output .svg path")
 
+    report = sub.add_parser(
+        "report",
+        help="per-run provenance table reconstructed from the artifacts "
+             "(journal, trace.jsonl, telemetry.json) alone",
+    )
+    report.add_argument("--results", required=True,
+                        help="one experiment's timestamp folder")
+    report.add_argument("--validate", action="store_true",
+                        help="also validate the telemetry artifacts against "
+                             "the checked-in JSON schemas")
+
     sub.add_parser("compare", help="print the testbed comparison (Table 1)")
 
     check = sub.add_parser(
@@ -289,6 +300,22 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.telemetry.report import render_report
+
+    print(render_report(args.results), end="")
+    if args.validate:
+        from repro.telemetry.schema import SchemaError, validate_experiment
+
+        try:
+            validated = validate_experiment(args.results)
+        except SchemaError as exc:
+            print(f"schema violation: {exc}", file=sys.stderr)
+            return 1
+        print(f"schemas: {len(validated)} artifact(s) valid")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     print(format_table(), end="")
     return 0
@@ -314,6 +341,7 @@ _COMMANDS = {
     "nodes": _cmd_nodes,
     "images": _cmd_images,
     "topology": _cmd_topology,
+    "report": _cmd_report,
     "compare": _cmd_compare,
     "check-replication": _cmd_check_replication,
 }

@@ -9,7 +9,8 @@ no node changes state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.calendar import Booking, Calendar

@@ -14,8 +14,10 @@ from __future__ import annotations
 
 import itertools
 import time as _time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from dataclasses import dataclass
+
+from typing import Callable, Dict, List, Optional
+
 
 from repro.core.errors import CalendarError
 

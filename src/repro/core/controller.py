@@ -58,7 +58,8 @@ from repro.core.errors import (
 )
 from repro.core.experiment import Experiment, Role
 from repro.core.journal import RunJournal
-from repro.core.results import ExperimentDir, ResultStore, RunDir
+from repro.core.results import ExperimentDir, ResultStore
+
 from repro.core.scheduler import (
     POS_TOOLS_PATH,
     ParallelScheduler,
@@ -70,8 +71,8 @@ from repro.core.scripts import Script, ScriptResult
 from repro.core.tools import SharedStore
 from repro.faults.clock import Clock, SimClock
 from repro.faults.retry import RetryPolicy
+from repro.telemetry.plane import ExperimentTelemetry
 from repro.testbed.images import ImageRegistry
-from repro.testbed.node import Node
 
 __all__ = ["RunRecord", "ExperimentHandle", "Controller", "POS_TOOLS_PATH"]
 
@@ -80,32 +81,6 @@ __all__ = ["RunRecord", "ExperimentHandle", "Controller", "POS_TOOLS_PATH"]
 DEFAULT_RECOVERY_POLICY = RetryPolicy(
     max_attempts=2, base_delay_s=1.0, multiplier=2.0, max_delay_s=30.0
 )
-
-
-class _WorkflowLog:
-    """Sequential workflow trace, written as ``controller.log``.
-
-    Part of the enforced artifact collection: a reader of the published
-    results can retrace every phase and run without the controller.
-    Events carry a sequence number rather than wall-clock time so the
-    artifact stays deterministic.  A resumed experiment appends to the
-    crashed execution's log instead of destroying the evidence.
-    """
-
-    def __init__(self, experiment_path: str, append: bool = False):
-        self._handle = open(
-            os.path.join(experiment_path, "controller.log"),
-            "a" if append else "w",
-            encoding="utf-8",
-        )
-        self._sequence = 0
-
-    def event(self, message: str) -> None:
-        self._sequence += 1
-        self._handle.write(f"[{self._sequence:04d}] {message}\n")
-
-    def close(self) -> None:
-        self._handle.close()
 
 
 @dataclass
@@ -311,23 +286,36 @@ class Controller:
         )
         store = SharedStore()
         extra = dict(setup_context_extra or {})
-        log = _WorkflowLog(exp_dir.path, append=resumed)
+        total = self._total_runs(experiment, max_runs)
+        log = ExperimentTelemetry(exp_dir.path, resumed=resumed)
         if resumed:
+            # Resume markers stay in the legacy log and the journal only;
+            # trace.jsonl is rewritten as a pure function of the run set,
+            # so it must not know whether the execution was resumed.
             log.event(
                 f"RESUME: journal lists {len(completed)} completed run(s)"
             )
         log.event(f"allocated nodes: {', '.join(experiment.node_names)}")
+        exp_span = log.begin_span(
+            "experiment", experiment=experiment.name, user=user, runs=total,
+        )
         try:
-            self._boot_phase(experiment, allocation)
-            log.event("setup phase: all nodes live-booted")
-            self._deploy_tools(experiment, allocation)
-            log.event("utility tools deployed")
-            handle.setup_results = self._setup_phase(
-                experiment, allocation, store, exp_dir, extra
-            )
-            store.check_barriers(set(experiment.role_names))
-            store.reset_barriers()
-            log.event("setup scripts completed; barrier passed")
+            with log.span("phase.setup"):
+                with log.span("boot"):
+                    self._boot_phase(experiment, allocation)
+                log.event("setup phase: all nodes live-booted")
+                with log.span("tools"):
+                    self._deploy_tools(experiment, allocation)
+                log.event("utility tools deployed")
+                with log.span("scripts.setup"):
+                    handle.setup_results = self._setup_phase(
+                        experiment, allocation, store, exp_dir, extra
+                    )
+                store.check_barriers(set(experiment.role_names))
+                store.reset_barriers()
+                log.event("setup scripts completed; barrier passed")
+            log.flush(fsync=True)
+            measurement_span = log.begin_span("phase.measurement")
             self._measurement_phase(
                 experiment, allocation, store, exp_dir, handle, extra,
                 on_error=on_error, max_runs=max_runs,
@@ -335,16 +323,40 @@ class Controller:
                 journal=journal, completed=completed,
                 jobs=jobs, worker_env=worker_env,
             )
+            log.finish_span(measurement_span)
+            log.flush(fsync=True)
             log.event(
                 f"measurement phase done: {handle.completed_runs} ok, "
                 f"{handle.failed_runs} failed"
             )
-            self._finalize(experiment, allocation, exp_dir, handle)
+            with log.span("phase.finalize"):
+                self._finalize(experiment, allocation, exp_dir, handle)
             journal.record_event("complete", ok=handle.failed_runs == 0)
+            log.finish_span(exp_span)
+            log.finalize(
+                experiment.name,
+                runs={
+                    "total": total,
+                    "completed": handle.completed_runs,
+                    "failed": handle.failed_runs,
+                    "skipped": handle.skipped_runs,
+                },
+                journal_entries=len(journal.entries),
+            )
         except PosError as exc:
             handle.aborted = True
             log.event(f"ABORTED: {exc}")
             self._finalize(experiment, allocation, exp_dir, handle)
+            log.finalize(
+                experiment.name,
+                runs={
+                    "total": total,
+                    "completed": handle.completed_runs,
+                    "failed": handle.failed_runs,
+                    "skipped": handle.skipped_runs,
+                },
+                journal_entries=len(journal.entries),
+            )
             raise
         finally:
             log.event("nodes released")
@@ -391,7 +403,7 @@ class Controller:
         on_error: str,
         max_runs: Optional[int],
         on_run_complete: Optional[Callable[[RunRecord, str], None]] = None,
-        log: Optional["_WorkflowLog"] = None,
+        log: Optional[ExperimentTelemetry] = None,
         journal: Optional[RunJournal] = None,
         completed: Optional[Dict[int, dict]] = None,
         jobs: int = 1,
@@ -427,6 +439,11 @@ class Controller:
                 )
                 handle.runs.append(record)
                 if log is not None:
+                    if completed[index].get("dir"):
+                        log.adopt_run(
+                            index,
+                            os.path.join(exp_dir.path, completed[index]["dir"]),
+                        )
                     log.event(
                         f"run {index}: {loop_instance} -> ok (adopted from journal)"
                     )
@@ -465,6 +482,11 @@ class Controller:
             )
             record, run_dir = _scheduler.persist_outcome(exp_dir, outcome, log)
             handle.runs.append(record)
+            if log is not None:
+                # The run's telemetry snapshot must be durable before the
+                # journal promises the run: an adopted run on resume
+                # replays its spans and metrics from this file.
+                log.merge_run(index, outcome.telemetry, run_dir.path)
             if journal is not None:
                 journal.record_run(
                     index, loop_instance, ok=record.ok,
@@ -537,7 +559,7 @@ class Controller:
         extra: dict,
         health: Dict[str, int],
         quarantined: Dict[str, str],
-        log: Optional["_WorkflowLog"],
+        log: Optional[ExperimentTelemetry],
     ) -> None:
         """Probe the hosts after a failed run and recover wedged ones.
 

@@ -54,6 +54,9 @@ from repro.core.scripts import Script, ScriptContext, ScriptResult
 from repro.core.tools import PosTools, SharedStore
 from repro.faults.clock import Clock, SimClock
 from repro.faults.retry import RetryPolicy
+from repro.telemetry import context as _telemetry_context
+from repro.telemetry import plane as _telemetry_plane
+from repro.telemetry.spans import RunTelemetry
 
 __all__ = [
     "POS_TOOLS_PATH",
@@ -115,12 +118,17 @@ class RunOutcome:
     ``attempts`` holds one entry normally, two when the ``recover``
     policy power-cycled and retried.  ``fault_events`` are the injected
     faults that fired during this run, for the parent's inventory.
+    ``telemetry`` is the run's span/metric buffer
+    (:meth:`repro.telemetry.spans.RunTelemetry.payload`): local sequence
+    numbers starting at 0, so the parent can re-sequence buffers in run
+    order no matter which worker produced them.
     """
 
     index: int
     loop_instance: Dict[str, Any]
     attempts: List[AttemptResult]
     fault_events: List[Any] = field(default_factory=list)
+    telemetry: Optional[dict] = None
 
 
 @dataclass
@@ -257,9 +265,21 @@ def run_role_script(
         run_index=run_index,
         loop_instance=dict(loop_instance),
     )
+    collector = _telemetry_context.current()
+    span = None
+    if collector is not None:
+        span = collector.begin(
+            "script", script=script.name, role=role.name, node=role.node,
+            phase=phase,
+        )
     try:
-        return script.run(ctx)
+        result = script.run(ctx)
+        if span is not None:
+            span.set(ok=result.ok)
+        return result
     except ScriptError as exc:
+        if span is not None:
+            span.set(ok=False, error=str(exc))
         result = ScriptResult(
             script=script.name,
             role=role.name,
@@ -273,6 +293,9 @@ def run_role_script(
         if phase == "setup":
             return result
         raise
+    finally:
+        if span is not None:
+            collector.finish(span)
 
 
 def run_setup_phase(
@@ -383,6 +406,54 @@ def recover_with_policy(
         raise exc.last_error
 
 
+def _run_telemetry(extra: dict) -> Optional[RunTelemetry]:
+    """A run-scoped collector on the testbed's virtual clock, if enabled."""
+    if not _telemetry_plane.enabled():
+        return None
+    sim = getattr(extra.get("setup"), "sim", None)
+    clock = None if sim is None else (lambda: sim.now)
+    return RunTelemetry(clock=clock)
+
+
+def _drop_snapshot(setup) -> Tuple[int, int]:
+    """Cumulative (TX-ring drops, router-backlog drops) of the testbed."""
+    ring = 0
+    backlog = 0
+    router = getattr(setup, "router", None)
+    if router is not None:
+        backlog = router.stats.backlog_dropped
+        ring += sum(port.stats.tx_dropped for port in router.ports)
+    loadgen = getattr(setup, "loadgen", None)
+    if loadgen is not None:
+        ring += loadgen.tx_nic.stats.tx_dropped
+    return ring, backlog
+
+
+def _measured_attempt(
+    collector: Optional[RunTelemetry],
+    number: int,
+    experiment: Experiment,
+    node_of: Callable[[str], Any],
+    store: SharedStore,
+    extra: dict,
+    index: int,
+    loop_instance: Dict[str, Any],
+) -> AttemptResult:
+    if collector is None:
+        return perform_run(experiment, node_of, store, extra, index, loop_instance)
+    span = collector.begin("attempt", number=number)
+    try:
+        attempt = perform_run(
+            experiment, node_of, store, extra, index, loop_instance
+        )
+        span.set(ok=attempt.ok)
+        if attempt.error is not None:
+            span.set(error=attempt.error)
+        return attempt
+    finally:
+        collector.finish(span)
+
+
 def execute_run(
     experiment: Experiment,
     node_of: Callable[[str], Any],
@@ -401,29 +472,75 @@ def execute_run(
     ``isolation`` is the run-isolation hook (clock epoch alignment and
     reseeding); it runs first so the run's world state is a function of
     the run index alone, which is what makes outcomes identical under
-    any job count.
+    any job count.  The telemetry collector is activated strictly
+    *after* isolation: the epoch fast-forward drains the previous run's
+    leftover events, which depend on execution history and sharding, so
+    its engine activity must never enter this run's buffer.
     """
     if isolation is not None:
         isolation(index)
+    collector = _run_telemetry(extra)
     events_before = len(injector.events) if injector is not None else 0
     if injector is not None:
         injector.begin_run(index)
+    setup = extra.get("setup")
+    attempts: List[AttemptResult] = []
+    run_span = None
+    drops_before = (0, 0)
+    if collector is not None:
+        drops_before = _drop_snapshot(setup)
+        _telemetry_context.activate(collector)
+        run_span = collector.begin("run", index=index, loop=dict(loop_instance))
     try:
-        attempts = [
-            perform_run(experiment, node_of, store, extra, index, loop_instance)
-        ]
-        if not attempts[0].ok and on_error == "recover":
-            recover_with_policy(
-                experiment, node_of, store, extra, recovery_policy, clock
+        attempts.append(
+            _measured_attempt(
+                collector, 0, experiment, node_of, store, extra, index,
+                loop_instance,
             )
+        )
+        if not attempts[0].ok and on_error == "recover":
+            if collector is not None:
+                recovery_span = collector.begin("recovery")
+                try:
+                    recover_with_policy(
+                        experiment, node_of, store, extra, recovery_policy,
+                        clock,
+                    )
+                finally:
+                    collector.finish(recovery_span)
+            else:
+                recover_with_policy(
+                    experiment, node_of, store, extra, recovery_policy, clock
+                )
             attempts.append(
-                perform_run(
-                    experiment, node_of, store, extra, index, loop_instance
+                _measured_attempt(
+                    collector, 1, experiment, node_of, store, extra, index,
+                    loop_instance,
                 )
             )
     finally:
         if injector is not None:
             injector.end_run()
+        if collector is not None:
+            ring_after, backlog_after = _drop_snapshot(setup)
+            collector.count("netsim.tx_ring_drops", ring_after - drops_before[0])
+            collector.count(
+                "netsim.backlog_drops", backlog_after - drops_before[1]
+            )
+            recovered = len(attempts) > 1 and attempts[-1].ok
+            if recovered:
+                collector.count("runs.recovered")
+            run_span.set(
+                ok=bool(attempts) and attempts[-1].ok,
+                attempts=len(attempts),
+                recovered=recovered,
+                faults=(
+                    len(injector.events) - events_before
+                    if injector is not None else 0
+                ),
+            )
+            collector.finish(run_span)
+            _telemetry_context.deactivate(collector)
     events = (
         list(injector.events[events_before:]) if injector is not None else []
     )
@@ -432,6 +549,7 @@ def execute_run(
         loop_instance=dict(loop_instance),
         attempts=attempts,
         fault_events=events,
+        telemetry=collector.payload() if collector is not None else None,
     )
 
 
@@ -566,6 +684,12 @@ class ParallelScheduler:
                 if index in completed:
                     record = adopt(exp_dir, index, runs[index], completed[index])
                     handle.runs.append(record)
+                    adopt_telemetry = getattr(log, "adopt_run", None)
+                    if adopt_telemetry is not None and completed[index].get("dir"):
+                        adopt_telemetry(
+                            index,
+                            os.path.join(exp_dir.path, completed[index]["dir"]),
+                        )
                     if log is not None:
                         log.event(
                             f"run {index}: {runs[index]} -> ok (adopted from journal)"
@@ -579,6 +703,11 @@ class ParallelScheduler:
                 outcome = outcomes.pop(index)
                 record, run_dir = persist_outcome(exp_dir, outcome, log)
                 handle.runs.append(record)
+                # Re-sequence the worker's telemetry buffer in run order
+                # and snapshot it, before the journal promises the run.
+                merge_telemetry = getattr(log, "merge_run", None)
+                if merge_telemetry is not None:
+                    merge_telemetry(index, outcome.telemetry, run_dir.path)
                 if injector is not None:
                     injector.events.extend(outcome.fault_events)
                 if journal is not None:

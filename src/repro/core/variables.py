@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import itertools
 import re
-from typing import Any, Dict, Iterable, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
+
 
 from repro.core import yamlite
 from repro.core.errors import VariableError

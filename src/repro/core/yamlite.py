@@ -19,7 +19,8 @@ rather than being silently misparsed.
 from __future__ import annotations
 
 import re
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
+
 
 from repro.core.errors import YamlError
 

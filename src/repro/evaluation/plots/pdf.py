@@ -15,7 +15,8 @@ coordinates are flipped during emission.
 from __future__ import annotations
 
 import zlib
-from typing import List, Tuple
+from typing import List
+
 
 from repro.core.errors import PlotError
 from repro.evaluation.plots.scene import Line, Polygon, Polyline, Rect, Scene, Text

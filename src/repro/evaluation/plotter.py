@@ -14,7 +14,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import EvaluationError
 from repro.evaluation.aggregate import series_from_runs
-from repro.evaluation.loader import ExperimentResults, RunResult
+from repro.evaluation.loader import ExperimentResults
+
 from repro.evaluation.moongen_parser import parse_histogram_csv
 from repro.evaluation.plots import cdf, export, hdr_plot, histogram, line_plot, violin
 

@@ -16,7 +16,8 @@ reported separately from metric deviations, because they mean the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
+
 
 from repro.core.errors import EvaluationError
 from repro.evaluation.loader import ExperimentResults

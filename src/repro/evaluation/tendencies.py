@@ -20,7 +20,8 @@ though absolute rates differ by orders of magnitude.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
+
 
 from repro.core.errors import EvaluationError
 

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 from repro.core.errors import PowerError, TransportError, TransportTimeout
 from repro.faults.plan import FaultEvent, FaultPlan, FaultSpec
+from repro.telemetry import context as _telemetry
 from repro.netsim.host import CommandResult
 from repro.testbed.power import PowerControl
 from repro.testbed.transport import Transport
@@ -68,6 +69,12 @@ class FaultInjector:
                 spec_index=index,
             )
         )
+        collector = _telemetry.current()
+        if collector is not None:
+            collector.count(f"faults.injected.{spec.kind}")
+            collector.event(
+                "fault", kind=spec.kind, operation=operation, node=node,
+            )
         return spec
 
     def describe(self) -> dict:

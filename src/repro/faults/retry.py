@@ -21,6 +21,7 @@ from typing import Callable, List, Optional, Tuple, Type, TypeVar
 
 from repro.core.errors import PosError, RetryExhausted
 from repro.faults.clock import Clock, SimClock
+from repro.telemetry import context as _telemetry
 
 __all__ = ["RetryPolicy"]
 
@@ -89,6 +90,12 @@ class RetryPolicy:
             except retry_on as exc:  # noqa: PERF203 - retry loop by design
                 last_error = exc
                 if attempt < self.max_attempts:
+                    collector = _telemetry.current()
+                    if collector is not None:
+                        collector.count("retry.attempts")
+                        collector.event(
+                            "retry", attempt=attempt, operation=describe,
+                        )
                     if on_retry is not None:
                         on_retry(attempt, exc)
                     clock.sleep(delays[attempt - 1])

@@ -15,7 +15,6 @@ in Appendix A of the paper — vpos runs produce throughput data only.
 
 from __future__ import annotations
 
-import math
 import random
 import statistics
 from dataclasses import dataclass, field
@@ -25,6 +24,7 @@ from repro.core.errors import SimulationError
 from repro.netsim.engine import Simulator
 from repro.netsim.nic import Nic
 from repro.netsim.packet import Packet
+from repro.telemetry import context as _telemetry
 
 __all__ = ["MoonGenJob", "MoonGen", "format_report", "latency_histogram_csv"]
 
@@ -181,8 +181,23 @@ class MoonGen:
         # the heap tie against any packet event landing exactly on the
         # deadline — frames arriving at or after it never count.
         self.sim.schedule(duration_s, self._finish, job)
-        if not self._start_batched(job):
+        batched = self._start_batched(job)
+        if not batched:
             self.sim.schedule(0.0, self._send_next)
+        collector = _telemetry.current()
+        if collector is not None:
+            # Explicit start/end: start() returns before the simulator
+            # advances, so the job's extent is known analytically here
+            # on both the event path and the batched fast path.
+            collector.record_span(
+                "loadgen.job",
+                start=self.sim.now,
+                end=self._deadline,
+                rate_pps=rate_pps,
+                frame_size=frame_size,
+                pattern=pattern,
+                path="fast" if batched else "event",
+            )
         return job
 
     def _start_batched(self, job: MoonGenJob) -> bool:
@@ -264,6 +279,14 @@ class MoonGen:
         job.finished = True
         if self._job is job:
             self._job = None
+        collector = _telemetry.current()
+        if collector is not None:
+            collector.count("loadgen.jobs")
+            collector.count(
+                "loadgen.latency_samples", len(job.latency_samples_s)
+            )
+            for sample in job.latency_samples_s:
+                collector.observe("loadgen.latency_s", sample)
 
 
 def _mbit(bytes_count: int, duration_s: float, framing_bytes: int = 0, packets: int = 0) -> float:

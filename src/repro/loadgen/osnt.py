@@ -15,7 +15,8 @@ perfectly spaced traffic and samples every packet's latency.
 from __future__ import annotations
 
 from repro.core.errors import SimulationError
-from repro.loadgen.moongen import IntervalStats, MoonGen, MoonGenJob
+from repro.loadgen.moongen import MoonGen, MoonGenJob
+
 from repro.netsim.engine import Simulator
 from repro.netsim.nic import HardwareNic, Nic
 from repro.netsim.packet import Packet

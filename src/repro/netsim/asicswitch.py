@@ -16,7 +16,8 @@ how an experiment's scripts configure it through pos'
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
+
 
 from repro.core.errors import TopologyError
 from repro.netsim.engine import Simulator

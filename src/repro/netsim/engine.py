@@ -15,9 +15,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterator, Optional
+from typing import Any, Callable, Generator, Optional
+
 
 from repro.core.errors import SimulationError
+from repro.telemetry import context as _telemetry
 
 __all__ = ["Event", "Simulator", "Process", "PeriodicTimer"]
 
@@ -130,6 +132,11 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         processed_this_run = 0
+        # One collector lookup per run() call, never per event: the
+        # engine self-reports its event count and extent, so callers in
+        # the measurement hot loop pay no per-packet telemetry cost.
+        collector = _telemetry.current()
+        span = collector.begin("engine.run") if collector is not None else None
         try:
             while self._heap:
                 event = self._heap[0]
@@ -155,6 +162,10 @@ class Simulator:
                 self._now = until
         finally:
             self._running = False
+            if span is not None:
+                span.set(events=processed_this_run)
+                collector.count("engine.events", processed_this_run)
+                collector.finish(span)
         return self._now
 
     def process(self, generator: Generator[float, None, None]) -> "Process":

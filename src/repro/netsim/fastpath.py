@@ -60,6 +60,7 @@ from repro.netsim.link import CutThroughSwitchPort, DirectWire, OpticalL1Switch
 from repro.netsim.nic import Nic
 from repro.netsim.packet import wire_bits
 from repro.netsim.router import LinuxRouter
+from repro.telemetry import context as _telemetry
 
 __all__ = ["ChainSpec", "compile_chain", "run_batched", "enabled"]
 
@@ -159,7 +160,27 @@ def run_batched(moongen, job, chain: ChainSpec) -> None:
     run fully drained.  Called by ``MoonGen.start`` right after the job
     state was initialized; the job's finish event stays scheduled, so
     overlap detection and ``finished`` timing are unchanged.
+
+    Telemetry is strictly O(1) per batch — one counter, one span whose
+    wall-clock profile feeds the overhead benchmark — so the tight
+    replay loop itself carries zero instrumentation.
     """
+    collector = _telemetry.current()
+    if collector is None:
+        _replay_chain(moongen, job, chain)
+        return
+    collector.count("fastpath.batches")
+    span = collector.begin(
+        "fastpath.batch", rate_pps=job.rate_pps, frame_size=job.frame_size,
+    )
+    try:
+        with span.profile():
+            _replay_chain(moongen, job, chain)
+    finally:
+        collector.finish(span)
+
+
+def _replay_chain(moongen, job, chain: ChainSpec) -> None:
     deadline = moongen._deadline
     timestamping = job.timestamping
     sample_every = moongen.latency_sample_every

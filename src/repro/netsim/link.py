@@ -10,7 +10,6 @@ the switch-latency bench can compare them.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.core.errors import TopologyError
 from repro.netsim.engine import Simulator

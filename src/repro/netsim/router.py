@@ -18,7 +18,8 @@ measurements exhibit.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
+
 
 from repro.core.errors import SimulationError, TopologyError
 from repro.netsim.engine import Simulator

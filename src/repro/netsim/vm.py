@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Optional
+from typing import List
+
 
 from repro.netsim.engine import PeriodicTimer, Simulator
 from repro.netsim.packet import Packet

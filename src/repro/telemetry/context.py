@@ -1,0 +1,51 @@
+"""The ambient telemetry collector.
+
+Deep layers — the retry policy, the fault injector, the event engine,
+the batched fast path, the load generator — report spans and metrics
+without threading a collector through every signature: they look up the
+process-local *current* collector and no-op when none is active.  The
+controller (or a parallel worker) activates a run-scoped collector
+around each measurement run; the experiment plane may keep a
+workflow-scoped collector active underneath for setup-phase evidence.
+
+A plain stack of collectors per process is sufficient: the sequential
+controller and every pool worker are single-threaded, and workers are
+separate processes with their own module state.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.telemetry.spans import RunTelemetry
+
+__all__ = ["activate", "current", "deactivate", "run_collector"]
+
+_STACK: List[RunTelemetry] = []
+
+
+def current() -> Optional[RunTelemetry]:
+    """The innermost active collector, or None (the hot-path no-op)."""
+    return _STACK[-1] if _STACK else None
+
+
+def activate(collector: RunTelemetry) -> RunTelemetry:
+    _STACK.append(collector)
+    return collector
+
+
+def deactivate(collector: RunTelemetry) -> None:
+    if not _STACK or _STACK[-1] is not collector:
+        raise RuntimeError("telemetry collector stack is unbalanced")
+    _STACK.pop()
+
+
+@contextmanager
+def run_collector(collector: RunTelemetry) -> Iterator[RunTelemetry]:
+    """Activate ``collector`` for the duration of a block."""
+    activate(collector)
+    try:
+        yield collector
+    finally:
+        deactivate(collector)

@@ -1,0 +1,170 @@
+"""Render per-run provenance from the published artifacts alone.
+
+``pos report <experiment folder>`` needs no controller, no journal
+replay machinery and no live testbed: everything it prints is
+reconstructed from the files an execution left behind — the run journal
+(``journal.jsonl``), the per-run telemetry snapshots
+(``run-NNN/telemetry.json``) and the experiment-wide aggregate
+(``telemetry.json``).  That is the artifact-first contract of the
+telemetry plane: a reader of a published result folder can retrace how
+the toolchain behaved (attempts, faults, recovery, engine events,
+which netsim path ran) without ever having run the experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import PosError
+
+__all__ = ["load_report", "render_report"]
+
+
+class ReportError(PosError):
+    """The folder does not carry the artifacts a report needs."""
+
+
+def _read_json(path: str) -> Optional[dict]:
+    if not os.path.isfile(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _read_journal(experiment_path: str) -> List[dict]:
+    path = os.path.join(experiment_path, "journal.jsonl")
+    if not os.path.isfile(path):
+        raise ReportError(f"no journal.jsonl in {experiment_path}")
+    entries: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                break  # torn tail of a crashed execution
+            if isinstance(entry, dict):
+                entries.append(entry)
+    return entries
+
+
+def _latest_runs(entries: List[dict]) -> Dict[int, dict]:
+    latest: Dict[int, dict] = {}
+    for entry in entries:
+        if entry.get("event") == "run":
+            latest[int(entry["index"])] = entry
+    return latest
+
+
+def _run_row(index: int, entry: dict, experiment_path: str) -> Dict[str, Any]:
+    row: Dict[str, Any] = {
+        "run": index,
+        "loop": entry.get("loop", {}),
+        "ok": bool(entry.get("ok", False)),
+        "skipped": bool(entry.get("skipped", False)),
+        "retried": bool(entry.get("retried", False)),
+        "error": entry.get("error"),
+    }
+    snapshot = None
+    if entry.get("dir"):
+        snapshot = _read_json(
+            os.path.join(experiment_path, entry["dir"], "telemetry.json")
+        )
+    if snapshot is None:
+        return row
+    counters = snapshot.get("metrics", {}).get("counters", {})
+    row["attempts"] = sum(
+        1 for span in snapshot.get("spans", [])
+        if span.get("name") == "attempt"
+    )
+    row["faults"] = sum(
+        value for name, value in counters.items()
+        if name.startswith("faults.injected.")
+    )
+    row["engine_events"] = counters.get("engine.events", 0)
+    row["fastpath_batches"] = counters.get("fastpath.batches", 0)
+    row["latency_samples"] = counters.get("loadgen.latency_samples", 0)
+    row["recovered"] = counters.get("runs.recovered", 0) > 0
+    for span in snapshot.get("spans", []):
+        if span.get("name") == "loadgen.job":
+            row["path"] = span.get("attrs", {}).get("path")
+            break
+    for span in snapshot.get("spans", []):
+        if span.get("name") == "run":
+            row["duration_s"] = span.get("end", 0.0) - span.get("start", 0.0)
+            break
+    return row
+
+
+def load_report(experiment_path: str) -> Dict[str, Any]:
+    """Assemble the provenance report as plain data."""
+    entries = _read_journal(experiment_path)
+    header = entries[0] if entries else {}
+    runs = _latest_runs(entries)
+    rows = [
+        _run_row(index, runs[index], experiment_path)
+        for index in sorted(runs)
+    ]
+    return {
+        "experiment": header.get("name"),
+        "total_runs": header.get("total_runs"),
+        "complete": any(entry.get("event") == "complete" for entry in entries),
+        "runs": rows,
+        "telemetry": _read_json(
+            os.path.join(experiment_path, "telemetry.json")
+        ),
+    }
+
+
+def _loop_text(loop: Dict[str, Any]) -> str:
+    return " ".join(f"{key}={loop[key]}" for key in sorted(loop))
+
+
+def render_report(experiment_path: str) -> str:
+    """Render the per-run provenance table as text."""
+    report = load_report(experiment_path)
+    lines: List[str] = []
+    lines.append(f"experiment: {report['experiment']}")
+    state = "complete" if report["complete"] else "INCOMPLETE (resumable)"
+    lines.append(
+        f"runs: {len(report['runs'])}/{report['total_runs']} journalled, "
+        f"execution {state}"
+    )
+    lines.append("")
+    header = (
+        f"{'run':>4} {'status':<9} {'att':>3} {'faults':>6} "
+        f"{'events':>8} {'batches':>7} {'lat.smp':>7} {'path':<6} loop"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in report["runs"]:
+        if row["skipped"]:
+            status = "skipped"
+        elif not row["ok"]:
+            status = "FAILED"
+        elif row.get("recovered") or row["retried"]:
+            status = "recovered"
+        else:
+            status = "ok"
+        lines.append(
+            f"{row['run']:>4} {status:<9} {row.get('attempts', '-'):>3} "
+            f"{row.get('faults', '-'):>6} {row.get('engine_events', '-'):>8} "
+            f"{row.get('fastpath_batches', '-'):>7} "
+            f"{row.get('latency_samples', '-'):>7} "
+            f"{row.get('path') or '-':<6} {_loop_text(row['loop'])}"
+        )
+    telemetry = report.get("telemetry")
+    if telemetry:
+        lines.append("")
+        lines.append("experiment-wide counters:")
+        counters = telemetry.get("metrics", {}).get("counters", {})
+        for name in sorted(counters):
+            lines.append(f"  {name:<28} {counters[name]}")
+        gauges = telemetry.get("metrics", {}).get("gauges", {})
+        for name in sorted(gauges):
+            lines.append(f"  {name:<28} {gauges[name]:g}")
+    return "\n".join(lines) + "\n"

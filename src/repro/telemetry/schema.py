@@ -1,0 +1,175 @@
+"""Dependency-free validation of telemetry artifacts.
+
+The telemetry artifacts are a published interface: external tooling may
+parse ``trace.jsonl`` and ``telemetry.json`` long after the toolchain
+that wrote them is gone.  The interface is pinned by JSON schemas
+checked in under ``docs/schemas/`` and enforced in CI; this module
+implements the small subset of JSON Schema those files use (``type``,
+``required``, ``properties``, ``items``, ``enum``, ``minimum``,
+``additionalProperties``), so validation needs no third-party
+``jsonschema`` package.
+
+Run as a module to validate one experiment result folder::
+
+    python -m repro.telemetry.schema <experiment folder>
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, List
+
+__all__ = ["SchemaError", "validate", "validate_experiment", "schema_dir"]
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """An instance does not conform to its schema."""
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    expected = _TYPES[name]
+    if name in ("integer", "number") and isinstance(value, bool):
+        return False
+    return isinstance(value, expected)
+
+
+def validate(instance: Any, schema: dict, path: str = "$") -> None:
+    """Validate ``instance`` against the supported JSON Schema subset."""
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(_type_ok(instance, name) for name in names):
+            raise SchemaError(
+                f"{path}: expected {' or '.join(names)}, "
+                f"got {type(instance).__name__}"
+            )
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(
+            f"{path}: {instance!r} is not one of {schema['enum']!r}"
+        )
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool):
+        if instance < schema["minimum"]:
+            raise SchemaError(
+                f"{path}: {instance!r} is below minimum {schema['minimum']!r}"
+            )
+    if isinstance(instance, dict):
+        for name in schema.get("required", []):
+            if name not in instance:
+                raise SchemaError(f"{path}: missing required key {name!r}")
+        properties = schema.get("properties", {})
+        for name, value in instance.items():
+            if name in properties:
+                validate(value, properties[name], f"{path}.{name}")
+            elif schema.get("additionalProperties") is False:
+                raise SchemaError(f"{path}: unexpected key {name!r}")
+            elif isinstance(schema.get("additionalProperties"), dict):
+                validate(
+                    value, schema["additionalProperties"], f"{path}.{name}"
+                )
+    if isinstance(instance, list) and isinstance(schema.get("items"), dict):
+        for position, value in enumerate(instance):
+            validate(value, schema["items"], f"{path}[{position}]")
+
+
+def schema_dir() -> str:
+    """Location of the checked-in schema files (``docs/schemas/``)."""
+    return os.path.normpath(
+        os.path.join(
+            os.path.dirname(__file__), "..", "..", "..", "docs", "schemas"
+        )
+    )
+
+
+def _load_schema(name: str) -> dict:
+    with open(
+        os.path.join(schema_dir(), name), "r", encoding="utf-8"
+    ) as handle:
+        return json.load(handle)
+
+
+def validate_experiment(experiment_path: str) -> List[str]:
+    """Validate every telemetry artifact in one result folder.
+
+    Returns the list of validated files; raises :class:`SchemaError`
+    (with the file and JSON path) on the first violation.
+    """
+    validated: List[str] = []
+    trace_schema = _load_schema("trace.schema.json")
+    telemetry_schema = _load_schema("telemetry.schema.json")
+    run_schema = _load_schema("run-telemetry.schema.json")
+
+    trace_path = os.path.join(experiment_path, "trace.jsonl")
+    if os.path.isfile(trace_path):
+        with open(trace_path, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                try:
+                    record = json.loads(line)
+                except ValueError as exc:
+                    raise SchemaError(
+                        f"{trace_path}:{number}: not valid JSON: {exc}"
+                    ) from exc
+                try:
+                    validate(record, trace_schema)
+                except SchemaError as exc:
+                    raise SchemaError(f"{trace_path}:{number}: {exc}") from exc
+        validated.append(trace_path)
+
+    telemetry_path = os.path.join(experiment_path, "telemetry.json")
+    if os.path.isfile(telemetry_path):
+        with open(telemetry_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        try:
+            validate(payload, telemetry_schema)
+        except SchemaError as exc:
+            raise SchemaError(f"{telemetry_path}: {exc}") from exc
+        validated.append(telemetry_path)
+
+    for name in sorted(os.listdir(experiment_path)):
+        if not name.startswith("run-"):
+            continue
+        run_path = os.path.join(experiment_path, name, "telemetry.json")
+        if not os.path.isfile(run_path):
+            continue
+        with open(run_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        try:
+            validate(payload, run_schema)
+        except SchemaError as exc:
+            raise SchemaError(f"{run_path}: {exc}") from exc
+        validated.append(run_path)
+    return validated
+
+
+def _main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python -m repro.telemetry.schema <experiment folder>")
+        return 2
+    try:
+        validated = validate_experiment(argv[0])
+    except SchemaError as exc:
+        print(f"schema violation: {exc}")
+        return 1
+    if not validated:
+        print(f"no telemetry artifacts found in {argv[0]}")
+        return 1
+    for path in validated:
+        print(f"valid: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_main(sys.argv[1:]))

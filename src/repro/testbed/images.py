@@ -14,7 +14,8 @@ precisely which software it ran on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
 from typing import Dict, List, Optional
 
 from repro.core.errors import ImageError

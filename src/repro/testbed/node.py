@@ -21,7 +21,8 @@ alive on flaky BMCs and lossy management networks.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional
+from typing import Dict, Optional
+
 
 from repro.core.errors import (
     NodeError,

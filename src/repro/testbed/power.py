@@ -14,7 +14,6 @@ flaky variant is provided for failure-injection tests.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.errors import PowerError
 from repro.netsim.host import SimHost

@@ -32,7 +32,8 @@ from repro.netsim.router import LinuxRouter
 from repro.netsim.vm import Hypervisor, VirtualizedLinuxRouter
 from repro.testbed.images import ImageRegistry, default_registry
 from repro.testbed.node import Node
-from repro.testbed.power import IpmiController, PowerControl
+from repro.testbed.power import IpmiController
+
 from repro.testbed.topology import Topology
 from repro.testbed.transport import SshTransport
 

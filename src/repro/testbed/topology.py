@@ -11,7 +11,8 @@ as the kind of entity diagram shown in Fig. 1 of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
+
 
 from repro.core.errors import TopologyError
 from repro.netsim.engine import Simulator

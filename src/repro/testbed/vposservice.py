@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import itertools
 import os
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING, Dict, List
+
 
 from repro.core.errors import PosError
 

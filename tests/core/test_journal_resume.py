@@ -24,7 +24,6 @@ from repro.core.results import ResultStore
 from repro.core.scripts import CommandScript, PythonScript
 from repro.core.variables import Variables
 from repro.faults.injector import install_fault_plan
-from repro.faults.plan import FaultPlan, FaultSpec
 from repro.netsim.host import SimHost
 from repro.testbed.images import default_registry
 from repro.testbed.node import Node

@@ -23,7 +23,8 @@ from repro.evaluation.plots import (
     scene_to_svg,
     violin,
 )
-from repro.evaluation.plots.scene import Line, Polyline, Rect, Text
+from repro.evaluation.plots.scene import Polyline, Rect, Text
+
 
 
 class TestNiceTicks:

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.errors import EvaluationError
 from repro.evaluation.robustness import (
-    Cliff,
     find_cliffs,
     robustness_report,
     scan,

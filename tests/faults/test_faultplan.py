@@ -12,8 +12,6 @@ from repro.core.errors import (
 )
 from repro.faults.injector import (
     FaultInjector,
-    InjectedPowerControl,
-    InjectedTransport,
     install_fault_plan,
 )
 from repro.faults.plan import (

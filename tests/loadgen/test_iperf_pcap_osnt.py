@@ -19,7 +19,8 @@ from repro.loadgen.pcap import (
 )
 from repro.netsim.engine import Simulator
 from repro.netsim.link import DirectWire
-from repro.netsim.nic import HardwareNic, Nic, VirtioNic
+from repro.netsim.nic import HardwareNic, VirtioNic
+
 from repro.netsim.router import LinuxRouter
 
 

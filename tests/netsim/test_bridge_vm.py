@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import statistics
 
-import pytest
 
 from repro.netsim.bridge import LinuxBridge
 from repro.netsim.engine import Simulator

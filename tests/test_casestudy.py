@@ -12,8 +12,6 @@ import os
 import pytest
 
 from repro.casestudy import (
-    PACKET_SIZES,
-    POS_RATES,
     VPOS_RATES,
     build_case_study_experiment,
     build_environment,

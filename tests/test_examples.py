@@ -13,7 +13,6 @@ import os
 import subprocess
 import sys
 
-import pytest
 
 _EXAMPLES_DIR = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"

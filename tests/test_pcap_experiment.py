@@ -9,9 +9,7 @@ controller-driven measurement run.
 
 from __future__ import annotations
 
-import os
 
-import pytest
 
 from repro.core.allocation import Allocator
 from repro.core.calendar import Calendar
@@ -22,7 +20,6 @@ from repro.core.scripts import CommandScript, PythonScript
 from repro.core.variables import Variables
 from repro.evaluation.loader import load_experiment
 from repro.loadgen.pcap import PcapRecord, PcapReplayer, read_pcap, write_pcap
-from repro.testbed.images import default_registry
 from repro.testbed.scenarios import build_pos_pair
 from tests.conftest import boot_and_configure
 

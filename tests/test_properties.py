@@ -8,10 +8,8 @@ algebra, and determinism of the serializers.
 
 from __future__ import annotations
 
-import math
 import os
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

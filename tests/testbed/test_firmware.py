@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.testbed.firmware import (
-    NEUTRAL_SETTINGS,
     DellBiosAdapter,
     FirmwareError,
     FirmwareManager,

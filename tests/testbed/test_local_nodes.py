@@ -4,10 +4,8 @@ from __future__ import annotations
 
 import os
 
-import pytest
 
 from repro.testbed.local import (
-    SandboxPowerControl,
     local_image_registry,
     make_local_node,
 )
