@@ -134,6 +134,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also validate the telemetry artifacts against "
                              "the checked-in JSON schemas")
 
+    status = sub.add_parser(
+        "status",
+        help="one-shot progress and node-health view of an experiment "
+             "folder, reconstructed from the flushed artifacts alone",
+    )
+    status.add_argument("results", help="one experiment's timestamp folder")
+
+    watch = sub.add_parser(
+        "watch",
+        help="follow an experiment folder while it executes (read-only; "
+             "safe to run next to a parallel --jobs N execution)",
+    )
+    watch.add_argument("results", help="one experiment's timestamp folder")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between updates (default 2)")
+    watch.add_argument("--max-updates", type=int, default=None,
+                       help="stop after N renders even if incomplete")
+
     sub.add_parser("compare", help="print the testbed comparison (Table 1)")
 
     check = sub.add_parser(
@@ -316,6 +334,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.telemetry.live import render_status
+
+    print(render_status(args.results), end="")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.telemetry.live import watch
+
+    return watch(
+        args.results,
+        interval_s=args.interval,
+        max_updates=args.max_updates,
+    )
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     print(format_table(), end="")
     return 0
@@ -342,6 +377,8 @@ _COMMANDS = {
     "images": _cmd_images,
     "topology": _cmd_topology,
     "report": _cmd_report,
+    "status": _cmd_status,
+    "watch": _cmd_watch,
     "compare": _cmd_compare,
     "check-replication": _cmd_check_replication,
 }

@@ -486,7 +486,10 @@ class Controller:
                 # The run's telemetry snapshot must be durable before the
                 # journal promises the run: an adopted run on resume
                 # replays its spans and metrics from this file.
-                log.merge_run(index, outcome.telemetry, run_dir.path)
+                log.merge_run(
+                    index, outcome.telemetry, run_dir.path,
+                    health=outcome.health,
+                )
             if journal is not None:
                 journal.record_run(
                     index, loop_instance, ok=record.ok,

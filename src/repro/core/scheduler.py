@@ -57,6 +57,7 @@ from repro.faults.retry import RetryPolicy
 from repro.telemetry import context as _telemetry_context
 from repro.telemetry import plane as _telemetry_plane
 from repro.telemetry.spans import RunTelemetry
+from repro.testbed import health as _health
 
 __all__ = [
     "POS_TOOLS_PATH",
@@ -121,7 +122,11 @@ class RunOutcome:
     ``telemetry`` is the run's span/metric buffer
     (:meth:`repro.telemetry.spans.RunTelemetry.payload`): local sequence
     numbers starting at 0, so the parent can re-sequence buffers in run
-    order no matter which worker produced them.
+    order no matter which worker produced them.  ``health`` is the
+    run's out-of-band node-health payload
+    (:meth:`repro.testbed.health.HealthMonitor.collect_run`): SEL
+    slices with run-local record ids, so the payload is identical no
+    matter which worker's cumulative BMC state produced it.
     """
 
     index: int
@@ -129,6 +134,7 @@ class RunOutcome:
     attempts: List[AttemptResult]
     fault_events: List[Any] = field(default_factory=list)
     telemetry: Optional[dict] = None
+    health: Optional[dict] = None
 
 
 @dataclass
@@ -415,6 +421,36 @@ def _run_telemetry(extra: dict) -> Optional[RunTelemetry]:
     return RunTelemetry(clock=clock)
 
 
+def _health_monitor(
+    experiment: Experiment, node_of: Callable[[str], Any],
+) -> Optional[_health.HealthMonitor]:
+    """A per-run health monitor over the experiment's nodes, if enabled.
+
+    Created *after* the run-isolation hook: construction captures each
+    node's SEL baseline, so only records appended during this run land
+    in its slice.
+    """
+    if not _health.health_enabled():
+        return None
+    return _health.HealthMonitor.for_experiment(experiment, node_of)
+
+
+def _record_health(collector: RunTelemetry, payload: dict) -> None:
+    """Feed one run's health payload into the telemetry collector."""
+    for name in sorted(payload.get("nodes", {})):
+        entry = payload["nodes"][name]
+        collector.count(f"health.observation.{entry['observation']}")
+        for record in entry.get("sel", []):
+            collector.count("health.sel_records")
+            collector.event(
+                "health.sel",
+                node=name,
+                sensor=record["sensor"],
+                severity=record["severity"],
+                event=record["event"],
+            )
+
+
 def _drop_snapshot(setup) -> Tuple[int, int]:
     """Cumulative (TX-ring drops, router-backlog drops) of the testbed."""
     ring = 0
@@ -480,6 +516,11 @@ def execute_run(
     if isolation is not None:
         isolation(index)
     collector = _run_telemetry(extra)
+    # The monitor snapshots SEL baselines now — after isolation, before
+    # any fault can fire — so this run's health slice contains exactly
+    # the chassis events this run caused.
+    monitor = _health_monitor(experiment, node_of)
+    health_payload: Optional[dict] = None
     events_before = len(injector.events) if injector is not None else 0
     if injector is not None:
         injector.begin_run(index)
@@ -521,6 +562,11 @@ def execute_run(
     finally:
         if injector is not None:
             injector.end_run()
+        if monitor is not None:
+            health_payload = monitor.collect_run(index)
+            if collector is not None:
+                # SEL records become spans/metrics inside the run span.
+                _record_health(collector, health_payload)
         if collector is not None:
             ring_after, backlog_after = _drop_snapshot(setup)
             collector.count("netsim.tx_ring_drops", ring_after - drops_before[0])
@@ -550,6 +596,7 @@ def execute_run(
         attempts=attempts,
         fault_events=events,
         telemetry=collector.payload() if collector is not None else None,
+        health=health_payload,
     )
 
 
@@ -707,7 +754,10 @@ class ParallelScheduler:
                 # and snapshot it, before the journal promises the run.
                 merge_telemetry = getattr(log, "merge_run", None)
                 if merge_telemetry is not None:
-                    merge_telemetry(index, outcome.telemetry, run_dir.path)
+                    merge_telemetry(
+                        index, outcome.telemetry, run_dir.path,
+                        health=outcome.health,
+                    )
                 if injector is not None:
                     injector.events.extend(outcome.fault_events)
                 if journal is not None:

@@ -113,9 +113,26 @@ class InjectedPowerControl(PowerControl):
     def power_cycles(self) -> int:  # type: ignore[override]
         return self._inner.power_cycles
 
+    @property
+    def sel(self):  # type: ignore[override]
+        # The System Event Log lives on the wrapped BMC, so health
+        # monitoring sees injected faults and real chassis events alike.
+        return self._inner.sel
+
+    def record_event(self, sensor, event, severity="info") -> None:
+        self._inner.record_event(sensor, event, severity)
+
+    def read_sensors(self):
+        return self._inner.read_sensors()
+
     def _maybe_fail(self, operation: str) -> None:
         spec = self._injector.fire("power", operation, self._node)
         if spec is not None:
+            self._inner.record_event(
+                "power",
+                f"injected power failure during {operation}",
+                "critical",
+            )
             raise PowerError(
                 _fault_message(
                     spec,

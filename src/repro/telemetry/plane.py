@@ -117,8 +117,18 @@ class ExperimentTelemetry:
     """Spans, metrics and the legacy log for one experiment execution."""
 
     def __init__(self, experiment_path: str, resumed: bool = False):
+        # Imported lazily: the testbed package must stay importable
+        # without triggering the telemetry package (and vice versa).
+        from repro.testbed.health import ExperimentHealth, health_enabled
+
         self.path = experiment_path
         self.enabled = enabled()
+        #: The experiment-level health fold (``health.json``); carried
+        #: by the telemetry plane so merge/adopt/finalize stay a single
+        #: call site, but gated independently (``POS_HEALTH=0``).
+        self.health = (
+            ExperimentHealth(experiment_path) if health_enabled() else None
+        )
         self._log = _WorkflowLog(experiment_path, append=resumed)
         self._trace = None
         self._wall = None
@@ -179,14 +189,19 @@ class ExperimentTelemetry:
 
     def merge_run(
         self, index: int, payload: Optional[dict], run_dir_path: Optional[str],
+        health: Optional[dict] = None,
     ) -> None:
         """Merge one executed run's buffer, in run order.
 
         Assigns global sequence numbers to the buffer's local ones,
         parents the run's root spans under the innermost live workflow
         span (the measurement phase), snapshots the buffer into
-        ``run-NNN/telemetry.json``, and aggregates the metrics.
+        ``run-NNN/telemetry.json``, and aggregates the metrics.  The
+        run's health payload (if any) is snapshotted and folded the
+        same way (``run-NNN/health.json``).
         """
+        if self.health is not None:
+            self.health.merge_run(index, health, run_dir_path)
         if not self.enabled or payload is None:
             return
         if run_dir_path is not None:
@@ -209,6 +224,8 @@ class ExperimentTelemetry:
         The snapshot file is left byte-untouched; only the trace and the
         aggregate are fed, exactly as if the run had executed here.
         """
+        if self.health is not None:
+            self.health.adopt_run(index, run_dir_path)
         if not self.enabled:
             return
         snapshot_path = os.path.join(run_dir_path, RUN_TELEMETRY_NAME)
@@ -248,7 +265,10 @@ class ExperimentTelemetry:
         journal_entries: Optional[int] = None,
         extra_gauges: Optional[Dict[str, float]] = None,
     ) -> None:
-        """Write the experiment-wide ``telemetry.json`` aggregate."""
+        """Write the experiment-wide ``telemetry.json`` aggregate
+        (and, when the health plane is on, ``health.json``)."""
+        if self.health is not None:
+            self.health.finalize(experiment)
         if not self.enabled:
             return
         for name, value in sorted(runs.items()):

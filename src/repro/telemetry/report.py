@@ -34,9 +34,14 @@ def _read_json(path: str) -> Optional[dict]:
 
 
 def _read_journal(experiment_path: str) -> List[dict]:
+    if not os.path.isdir(experiment_path):
+        raise ReportError(f"no such experiment directory: {experiment_path}")
     path = os.path.join(experiment_path, "journal.jsonl")
     if not os.path.isfile(path):
-        raise ReportError(f"no journal.jsonl in {experiment_path}")
+        raise ReportError(
+            f"no journal.jsonl in {experiment_path} "
+            f"(not an experiment result folder?)"
+        )
     entries: List[dict] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
@@ -101,10 +106,32 @@ def _run_row(index: int, entry: dict, experiment_path: str) -> Dict[str, Any]:
 
 
 def load_report(experiment_path: str) -> Dict[str, Any]:
-    """Assemble the provenance report as plain data."""
+    """Assemble the provenance report as plain data.
+
+    Raises :class:`ReportError` with a one-line diagnostic for every
+    malformed-folder shape — missing directory, missing or empty
+    journal, a journal without the experiment header, or a journal
+    that records no measurement runs — so ``pos report`` fails with
+    an actionable message instead of a traceback.
+    """
     entries = _read_journal(experiment_path)
-    header = entries[0] if entries else {}
+    if not entries or entries[0].get("event") != "experiment":
+        raise ReportError(
+            f"journal.jsonl in {experiment_path} has no experiment header "
+            f"(truncated or not written by this toolchain)"
+        )
+    header = entries[0]
+    if "name" not in header:
+        raise ReportError(
+            f"experiment header in {experiment_path}/journal.jsonl "
+            f"carries no experiment name"
+        )
     runs = _latest_runs(entries)
+    if not runs:
+        raise ReportError(
+            f"no measurement runs journalled in {experiment_path} "
+            f"(execution crashed before the first run?)"
+        )
     rows = [
         _run_row(index, runs[index], experiment_path)
         for index in sorted(runs)

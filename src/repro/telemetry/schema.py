@@ -109,6 +109,8 @@ def validate_experiment(experiment_path: str) -> List[str]:
     trace_schema = _load_schema("trace.schema.json")
     telemetry_schema = _load_schema("telemetry.schema.json")
     run_schema = _load_schema("run-telemetry.schema.json")
+    health_schema = _load_schema("health.schema.json")
+    run_health_schema = _load_schema("run-health.schema.json")
 
     trace_path = os.path.join(experiment_path, "trace.jsonl")
     if os.path.isfile(trace_path):
@@ -136,19 +138,37 @@ def validate_experiment(experiment_path: str) -> List[str]:
             raise SchemaError(f"{telemetry_path}: {exc}") from exc
         validated.append(telemetry_path)
 
+    health_path = os.path.join(experiment_path, "health.json")
+    if os.path.isfile(health_path):
+        with open(health_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        try:
+            validate(payload, health_schema)
+        except SchemaError as exc:
+            raise SchemaError(f"{health_path}: {exc}") from exc
+        validated.append(health_path)
+
     for name in sorted(os.listdir(experiment_path)):
         if not name.startswith("run-"):
             continue
         run_path = os.path.join(experiment_path, name, "telemetry.json")
-        if not os.path.isfile(run_path):
-            continue
-        with open(run_path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-        try:
-            validate(payload, run_schema)
-        except SchemaError as exc:
-            raise SchemaError(f"{run_path}: {exc}") from exc
-        validated.append(run_path)
+        if os.path.isfile(run_path):
+            with open(run_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            try:
+                validate(payload, run_schema)
+            except SchemaError as exc:
+                raise SchemaError(f"{run_path}: {exc}") from exc
+            validated.append(run_path)
+        run_health_path = os.path.join(experiment_path, name, "health.json")
+        if os.path.isfile(run_health_path):
+            with open(run_health_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            try:
+                validate(payload, run_health_schema)
+            except SchemaError as exc:
+                raise SchemaError(f"{run_health_path}: {exc}") from exc
+            validated.append(run_health_path)
     return validated
 
 

@@ -1,6 +1,12 @@
 """Testbed substrate: nodes, power control, transports, images,
 topology, and the canonical pos/vpos scenario builders."""
 
+from repro.testbed.health import (
+    ExperimentHealth,
+    HealthMonitor,
+    HealthStateMachine,
+    health_enabled,
+)
 from repro.testbed.images import ImageRegistry, ImageSpec, default_registry
 from repro.testbed.node import Node, NodeState
 from repro.testbed.power import (
@@ -29,6 +35,10 @@ from repro.testbed.transport import (
 )
 
 __all__ = [
+    "ExperimentHealth",
+    "HealthMonitor",
+    "HealthStateMachine",
+    "health_enabled",
     "ImageRegistry",
     "ImageSpec",
     "default_registry",

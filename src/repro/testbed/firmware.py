@@ -165,9 +165,17 @@ class FirmwareManager:
 
     def __init__(self) -> None:
         self._adapters: Dict[str, BiosAdapter] = {}
+        self._power: Dict[str, object] = {}
 
-    def register(self, node_name: str, adapter: BiosAdapter) -> None:
+    def register(
+        self, node_name: str, adapter: BiosAdapter, power=None
+    ) -> None:
+        """Attach a vendor adapter (and optionally the node's power
+        controller, so firmware changes land in its System Event Log —
+        NVRAM writes are chassis events a BMC records)."""
         self._adapters[node_name] = adapter
+        if power is not None:
+            self._power[node_name] = power
 
     def adapter_for(self, node_name: str) -> Optional[BiosAdapter]:
         return self._adapters.get(node_name)
@@ -210,6 +218,14 @@ class FirmwareManager:
                     neutral_value
                 )
                 report.commands.append(f"{node_name}: {command}")
+                record_event = getattr(
+                    self._power.get(node_name), "record_event", None
+                )
+                if record_event is not None:
+                    record_event(
+                        "firmware",
+                        f"BIOS setting {neutral_name} -> {neutral_value}",
+                    )
         return report
 
     def inventory(self) -> Dict[str, Dict[str, str]]:

@@ -146,6 +146,12 @@ class Node:
                 kernel_version=self.image.kernel,
                 boot_parameters=self.boot_parameters,
             )
+        record_event = getattr(self.power, "record_event", None)
+        if record_event is not None:
+            record_event(
+                "boot",
+                f"live image {self.image.name}@{self.image.version} booted",
+            )
         self.reset_count += 1
         if self.transport is not None:
             try:

@@ -7,6 +7,15 @@ these interfaces work *out of band*: they recover a host whose OS has
 wedged, because they talk to the baseboard controller or the power
 rail, not to the OS.
 
+The same property makes them the observability path of last resort:
+every controller carries a small baseboard-management surface — IPMI-
+style environment sensors (:meth:`PowerControl.read_sensors`) and a
+System Event Log (:attr:`PowerControl.sel`) — that keeps answering
+while the OS is wedged.  Both are *pure functions of observable
+chassis state* (powered / wedged / core count), never of execution
+history, so health artifacts derived from them stay byte-identical
+under any ``--jobs N`` partition.
+
 All controllers implement the :class:`PowerControl` protocol; the node
 layer is indifferent to which one a device uses (R1).  A deliberately
 flaky variant is provided for failure-injection tests.
@@ -14,6 +23,7 @@ flaky variant is provided for failure-injection tests.
 
 from __future__ import annotations
 
+from typing import Dict, List
 
 from repro.core.errors import PowerError
 from repro.netsim.host import SimHost
@@ -25,7 +35,27 @@ __all__ = [
     "AmdProController",
     "SwitchablePowerPlug",
     "FlakyPowerControl",
+    "AMBIENT_TEMP_C",
+    "TEMP_CRITICAL_C",
 ]
+
+#: Sensor model of the simulated baseboard controller.  Readings depend
+#: only on chassis power, wedge state and the core count, so any two
+#: observations of the same chassis state are bit-identical.
+AMBIENT_TEMP_C = 21.0
+BASE_TEMP_C = 38.0
+TEMP_PER_CORE_C = 0.5
+WEDGE_TEMP_DELTA_C = 45.0
+STANDBY_POWER_W = 8.0
+BASE_POWER_W = 95.0
+POWER_PER_CORE_W = 9.0
+WEDGE_POWER_DELTA_W = 60.0
+NOMINAL_FAN_RPM = 5400
+MAX_FAN_RPM = 9800
+
+#: Above this temperature the BMC logs a critical SEL record — the
+#: out-of-band signature of a wedged (busy-spinning) OS.
+TEMP_CRITICAL_C = 70.0
 
 
 class PowerControl:
@@ -40,16 +70,29 @@ class PowerControl:
     def __init__(self, host: SimHost):
         self._host = host
         self.power_cycles = 0
+        #: System Event Log: append-only BMC records
+        #: (``{"sensor", "event", "severity"}``), one per chassis event.
+        self.sel: List[Dict[str, str]] = []
+
+    def record_event(
+        self, sensor: str, event: str, severity: str = "info"
+    ) -> None:
+        """Append one SEL record (sensor, event text, severity)."""
+        self.sel.append(
+            {"sensor": sensor, "event": event, "severity": severity}
+        )
 
     def power_on(self) -> None:
         """Apply power.  The node layer performs the actual image boot."""
         self._host.wedged = False
         self._host.booted = True
+        self.record_event("chassis", "chassis power on")
 
     def power_off(self) -> None:
         """Cut power.  Works regardless of OS state — this is the R3 path."""
         self._host.shutdown()
         self._host.wedged = False
+        self.record_event("chassis", "chassis power off")
 
     def power_cycle(self) -> None:
         """Hard reset: off, then on."""
@@ -62,6 +105,36 @@ class PowerControl:
         if not self.supports_status:
             raise PowerError(f"{self.protocol}: status query not supported")
         return "on" if self._host.booted else "off"
+
+    def read_sensors(self) -> Dict[str, float]:
+        """IPMI-style environment sensors, read through the BMC.
+
+        Works while the OS is wedged — the sensors talk to the chassis,
+        not to the kernel.  Deterministic: a pure function of power
+        state, wedge state, and core count.
+        """
+        booted = bool(getattr(self._host, "booted", False))
+        wedged = bool(getattr(self._host, "wedged", False))
+        cores = int(getattr(self._host, "cores", 8) or 8)
+        if not booted:
+            return {
+                "fan_rpm": 0,
+                "power_w": STANDBY_POWER_W,
+                "temperature_c": AMBIENT_TEMP_C,
+            }
+        temperature = BASE_TEMP_C + TEMP_PER_CORE_C * cores
+        power = BASE_POWER_W + POWER_PER_CORE_W * cores
+        fan = NOMINAL_FAN_RPM
+        if wedged:
+            # A wedged OS busy-spins: hot, hungry, fans pinned.
+            temperature += WEDGE_TEMP_DELTA_C
+            power += WEDGE_POWER_DELTA_W
+            fan = MAX_FAN_RPM
+        return {
+            "fan_rpm": fan,
+            "power_w": round(power, 1),
+            "temperature_c": round(temperature, 1),
+        }
 
     def describe(self) -> dict:
         return {"protocol": self.protocol, "supports_status": self.supports_status}
@@ -133,6 +206,9 @@ class FlakyPowerControl(PowerControl):
 
     def _maybe_fail(self, operation: str) -> None:
         if self._injector.fire("power", operation, None) is not None:
+            self.record_event(
+                "power", f"transient BMC failure during {operation}", "warning"
+            )
             raise PowerError(f"{self.protocol}: transient failure during {operation}")
 
     def power_on(self) -> None:

@@ -116,14 +116,40 @@ class VposService:
         return instance.environment
 
     def destroy_instance(self, instance_id: str) -> None:
-        """Tear an instance down; its hypervisor stops scheduling."""
+        """Tear an instance down; its hypervisor stops scheduling.
+
+        The nodes are powered off through their out-of-band interface
+        — the teardown is visible in each BMC's System Event Log, like
+        any other chassis lifecycle event.
+        """
         instance = self._get(instance_id)
         if instance.destroyed:
             raise VposServiceError(f"instance {instance_id} already destroyed")
         if instance.environment.setup.hypervisor is not None:
             instance.environment.setup.hypervisor.stop()
+        for name in sorted(instance.environment.setup.nodes):
+            node = instance.environment.setup.nodes[name]
+            if node.power is not None:
+                node.power.power_off()
+                record_event = getattr(node.power, "record_event", None)
+                if record_event is not None:
+                    record_event(
+                        "chassis", f"vpos instance {instance_id} destroyed"
+                    )
         instance.destroyed = True
         instance.booted = False
+
+    def health(self, instance_id: str) -> dict:
+        """Live out-of-band health view of one instance's nodes.
+
+        Polls sensors and chassis state through the power plane — the
+        web service's per-instance monitoring endpoint works even when
+        a guest OS inside the instance is wedged.
+        """
+        from repro.testbed.health import HealthMonitor
+
+        instance = self._get(instance_id)
+        return HealthMonitor(instance.environment.setup.nodes).sample()
 
     # -- queries ---------------------------------------------------------------
 

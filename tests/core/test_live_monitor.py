@@ -1,0 +1,179 @@
+"""Live monitor: ``pos status``/``pos watch`` from artifacts alone.
+
+The monitor is a read-only tailer of the files the controller flushes
+as it executes — the journal, the per-run telemetry/health snapshots,
+and the trace.  It must work concurrently with a parallel execution:
+reading mid-experiment never observes a torn record, only a shorter
+(but internally consistent) prefix of the final artifacts.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.casestudy import run_case_study
+from repro.telemetry.live import (
+    StatusError,
+    load_health_timeline,
+    load_status,
+    render_status,
+    watch,
+)
+
+CLOCK = lambda: 1_600_000_000.0  # noqa: E731 - fixed clock => fixed tree paths
+
+SWEEP = dict(
+    rates=[200_000, 400_000],
+    sizes=(64, 1500),
+    duration_s=0.05,
+    interval_s=0.02,
+    clock=CLOCK,
+)
+
+
+@pytest.fixture(scope="module")
+def result_dir(tmp_path_factory):
+    root = tmp_path_factory.mktemp("live")
+    handle = run_case_study("pos", str(root), jobs=1, **SWEEP)
+    assert handle.completed_runs == 4
+    return handle.result_path
+
+
+class TestStatus:
+    def test_complete_experiment(self, result_dir):
+        status = load_status(result_dir)
+        assert status["experiment"] == "linux-router-forwarding-pos"
+        assert status["phase"] == "complete"
+        assert status["done"] == status["total_runs"] == 4
+        assert status["ok"] == 4 and status["failed"] == 0
+        assert status["faults"] == 0
+        assert status["eta_s"] is None  # nothing left to extrapolate
+        nodes = status["health"]["nodes"]
+        assert set(nodes) == {"riga", "tartu"}
+        assert all(node["state"] == "healthy" for node in nodes.values())
+
+    def test_render_is_one_screenful(self, result_dir):
+        text = render_status(result_dir)
+        assert "experiment: linux-router-forwarding-pos" in text
+        assert "phase:      complete (4/4 runs journalled)" in text
+        assert "riga" in text and "tartu" in text
+        assert "eta:" not in text
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(StatusError, match="no such experiment"):
+            load_status(str(tmp_path / "nope"))
+
+    def test_missing_journal(self, tmp_path):
+        with pytest.raises(StatusError, match="journal.jsonl"):
+            load_status(str(tmp_path))
+
+    def test_header_only_journal_requires_runs(self, tmp_path):
+        with open(os.path.join(tmp_path, "journal.jsonl"), "w") as handle:
+            handle.write(json.dumps(
+                {"event": "experiment", "name": "x", "total_runs": 3}
+            ) + "\n")
+        with pytest.raises(StatusError, match="no measurement runs"):
+            load_status(str(tmp_path))
+        # watch mode tolerates the same folder: it is still in setup.
+        status = load_status(str(tmp_path), require_runs=False)
+        assert status["phase"] == "setup" and status["done"] == 0
+
+    def test_torn_journal_tail_is_dropped(self, result_dir, tmp_path):
+        clone = tmp_path / "torn"
+        clone.mkdir()
+        with open(os.path.join(result_dir, "journal.jsonl")) as handle:
+            journal = handle.read()
+        (clone / "journal.jsonl").write_text(
+            journal + '{"event": "run", "index": 9, "l'  # mid-write record
+        )
+        status = load_status(str(clone))
+        assert status["done"] == 4  # the torn record never surfaces
+
+
+class TestWatch:
+    def test_stops_on_completion(self, result_dir):
+        stream = io.StringIO()
+        assert watch(result_dir, stream=stream, max_updates=10) == 0
+        assert stream.getvalue().count("phase:      complete") == 1
+
+    def test_max_updates_bounds_an_unfinished_watch(self, tmp_path):
+        with open(os.path.join(tmp_path, "journal.jsonl"), "w") as handle:
+            handle.write(json.dumps(
+                {"event": "experiment", "name": "x", "total_runs": 3}
+            ) + "\n")
+        stream = io.StringIO()
+        naps = []
+        code = watch(
+            str(tmp_path), stream=stream, max_updates=3,
+            interval_s=0.5, sleep=naps.append,
+        )
+        assert code == 0
+        assert stream.getvalue().count("phase:      setup") == 3
+        assert naps == [0.5, 0.5]
+
+    def test_waits_for_journal_to_appear(self, tmp_path):
+        stream = io.StringIO()
+        assert watch(str(tmp_path), stream=stream, max_updates=1) == 0
+        assert "waiting:" in stream.getvalue()
+
+    def test_missing_directory_is_an_error(self, tmp_path):
+        with pytest.raises(StatusError):
+            watch(str(tmp_path / "nope"), stream=io.StringIO())
+
+
+class TestHealthTimeline:
+    def test_timeline_covers_every_run(self, result_dir):
+        timeline = load_health_timeline(result_dir)
+        assert timeline["nodes"] == ["riga", "tartu"]
+        assert [entry["run"] for entry in timeline["timeline"]] == [0, 1, 2, 3]
+        assert all(
+            entry["observations"]["riga"] == "healthy"
+            for entry in timeline["timeline"]
+        )
+        assert timeline["final"] == {"riga": "healthy", "tartu": "healthy"}
+
+
+class TestConcurrentReads:
+    def test_mid_experiment_reader_never_sees_a_torn_record(self, tmp_path):
+        """Tail every flushed artifact after each run of a jobs=2 run.
+
+        The progress callback fires in the parent while workers are
+        still executing — exactly the moment an operator's ``pos
+        status`` would race the scheduler.  Every line of the journal
+        and the trace must parse, and ``load_status`` must return a
+        consistent prefix.
+        """
+        observed = []
+
+        def tail_everything(done, total):
+            roots = [
+                dirpath for dirpath, _, names in os.walk(str(tmp_path))
+                if "journal.jsonl" in names
+            ]
+            if not roots:
+                return
+            root = roots[0]
+            for name in ("journal.jsonl", "trace.jsonl"):
+                path = os.path.join(root, name)
+                if not os.path.isfile(path):
+                    continue
+                with open(path) as handle:
+                    for line in handle:
+                        json.loads(line)  # no torn records, ever
+            status = load_status(root, require_runs=False)
+            assert 0 <= status["done"] <= status["total_runs"]
+            assert status["ok"] + status["failed"] + status["skipped"] \
+                == status["done"]
+            observed.append((done, status["done"]))
+
+        handle = run_case_study(
+            "pos", str(tmp_path), jobs=2, progress=tail_everything, **SWEEP
+        )
+        assert handle.completed_runs == 4
+        assert observed, "the mid-experiment reader must have run"
+        # The journal view never runs ahead of the scheduler's count.
+        assert all(seen <= done for done, seen in observed)

@@ -424,8 +424,10 @@ class TestReport:
 class TestSchemas:
     def test_all_artifacts_validate(self, result_dir):
         validated = validate_experiment(result_dir)
-        assert len(validated) == 6
+        # trace + aggregate telemetry/health + per-run telemetry/health
+        assert len(validated) == 11
         assert any(path.endswith("trace.jsonl") for path in validated)
+        assert any(path.endswith("health.json") for path in validated)
 
     def test_trace_violation_detected(self, tmp_path):
         with open(os.path.join(tmp_path, "trace.jsonl"), "w") as handle:

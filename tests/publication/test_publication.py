@@ -161,6 +161,24 @@ class TestPublish:
         report = publish(handle.result_path)
         assert report.figures  # throughput + latency figures generated
         assert verify_bundle(report.archive_path, handle.result_path)
+        # A real run carries telemetry, so the dashboard page joins the
+        # website and the index links to it.
+        assert sorted(os.path.basename(f) for f in report.website_files) == [
+            "README.md", "dashboard.html", "index.html",
+        ]
+        with open(os.path.join(handle.result_path, "dashboard.html")) as f:
+            dashboard = f.read()
+        assert "Per-run provenance" in dashboard
+        assert "<svg" in dashboard  # inline, self-contained charts
+        assert "Node health" in dashboard
+        with open(os.path.join(handle.result_path, "index.html")) as f:
+            assert "dashboard.html" in f.read()
+
+    def test_dashboard_omitted_without_telemetry(self, artifact_tree):
+        from repro.publication.website import generate_dashboard
+
+        # The miniature tree has no journal: no dashboard, no error.
+        assert generate_dashboard(str(artifact_tree)) is None
 
     def test_archive_path_default_next_to_folder(self, artifact_tree):
         report = publish(str(artifact_tree), make_plots=False)

@@ -101,6 +101,67 @@ class TestCommands:
         assert "runs completed: 1" in capsys.readouterr().out
 
 
+class TestStatusAndWatch:
+    @pytest.fixture(scope="class")
+    def result_path(self, tmp_path_factory, request):
+        root = str(tmp_path_factory.mktemp("status"))
+        handle = run_case_study(
+            "pos", root, rates=[1_000_000], sizes=(64,),
+            duration_s=0.02, interval_s=0.01,
+        )
+        return handle.result_path
+
+    def test_status_renders_progress_and_health(self, result_path, capsys):
+        assert main(["status", result_path]) == 0
+        output = capsys.readouterr().out
+        assert "phase:      complete (1/1 runs journalled)" in output
+        assert "riga" in output and "healthy" in output
+
+    def test_watch_stops_when_complete(self, result_path, capsys):
+        assert main(["watch", result_path, "--max-updates", "5"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("phase:      complete") == 1
+
+    def test_status_missing_dir_one_line_error(self, capsys):
+        assert main(["status", "/no/such/dir"]) == 1
+        err = capsys.readouterr().err
+        assert err == "pos: error: no such experiment directory: /no/such/dir\n"
+
+    def test_status_missing_journal_one_line_error(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("pos: error: no journal.jsonl")
+        assert len(err.splitlines()) == 1
+
+    def test_status_zero_run_journal_one_line_error(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "journal.jsonl").write_text(json.dumps(
+            {"event": "experiment", "name": "x", "total_runs": 3}
+        ) + "\n")
+        assert main(["status", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "no measurement runs" in err
+        assert len(err.splitlines()) == 1
+
+    def test_report_missing_dir_one_line_error(self, capsys):
+        assert main(["report", "--results", "/no/such/dir"]) == 1
+        err = capsys.readouterr().err
+        assert "no such experiment directory" in err
+        assert len(err.splitlines()) == 1
+
+    def test_report_zero_run_journal_one_line_error(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "journal.jsonl").write_text(json.dumps(
+            {"event": "experiment", "name": "x", "total_runs": 3}
+        ) + "\n")
+        assert main(["report", "--results", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "no measurement runs" in err
+        assert len(err.splitlines()) == 1
+
+
 class TestResilienceFlags:
     def test_on_error_choices(self):
         parser = build_parser()

@@ -1,0 +1,201 @@
+"""Out-of-band health plane: sensors, SEL, state machine, monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.injector import InjectedPowerControl
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.netsim.host import SimHost
+from repro.testbed.firmware import DellBiosAdapter, FirmwareManager
+from repro.testbed.health import (
+    DEGRADED,
+    HEALTHY,
+    UNMONITORED,
+    WEDGED,
+    HealthMonitor,
+    HealthStateMachine,
+    advance_state,
+)
+from repro.testbed.power import (
+    AMBIENT_TEMP_C,
+    STANDBY_POWER_W,
+    TEMP_CRITICAL_C,
+    FlakyPowerControl,
+    IpmiController,
+    SwitchablePowerPlug,
+)
+from repro.testbed.vposservice import VposService
+
+
+@pytest.fixture
+def host():
+    h = SimHost("tartu")
+    h.boot("debian-buster", "v1")
+    return h
+
+
+class FakeNode:
+    def __init__(self, power):
+        self.power = power
+
+
+class TestSensorsAndSel:
+    def test_sensors_are_pure_functions_of_chassis_state(self, host):
+        controller = IpmiController(host)
+        first = controller.read_sensors()
+        second = controller.read_sensors()
+        assert first == second
+        assert first["fan_rpm"] > 0
+        assert first["power_w"] > STANDBY_POWER_W
+        assert first["temperature_c"] < TEMP_CRITICAL_C
+
+    def test_powered_off_host_reads_standby(self, host):
+        controller = IpmiController(host)
+        controller.power_off()
+        sensors = controller.read_sensors()
+        assert sensors == {
+            "fan_rpm": 0,
+            "power_w": STANDBY_POWER_W,
+            "temperature_c": AMBIENT_TEMP_C,
+        }
+
+    def test_wedged_host_crosses_critical_temperature(self, host):
+        """R3: the BMC sees a dead OS that no transport can reach."""
+        controller = IpmiController(host)
+        healthy = controller.read_sensors()
+        host.wedge()
+        wedged = controller.read_sensors()
+        assert wedged["temperature_c"] >= TEMP_CRITICAL_C
+        assert wedged["power_w"] > healthy["power_w"]
+        assert wedged["fan_rpm"] > healthy["fan_rpm"]
+
+    def test_power_operations_append_chassis_sel_records(self, host):
+        controller = IpmiController(host)
+        assert controller.sel == []
+        controller.power_cycle()
+        assert [record["sensor"] for record in controller.sel] == \
+            ["chassis", "chassis"]
+        assert all(record["severity"] == "info" for record in controller.sel)
+
+    def test_flaky_controller_logs_warning_before_raising(self, host):
+        from repro.core.errors import PowerError
+
+        flaky = FlakyPowerControl(host, failures=1)
+        with pytest.raises(PowerError):
+            flaky.power_cycle()
+        assert flaky.sel[-1]["sensor"] == "power"
+        assert flaky.sel[-1]["severity"] == "warning"
+
+    def test_injected_power_control_delegates_bmc_surface(self, host):
+        from repro.core.errors import PowerError
+        from repro.faults.injector import FaultInjector
+
+        inner = IpmiController(host)
+        injector = FaultInjector(
+            FaultPlan([FaultSpec(kind="power", times=1)])
+        )
+        injector.begin_run(0)
+        wrapped = InjectedPowerControl(inner, injector, "tartu")
+        with pytest.raises(PowerError):
+            wrapped.power_cycle()
+        assert wrapped.sel is inner.sel
+        assert wrapped.sel[-1]["severity"] == "critical"
+        assert wrapped.read_sensors() == inner.read_sensors()
+
+    def test_firmware_changes_land_in_the_sel(self, host):
+        controller = IpmiController(host)
+        manager = FirmwareManager()
+        manager.register("tartu", DellBiosAdapter(), power=controller)
+        manager.apply_profile({"turbo_boost": "disabled"}, ["tartu"])
+        assert controller.sel[-1]["sensor"] == "firmware"
+        assert "turbo_boost" in controller.sel[-1]["event"]
+
+
+class TestStateMachine:
+    def test_worsening_jumps_immediately(self):
+        machine = HealthStateMachine()
+        assert machine.observe(WEDGED) == WEDGED
+
+    def test_recovery_steps_one_level_per_clean_run(self):
+        machine = HealthStateMachine(WEDGED)
+        assert machine.observe(HEALTHY) == DEGRADED
+        assert machine.observe(HEALTHY) == HEALTHY
+
+    def test_unmonitored_observation_and_restoration(self):
+        assert advance_state(HEALTHY, UNMONITORED) == UNMONITORED
+        assert advance_state(UNMONITORED, DEGRADED) == DEGRADED
+
+    def test_equal_observation_is_stable(self):
+        assert advance_state(DEGRADED, DEGRADED) == DEGRADED
+
+
+class TestHealthMonitor:
+    def test_sample_sees_wedged_host_out_of_band(self, host):
+        monitor = HealthMonitor({"tartu": FakeNode(IpmiController(host))})
+        assert monitor.sample()["tartu"]["observation"] == HEALTHY
+        host.wedge()
+        view = monitor.sample()["tartu"]
+        assert view["observation"] == WEDGED
+        assert view["chassis"] == "on"
+
+    def test_collect_run_slices_sel_against_baseline(self, host):
+        controller = IpmiController(host)
+        controller.record_event("boot", "pre-run noise")
+        monitor = HealthMonitor({"tartu": FakeNode(controller)})
+        controller.record_event("chassis", "chassis power off")
+        payload = monitor.collect_run(7)
+        entry = payload["nodes"]["tartu"]
+        assert payload["run"] == 7
+        # Only the in-run record is in the slice, renumbered from 0.
+        assert [record["id"] for record in entry["sel"]] == [0]
+        assert entry["sel"][0]["sensor"] == "chassis"
+        assert entry["observation"] == DEGRADED
+
+    def test_collect_run_logs_critical_temperature_threshold(self, host):
+        controller = IpmiController(host)
+        monitor = HealthMonitor({"tartu": FakeNode(controller)})
+        host.wedge()
+        entry = monitor.collect_run(0)["nodes"]["tartu"]
+        assert entry["observation"] == WEDGED
+        assert any(
+            record["sensor"] == "temperature"
+            and record["severity"] == "critical"
+            for record in entry["sel"]
+        )
+
+    def test_status_less_plug_inferred_from_power_draw(self, host):
+        plug = SwitchablePowerPlug(host)
+        monitor = HealthMonitor({"tartu": FakeNode(plug)})
+        assert monitor.collect_run(0)["nodes"]["tartu"]["chassis"] == "on"
+        plug.power_off()
+        monitor = HealthMonitor({"tartu": FakeNode(plug)})
+        entry = monitor.collect_run(0)["nodes"]["tartu"]
+        assert entry["chassis"] == "off"
+        assert entry["observation"] == WEDGED
+
+    def test_unmonitorable_power_is_recorded_as_such(self):
+        class BarePower:
+            pass
+
+        monitor = HealthMonitor({"x": FakeNode(BarePower())})
+        entry = monitor.collect_run(0)["nodes"]["x"]
+        assert entry == {"observation": UNMONITORED, "sel": []}
+        assert monitor.sample()["x"] == {"observation": UNMONITORED}
+
+
+class TestVposServiceHealth:
+    def test_instance_health_endpoint(self, tmp_path):
+        service = VposService(str(tmp_path))
+        instance = service.create_instance("alice")
+        view = service.health(instance.instance_id)
+        assert set(view) == {"vriga", "vtartu"}
+
+    def test_destroy_logs_chassis_teardown(self, tmp_path):
+        service = VposService(str(tmp_path))
+        instance = service.create_instance("alice")
+        env = service.connect(instance.instance_id)
+        service.destroy_instance(instance.instance_id)
+        for node in env.setup.nodes.values():
+            assert node.power.sel[-1]["sensor"] == "chassis"
+            assert "destroyed" in node.power.sel[-1]["event"]
