@@ -1,0 +1,106 @@
+"""Crash-safe campaign journal.
+
+Same mechanics as the per-experiment run journal (append-only JSON
+lines, flushed and fsynced per record, torn tails truncated on open),
+one level up: a header describing the campaign, then one record per
+*experiment* as it completes — appended strictly in admission decision
+order through the reorder buffer, so a crash at any instant leaves a
+prefix that resume understands and the journal bytes are identical for
+any ``--jobs N``.  Resume never writes markers into this file: after a
+crash+resume the journal is byte-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import JournalError
+from repro.core.journal import JOURNAL_NAME, JsonlJournal
+
+__all__ = ["CampaignJournal"]
+
+
+class CampaignJournal(JsonlJournal):
+    """Append-only, fsync'd record of finished campaign experiments."""
+
+    @classmethod
+    def create(cls, campaign_dir: str, campaign: str, total: int)\
+            -> "CampaignJournal":
+        """Start a fresh journal for a new campaign execution."""
+        journal = cls(os.path.join(campaign_dir, JOURNAL_NAME))
+        journal._open("w")
+        journal._append(
+            {"event": "campaign", "name": campaign, "total_experiments": total}
+        )
+        return journal
+
+    @classmethod
+    def open(cls, campaign_dir: str) -> "CampaignJournal":
+        """Load an existing campaign journal, keeping it appendable."""
+        path = os.path.join(campaign_dir, JOURNAL_NAME)
+        journal = cls._load(path)
+        if not journal.entries or journal.entries[0].get("event") != "campaign":
+            raise JournalError(f"journal {path} has no campaign header")
+        return journal
+
+    # -- writing -------------------------------------------------------------
+
+    def record_experiment(
+        self,
+        index: int,
+        name: str,
+        user: str,
+        ok: bool,
+        result_dir: Optional[str] = None,
+        runs_completed: int = 0,
+        runs_failed: int = 0,
+        error: Optional[str] = None,
+    ) -> None:
+        """Record one finished experiment durably."""
+        entry: Dict[str, Any] = {
+            "event": "experiment",
+            "index": index,
+            "name": name,
+            "user": user,
+            "ok": ok,
+            "runs_completed": runs_completed,
+            "runs_failed": runs_failed,
+        }
+        if result_dir is not None:
+            entry["dir"] = result_dir
+        if error is not None:
+            entry["error"] = error
+        self._append(entry)
+
+    # -- reading -------------------------------------------------------------
+
+    def experiment_entries(self) -> List[dict]:
+        return [
+            entry for entry in self.entries if entry.get("event") == "experiment"
+        ]
+
+    def completed(self) -> Dict[int, dict]:
+        """Latest journal entry per execution index that finished ok."""
+        latest: Dict[int, dict] = {}
+        for entry in self.experiment_entries():
+            latest[int(entry["index"])] = entry
+        return {
+            index: entry
+            for index, entry in latest.items()
+            if entry.get("ok", False)
+        }
+
+    def validate_against(self, campaign: str, total: int) -> None:
+        """Refuse to resume a journal written by a different campaign."""
+        header = self.header
+        if header.get("name") != campaign:
+            raise JournalError(
+                f"journal belongs to campaign {header.get('name')!r}, "
+                f"not {campaign!r}"
+            )
+        if header.get("total_experiments") != total:
+            raise JournalError(
+                f"journal expects {header.get('total_experiments')} "
+                f"experiments, the plan admits {total} — refusing to resume"
+            )

@@ -1,0 +1,239 @@
+"""Campaign specification: N experiments, one shared node pool.
+
+A campaign file is a YAML document (parsed by the built-in
+:mod:`repro.core.yamlite` subset) describing the pool and the submitted
+experiments::
+
+    name: winter-sweep
+    pool: [alpha, beta, gamma]
+    base_epoch: 1600000000
+    max_active_per_user: 2
+    experiments:
+      - name: router-sweep
+        user: alice
+        nodes: 2            # node count, or an explicit list of names
+        duration: 120       # virtual seconds booked on the calendar
+        priority: 10        # larger runs earlier; default 0
+        deadline: 600       # optional: latest allowed virtual end
+        rates: [100, 200]   # loop-variable values, one run per rate
+
+Everything that feeds admission is explicit and ordered, so the
+admission plan is a pure function of this file: the experiment's
+position in the list is its submit index, the deterministic tie-breaker
+after priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.core import yamlite
+from repro.core.errors import CampaignError
+
+__all__ = [
+    "DEFAULT_BASE_EPOCH",
+    "CampaignSpec",
+    "ExperimentSpec",
+    "load_campaign",
+    "load_campaign_file",
+]
+
+#: Virtual campaign epoch: all calendar time is relative to this, so the
+#: result-tree timestamps are a pure function of the spec.
+DEFAULT_BASE_EPOCH = 1_600_000_000.0
+
+
+@dataclass
+class ExperimentSpec:
+    """One submitted experiment: who wants what, for how long."""
+
+    name: str
+    user: str
+    nodes: Union[int, List[str]]
+    duration: float
+    submit_index: int = 0
+    priority: int = 0
+    deadline: Optional[float] = None
+    rates: List[int] = field(default_factory=lambda: [100, 200])
+
+    @property
+    def node_count(self) -> int:
+        return self.nodes if isinstance(self.nodes, int) else len(self.nodes)
+
+    def describe(self) -> dict:
+        info = {
+            "name": self.name,
+            "user": self.user,
+            "nodes": self.nodes,
+            "duration": self.duration,
+            "priority": self.priority,
+            "rates": list(self.rates),
+        }
+        if self.deadline is not None:
+            info["deadline"] = self.deadline
+        return info
+
+
+@dataclass
+class CampaignSpec:
+    """The whole campaign: pool, fairness policy, submitted experiments."""
+
+    name: str
+    pool: List[str]
+    experiments: List[ExperimentSpec]
+    base_epoch: float = DEFAULT_BASE_EPOCH
+    max_active_per_user: Optional[int] = None
+
+    def validate(self) -> None:
+        if not self.name:
+            raise CampaignError("campaign needs a name")
+        if not self.pool:
+            raise CampaignError("campaign needs a non-empty node pool")
+        if len(set(self.pool)) != len(self.pool):
+            raise CampaignError(f"duplicate nodes in pool: {self.pool}")
+        if not self.experiments:
+            raise CampaignError("campaign submits no experiments")
+        if self.max_active_per_user is not None and self.max_active_per_user < 1:
+            raise CampaignError("max_active_per_user must be at least 1")
+        pool = set(self.pool)
+        seen = set()
+        for spec in self.experiments:
+            if not spec.name:
+                raise CampaignError("every experiment needs a name")
+            if (spec.user, spec.name) in seen:
+                raise CampaignError(
+                    f"duplicate experiment {spec.name!r} for user {spec.user!r}"
+                )
+            seen.add((spec.user, spec.name))
+            if not spec.user:
+                raise CampaignError(f"experiment {spec.name!r} needs a user")
+            if spec.duration <= 0:
+                raise CampaignError(
+                    f"experiment {spec.name!r}: duration must be positive"
+                )
+            if spec.deadline is not None and spec.deadline < spec.duration:
+                raise CampaignError(
+                    f"experiment {spec.name!r}: deadline {spec.deadline} is "
+                    f"shorter than its duration {spec.duration}"
+                )
+            if not spec.rates:
+                raise CampaignError(f"experiment {spec.name!r}: empty rates")
+            if isinstance(spec.nodes, int):
+                if spec.nodes < 1:
+                    raise CampaignError(
+                        f"experiment {spec.name!r}: node count must be >= 1"
+                    )
+                if spec.nodes > len(self.pool):
+                    raise CampaignError(
+                        f"experiment {spec.name!r} wants {spec.nodes} nodes, "
+                        f"the pool has {len(self.pool)}"
+                    )
+            else:
+                if not spec.nodes:
+                    raise CampaignError(
+                        f"experiment {spec.name!r}: empty node list"
+                    )
+                if len(set(spec.nodes)) != len(spec.nodes):
+                    raise CampaignError(
+                        f"experiment {spec.name!r}: duplicate nodes {spec.nodes}"
+                    )
+                unknown = sorted(set(spec.nodes) - pool)
+                if unknown:
+                    raise CampaignError(
+                        f"experiment {spec.name!r} references nodes outside "
+                        f"the pool: {', '.join(unknown)}"
+                    )
+
+    def describe(self) -> dict:
+        info = {
+            "name": self.name,
+            "pool": list(self.pool),
+            "base_epoch": self.base_epoch,
+            "experiments": [spec.describe() for spec in self.experiments],
+        }
+        if self.max_active_per_user is not None:
+            info["max_active_per_user"] = self.max_active_per_user
+        return info
+
+
+def _as_float(value, what: str) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise CampaignError(f"{what} must be a number, got {value!r}") from None
+
+
+def _as_int(value, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise CampaignError(f"{what} must be an integer, got {value!r}")
+    return value
+
+
+def load_campaign(document) -> CampaignSpec:
+    """Build a validated :class:`CampaignSpec` from a parsed document."""
+    if not isinstance(document, dict):
+        raise CampaignError("campaign file must be a mapping at the top level")
+    raw_experiments = document.get("experiments")
+    if not isinstance(raw_experiments, list):
+        raise CampaignError("campaign file needs an 'experiments' list")
+    experiments: List[ExperimentSpec] = []
+    for position, raw in enumerate(raw_experiments):
+        if not isinstance(raw, dict):
+            raise CampaignError(f"experiment #{position} must be a mapping")
+        nodes = raw.get("nodes", 1)
+        if isinstance(nodes, list):
+            nodes = [str(node) for node in nodes]
+        else:
+            nodes = _as_int(nodes, f"experiment #{position}: nodes")
+        deadline = raw.get("deadline")
+        rates = raw.get("rates", [100, 200])
+        if not isinstance(rates, list):
+            raise CampaignError(f"experiment #{position}: rates must be a list")
+        experiments.append(
+            ExperimentSpec(
+                name=str(raw.get("name", "")),
+                user=str(raw.get("user", "")),
+                nodes=nodes,
+                duration=_as_float(
+                    raw.get("duration", 0), f"experiment #{position}: duration"
+                ),
+                submit_index=position,
+                priority=_as_int(
+                    raw.get("priority", 0), f"experiment #{position}: priority"
+                ),
+                deadline=(
+                    None if deadline is None
+                    else _as_float(deadline, f"experiment #{position}: deadline")
+                ),
+                rates=[
+                    _as_int(rate, f"experiment #{position}: rate") for rate in rates
+                ],
+            )
+        )
+    pool = document.get("pool")
+    if not isinstance(pool, list):
+        raise CampaignError("campaign file needs a 'pool' list of node names")
+    spec = CampaignSpec(
+        name=str(document.get("name", "")),
+        pool=[str(node) for node in pool],
+        experiments=experiments,
+        base_epoch=_as_float(
+            document.get("base_epoch", DEFAULT_BASE_EPOCH), "base_epoch"
+        ),
+        max_active_per_user=(
+            None if document.get("max_active_per_user") is None
+            else _as_int(document["max_active_per_user"], "max_active_per_user")
+        ),
+    )
+    spec.validate()
+    return spec
+
+
+def load_campaign_file(path: str) -> CampaignSpec:
+    """Parse and validate a campaign YAML file."""
+    try:
+        document = yamlite.load_file(path)
+    except OSError as exc:
+        raise CampaignError(f"cannot read campaign file {path}: {exc}") from exc
+    return load_campaign(document)

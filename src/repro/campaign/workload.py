@@ -1,0 +1,229 @@
+"""Campaign experiment workloads and their isolated worker worlds.
+
+Each admitted experiment executes in a *fresh* simulated world — its
+own hosts (named after the pool nodes the admission plan assigned),
+power controllers, transports, calendar, allocator and controller — so
+concurrent experiments share nothing but the parent's bookkeeping.
+Everything a worker needs crosses the process boundary as a plain dict
+(:func:`execution_request`), and :func:`run_placement` is module-level
+so it pickles by reference, exactly like the run-level scheduler's
+worker factories.
+
+Determinism: the world is a pure function of the request, the
+controller's result-store clock is pinned to the experiment's *virtual
+admission epoch* (base epoch + planned start), and the workload scripts
+are fixed commands over the spec's loop variable — so the artifact tree
+of an experiment depends only on the admission plan, never on which
+worker ran it or when.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import Dict, List, Optional
+
+from repro.campaign.admission import Placement
+from repro.core.allocation import Allocator
+from repro.core.calendar import Calendar
+from repro.core.controller import Controller
+from repro.core.errors import JournalError, PosError
+from repro.core.experiment import Experiment, Role
+from repro.core.journal import RunJournal
+from repro.core.results import ResultStore, format_timestamp
+from repro.core.scripts import CommandScript
+from repro.core.variables import Variables
+from repro.netsim.host import SimHost
+from repro.testbed.images import default_registry
+from repro.testbed.node import Node
+from repro.testbed.power import IpmiController
+from repro.testbed.transport import SshTransport
+
+__all__ = [
+    "EXPERIMENTS_SUBDIR",
+    "build_campaign_experiment",
+    "execution_request",
+    "expected_result_dir",
+    "inspect_result_dir",
+    "run_placement",
+]
+
+#: Where per-experiment result trees live inside a campaign directory.
+EXPERIMENTS_SUBDIR = "experiments"
+
+
+def build_campaign_experiment(
+    name: str, node_names: List[str], duration: float, rates: List[int],
+) -> Experiment:
+    """A deterministic sweep workload over the assigned nodes.
+
+    One role per node; every role synchronizes on the setup barrier and
+    echoes a fixed measurement line per loop instance, so the captured
+    artifacts are a pure function of (name, nodes, rates).
+    """
+    roles = [
+        Role(
+            name=f"role-{node}",
+            node=node,
+            setup=CommandScript(
+                f"setup-{node}",
+                ["sysctl -w net.ipv4.ip_forward=1", "pos barrier setup-done"],
+            ),
+            measurement=CommandScript(
+                f"measure-{node}",
+                [f"echo {name} measuring at $pkt_rate on {node}"],
+            ),
+        )
+        for node in sorted(node_names)
+    ]
+    return Experiment(
+        name=name,
+        roles=roles,
+        variables=Variables(loop_vars={"pkt_rate": list(rates)}),
+        duration_s=duration,
+    )
+
+
+def execution_request(
+    campaign_dir: str, base_epoch: float, placement: Placement, mode: str,
+) -> dict:
+    """The plain-dict work order shipped to a worker process."""
+    return {
+        "campaign_dir": campaign_dir,
+        "index": placement.execution_index,
+        "name": placement.spec.name,
+        "user": placement.spec.user,
+        "nodes": list(placement.nodes),
+        "duration": placement.spec.duration,
+        "rates": list(placement.spec.rates),
+        "epoch": base_epoch + placement.start,
+        "mode": mode,
+    }
+
+
+def expected_result_dir(
+    campaign_dir: str, base_epoch: float, placement: Placement,
+) -> str:
+    """The deterministic result path an admitted experiment will use."""
+    return os.path.join(
+        campaign_dir,
+        EXPERIMENTS_SUBDIR,
+        placement.spec.user,
+        placement.spec.name,
+        format_timestamp(base_epoch + placement.start),
+    )
+
+
+def inspect_result_dir(path: str, total_runs: int) -> str:
+    """Classify an experiment directory for resume.
+
+    Returns ``"missing"`` (no directory or no readable journal — any
+    partial tree is deleted and the experiment re-runs from scratch),
+    ``"complete"`` (its own journal records every run ok and a complete
+    marker — the tree is adopted untouched, without invoking the
+    controller), or ``"partial"`` (a trustworthy journal prefix exists —
+    the controller resumes it, adopting completed runs).
+    """
+    if not os.path.isdir(path):
+        return "missing"
+    try:
+        journal = RunJournal.open(path)
+    except JournalError:
+        shutil.rmtree(path)
+        return "missing"
+    try:
+        completed = journal.completed()
+        finished = any(
+            entry.get("event") == "complete" and entry.get("ok")
+            for entry in journal.entries
+        )
+    finally:
+        journal.close()
+    if finished and len(completed) >= total_runs:
+        return "complete"
+    return "partial"
+
+
+def completed_counts(path: str) -> Dict[str, int]:
+    """Run statistics of a finished experiment, from its journal alone."""
+    journal = RunJournal.open(path)
+    try:
+        runs = journal.run_entries()
+        latest: Dict[int, dict] = {}
+        for entry in runs:
+            latest[int(entry["index"])] = entry
+        ok = sum(1 for entry in latest.values() if entry.get("ok"))
+        return {"runs_completed": ok, "runs_failed": len(latest) - ok}
+    finally:
+        journal.close()
+
+
+def _build_world(node_names: List[str]) -> Dict[str, Node]:
+    """Fresh simulated hosts named after the assigned pool nodes."""
+    nodes: Dict[str, Node] = {}
+    for name in sorted(node_names):
+        host = SimHost(name)
+        nodes[name] = Node(
+            name,
+            host=host,
+            power=IpmiController(host),
+            transport=SshTransport(host),
+        )
+    return nodes
+
+
+def run_placement(request: dict) -> dict:
+    """Execute one admitted experiment in an isolated world.
+
+    Runs inside a worker process (or inline for ``--jobs 1`` — same
+    function, same world, same artifacts).  Returns a picklable outcome
+    dict; the campaign journal entry is derived from it by the parent,
+    in admission order, through the reorder buffer.
+    """
+    campaign_dir = request["campaign_dir"]
+    epoch = float(request["epoch"])
+    nodes = _build_world(request["nodes"])
+    calendar = Calendar(clock=lambda: epoch)
+    allocator = Allocator(calendar, nodes)
+    results = ResultStore(
+        os.path.join(campaign_dir, EXPERIMENTS_SUBDIR), clock=lambda: epoch
+    )
+    controller = Controller(allocator, default_registry(), results)
+    experiment = build_campaign_experiment(
+        request["name"], request["nodes"], request["duration"], request["rates"]
+    )
+    outcome = {
+        "index": request["index"],
+        "name": request["name"],
+        "user": request["user"],
+        "ok": False,
+        "dir": None,
+        "runs_completed": 0,
+        "runs_failed": 0,
+        "error": None,
+        "adopted": False,
+    }
+    result_path: Optional[str] = None
+    try:
+        if request["mode"] == "resume":
+            result_path = os.path.join(
+                campaign_dir,
+                EXPERIMENTS_SUBDIR,
+                request["user"],
+                request["name"],
+                format_timestamp(epoch),
+            )
+            handle = controller.resume(
+                experiment, result_path, user=request["user"]
+            )
+        else:
+            handle = controller.run(experiment, user=request["user"])
+        result_path = handle.result_path
+        outcome["ok"] = handle.failed_runs == 0 and not handle.aborted
+        outcome["runs_completed"] = handle.completed_runs
+        outcome["runs_failed"] = handle.failed_runs
+    except PosError as exc:
+        outcome["error"] = str(exc)
+    if result_path is not None:
+        outcome["dir"] = os.path.relpath(result_path, campaign_dir)
+    return outcome

@@ -152,6 +152,34 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--max-updates", type=int, default=None,
                        help="stop after N renders even if incomplete")
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="multi-tenant experiment campaigns over one shared node pool",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+    campaign_run = campaign_sub.add_parser(
+        "run",
+        help="admit and execute a campaign file against a simulated pool; "
+             "artifacts are byte-identical for any --jobs N and across "
+             "crash + --resume",
+    )
+    campaign_run.add_argument("file", help="campaign YAML file")
+    campaign_run.add_argument("--results", required=True,
+                              help="campaign directory (created if missing)")
+    campaign_run.add_argument("--jobs", type=int, default=None, metavar="N",
+                              help="run up to N experiments concurrently "
+                                   "(default: POS_JOBS, else 1)")
+    campaign_run.add_argument("--resume", action="store_true",
+                              help="continue a killed campaign from its "
+                                   "journal; finished experiments are "
+                                   "adopted, the rest re-run or resumed")
+    campaign_status = campaign_sub.add_parser(
+        "status",
+        help="one-shot admission/progress view of a campaign directory, "
+             "reconstructed from the flushed artifacts alone",
+    )
+    campaign_status.add_argument("results", help="campaign directory")
+
     sub.add_parser("compare", help="print the testbed comparison (Table 1)")
 
     check = sub.add_parser(
@@ -351,6 +379,27 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import campaign_status, run_campaign
+
+    if args.campaign_command == "status":
+        print(campaign_status(args.results), end="")
+        return 0
+    result = run_campaign(
+        args.file,
+        args.results,
+        jobs=args.jobs,
+        resume=args.resume,
+        progress=_progress_bar,
+    )
+    print(f"campaign: {result.path}")
+    print(
+        f"experiments completed: {result.completed_experiments}, "
+        f"failed: {result.failed_experiments}, rejected: {result.rejected}"
+    )
+    return 0 if result.ok else 1
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     print(format_table(), end="")
     return 0
@@ -379,6 +428,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "status": _cmd_status,
     "watch": _cmd_watch,
+    "campaign": _cmd_campaign,
     "compare": _cmd_compare,
     "check-replication": _cmd_check_replication,
 }

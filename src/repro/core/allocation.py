@@ -5,11 +5,16 @@ calendar indicates that the devices are free for the planned duration
 of the experiment, the allocation can be created."  Allocation is
 all-or-nothing: if any requested node conflicts, nothing is booked and
 no node changes state.
+
+Campaigns split that into two steps: ``reserve`` books calendar time
+for a future window without touching node state, and ``claim`` turns a
+reservation into a live allocation when its window begins.  The classic
+``allocate`` is reserve+claim in one call.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from typing import Dict, Iterable, List, Optional
 
@@ -17,7 +22,35 @@ from repro.core.calendar import Booking, Calendar
 from repro.core.errors import AllocationError, CalendarError
 from repro.testbed.node import Node, NodeState
 
-__all__ = ["Allocation", "Allocator"]
+__all__ = ["Allocation", "Allocator", "Reservation"]
+
+
+@dataclass
+class Reservation:
+    """Calendar bookings for a future allocation; no node state changed."""
+
+    user: str
+    node_names: List[str]
+    bookings: List[Booking]
+    claimed: bool = False
+    cancelled: bool = False
+
+    @property
+    def start(self) -> float:
+        return min(b.start for b in self.bookings)
+
+    @property
+    def end(self) -> float:
+        return max(b.end for b in self.bookings)
+
+    def describe(self) -> dict:
+        return {
+            "user": self.user,
+            "nodes": sorted(self.node_names),
+            "bookings": [booking.describe() for booking in self.bookings],
+            "claimed": self.claimed,
+            "cancelled": self.cancelled,
+        }
 
 
 @dataclass
@@ -28,6 +61,7 @@ class Allocation:
     nodes: Dict[str, Node]
     bookings: List[Booking]
     released: bool = False
+    _allocator: Optional["Allocator"] = field(default=None, repr=False, compare=False)
 
     def node(self, name: str) -> Node:
         if name not in self.nodes:
@@ -36,6 +70,14 @@ class Allocation:
                 f"(has: {', '.join(sorted(self.nodes))})"
             )
         return self.nodes[name]
+
+    def release(self) -> None:
+        """Release this allocation through its allocator; idempotent."""
+        if self._allocator is None:
+            raise AllocationError(
+                "allocation is not bound to an allocator; use Allocator.release"
+            )
+        self._allocator.release(self)
 
     def describe(self) -> dict:
         return {
@@ -54,6 +96,11 @@ class Allocator:
         self._nodes = dict(nodes)
 
     @property
+    def calendar(self) -> Calendar:
+        """The booking calendar backing this allocator."""
+        return self._calendar
+
+    @property
     def nodes(self) -> Dict[str, Node]:
         """All nodes this allocator manages."""
         return dict(self._nodes)
@@ -64,14 +111,7 @@ class Allocator:
             name for name, node in self._nodes.items() if node.state is NodeState.FREE
         )
 
-    def allocate(
-        self,
-        user: str,
-        node_names: Iterable[str],
-        duration: float,
-        start: Optional[float] = None,
-    ) -> Allocation:
-        """Reserve all named nodes for ``duration`` seconds, atomically."""
+    def _validate_names(self, node_names: Iterable[str]) -> List[str]:
         names = list(node_names)
         if not names:
             raise AllocationError("an allocation needs at least one node")
@@ -80,13 +120,22 @@ class Allocator:
         missing = [name for name in names if name not in self._nodes]
         if missing:
             raise AllocationError(f"unknown nodes: {', '.join(sorted(missing))}")
-        busy = [
-            name for name in names if self._nodes[name].state is not NodeState.FREE
-        ]
-        if busy:
-            raise AllocationError(
-                f"nodes already in use by another experiment: {', '.join(sorted(busy))}"
-            )
+        return names
+
+    def reserve(
+        self,
+        user: str,
+        node_names: Iterable[str],
+        duration: float,
+        start: Optional[float] = None,
+    ) -> Reservation:
+        """Book calendar time on all named nodes, atomically.
+
+        Unlike :meth:`allocate` this does not require the nodes to be
+        FREE right now and changes no node state: the window may lie in
+        the future, with the nodes still serving an earlier booking.
+        """
+        names = self._validate_names(node_names)
         bookings: List[Booking] = []
         try:
             for name in names:
@@ -98,17 +147,83 @@ class Allocator:
             for booking in bookings:
                 self._calendar.cancel(booking)
             raise AllocationError(str(exc)) from exc
+        return Reservation(user=user, node_names=names, bookings=bookings)
+
+    def claim(self, reservation: Reservation) -> Allocation:
+        """Turn a reservation into a live allocation of FREE nodes."""
+        if reservation.claimed:
+            raise AllocationError("reservation was already claimed")
+        if reservation.cancelled:
+            raise AllocationError("reservation was cancelled")
+        busy = [
+            name
+            for name in reservation.node_names
+            if self._nodes[name].state is not NodeState.FREE
+        ]
+        if busy:
+            raise AllocationError(
+                f"nodes already in use by another experiment: {', '.join(sorted(busy))}"
+            )
         nodes: Dict[str, Node] = {}
-        for name in names:
+        for name in reservation.node_names:
             node = self._nodes[name]
-            node.mark_allocated(user)
+            node.mark_allocated(reservation.user)
             nodes[name] = node
-        return Allocation(user=user, nodes=nodes, bookings=bookings)
+        reservation.claimed = True
+        return Allocation(
+            user=reservation.user,
+            nodes=nodes,
+            bookings=reservation.bookings,
+            _allocator=self,
+        )
+
+    def cancel_reservation(self, reservation: Reservation) -> None:
+        """Drop an unclaimed reservation's bookings; idempotent."""
+        if reservation.claimed:
+            raise AllocationError("cannot cancel a claimed reservation")
+        if reservation.cancelled:
+            return
+        reservation.cancelled = True
+        for booking in reservation.bookings:
+            try:
+                self._calendar.cancel(booking)
+            except CalendarError:
+                pass
+
+    def allocate(
+        self,
+        user: str,
+        node_names: Iterable[str],
+        duration: float,
+        start: Optional[float] = None,
+    ) -> Allocation:
+        """Reserve all named nodes for ``duration`` seconds, atomically."""
+        names = self._validate_names(node_names)
+        busy = [
+            name for name in names if self._nodes[name].state is not NodeState.FREE
+        ]
+        if busy:
+            raise AllocationError(
+                f"nodes already in use by another experiment: {', '.join(sorted(busy))}"
+            )
+        reservation = self.reserve(user, names, duration, start=start)
+        try:
+            return self.claim(reservation)
+        except AllocationError:
+            self.cancel_reservation(reservation)
+            raise
 
     def release(self, allocation: Allocation) -> None:
-        """Free every node of the allocation and cancel its bookings."""
+        """Free every node of the allocation and cancel its bookings.
+
+        Idempotent: the ``released`` flag is set *before* any node or
+        calendar work, so re-entrant or repeated calls (including ones
+        racing through ``Allocation.release``) do nothing and no node
+        records a second SEL release event.
+        """
         if allocation.released:
             return
+        allocation.released = True
         for node in allocation.nodes.values():
             node.release()
         for booking in allocation.bookings:
@@ -118,4 +233,3 @@ class Allocator:
                 # Booking may have expired naturally; freeing nodes is
                 # what matters.
                 pass
-        allocation.released = True

@@ -8,6 +8,13 @@ duration of the experiment, the allocation can be created."  (Sec. 4.4)
 Times are plain epoch seconds; the clock is injectable so tests and the
 simulated testbed stay deterministic.  Intervals are half-open
 ``[start, end)`` — back-to-back bookings do not conflict.
+
+Beyond the per-experiment booking rule, the calendar carries the
+primitives the multi-tenant campaign scheduler needs: conflict queries
+over explicit time windows, the earliest slot at which a *set* of nodes
+is simultaneously free, release hooks that fire when a booking is
+cancelled, and a per-node FIFO wait-list so queued work can register
+interest in a node and be found again when it frees up.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ import itertools
 import time as _time
 from dataclasses import dataclass
 
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 
 from repro.core.errors import CalendarError
@@ -55,6 +62,8 @@ class Calendar:
         self._clock = clock or _time.time
         self._bookings: Dict[str, List[Booking]] = {}
         self._ids = itertools.count(1)
+        self._release_hooks: List[Callable[[Booking], None]] = []
+        self._waiters: Dict[str, List[Any]] = {}
 
     def now(self) -> float:
         """Current time according to the injected clock."""
@@ -89,7 +98,11 @@ class Calendar:
         return booking
 
     def cancel(self, booking: Booking) -> None:
-        """Remove a booking; unknown bookings raise."""
+        """Remove a booking; unknown bookings raise.
+
+        Registered release hooks fire after the booking is gone, so a
+        hook observing the calendar sees the node already free.
+        """
         entries = self._bookings.get(booking.node, [])
         try:
             entries.remove(booking)
@@ -97,6 +110,19 @@ class Calendar:
             raise CalendarError(
                 f"booking {booking.booking_id} for node {booking.node!r} not found"
             ) from None
+        for hook in list(self._release_hooks):
+            hook(booking)
+
+    def add_release_hook(self, hook: Callable[[Booking], None]) -> None:
+        """Register a callback invoked with each cancelled booking."""
+        self._release_hooks.append(hook)
+
+    def remove_release_hook(self, hook: Callable[[Booking], None]) -> None:
+        """Deregister a previously added release hook (missing hooks raise)."""
+        try:
+            self._release_hooks.remove(hook)
+        except ValueError:
+            raise CalendarError("release hook not registered") from None
 
     def is_free(self, node: str, duration: float, start: Optional[float] = None) -> bool:
         """Whether the node is free for the whole planned duration."""
@@ -132,6 +158,60 @@ class Calendar:
             if booking.overlaps(candidate, candidate + duration):
                 candidate = booking.end
         return candidate
+
+    def window_conflicts(self, node: str, start: float, end: float) -> List[Booking]:
+        """Bookings of ``node`` overlapping ``[start, end)``, by start time."""
+        return sorted(
+            (b for b in self._bookings.get(node, []) if b.overlaps(start, end)),
+            key=lambda b: (b.start, b.booking_id),
+        )
+
+    def free_during(self, node: str, start: float, end: float) -> bool:
+        """Whether ``node`` has no booking overlapping ``[start, end)``."""
+        return not self.window_conflicts(node, start, end)
+
+    def next_common_free_slot(
+        self,
+        nodes: Iterable[str],
+        duration: float,
+        earliest: Optional[float] = None,
+    ) -> float:
+        """Earliest start at which *all* ``nodes`` are free for ``duration``.
+
+        Fixpoint over the per-node ``next_free_slot``: each pass pushes
+        the candidate to the latest per-node answer, and a pass that
+        moves nothing has found a window free on every node.  Terminates
+        because every push lands on some booking's end and bookings are
+        finite.
+        """
+        names = sorted(set(nodes))
+        if not names:
+            return self.now() if earliest is None else earliest
+        candidate = self.now() if earliest is None else earliest
+        while True:
+            moved = False
+            for node in names:
+                slot = self.next_free_slot(node, duration, earliest=candidate)
+                if slot > candidate:
+                    candidate = slot
+                    moved = True
+            if not moved:
+                return candidate
+
+    def enqueue_waiter(self, node: str, token: Any) -> None:
+        """Append ``token`` to the FIFO wait-list of ``node``."""
+        self._waiters.setdefault(node, []).append(token)
+
+    def waiting(self, node: str) -> List[Any]:
+        """Tokens currently queued on ``node``, oldest first."""
+        return list(self._waiters.get(node, []))
+
+    def pop_waiter(self, node: str) -> Any:
+        """Remove and return the oldest waiter of ``node``; empty raises."""
+        queue = self._waiters.get(node)
+        if not queue:
+            raise CalendarError(f"no waiters queued for node {node!r}")
+        return queue.pop(0)
 
     def active_bookings(self, at: Optional[float] = None) -> List[Booking]:
         """Bookings in effect at a point in time (default: now)."""

@@ -362,7 +362,7 @@ class Controller:
             log.event("nodes released")
             log.close()
             journal.close()
-            self._allocator.release(allocation)
+            allocation.release()
 
         # ---- evaluation phase -------------------------------------------------
         if experiment.evaluation is not None:

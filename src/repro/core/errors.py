@@ -82,6 +82,10 @@ class ExperimentError(PosError):
     """The experiment definition is inconsistent."""
 
 
+class CampaignError(PosError):
+    """A campaign spec is malformed or a campaign cannot be scheduled."""
+
+
 class ResultError(PosError):
     """The result tree is missing, malformed, or collides."""
 

@@ -13,6 +13,13 @@ Because the journal carries the loop instance and the run-directory
 name, resume can both validate that it is being pointed at the same
 experiment and adopt the existing run directories untouched (their
 metadata stays byte-identical).
+
+The append-only mechanics live in :class:`JsonlJournal`, shared with
+the campaign journal.  Opening a journal with a torn final line (the
+writer died mid-record) *truncates* the file back to the end of the
+last valid record before appending: without that, new records would
+concatenate onto the torn partial line and corrupt the boundary,
+silently losing everything appended after the crash on the next parse.
 """
 
 from __future__ import annotations
@@ -23,18 +30,95 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.errors import JournalError
 
-__all__ = ["JOURNAL_NAME", "RunJournal"]
+__all__ = ["JOURNAL_NAME", "JsonlJournal", "RunJournal"]
 
 JOURNAL_NAME = "journal.jsonl"
 
 
-class RunJournal:
-    """Append-only, fsync'd record of finished measurement runs."""
+class JsonlJournal:
+    """Append-only, fsync'd JSON-lines file with torn-tail recovery."""
 
     def __init__(self, path: str, entries: Optional[List[dict]] = None):
         self.path = path
         self.entries: List[dict] = list(entries or [])
         self._handle = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def _load(cls, path: str) -> "JsonlJournal":
+        """Parse an existing journal and reopen it for appending.
+
+        A torn final line (the writer died mid-record) is dropped rather
+        than rejected — everything before it was fsynced — and the file
+        is truncated to the end of the last valid record so the next
+        append starts on a clean line boundary.
+        """
+        if not os.path.isfile(path):
+            raise JournalError(f"no journal at {path}; nothing to resume")
+        entries: List[dict] = []
+        valid_end = 0
+        with open(path, "rb") as raw:
+            data = raw.read()
+        offset = 0
+        for chunk in data.split(b"\n"):
+            line_end = offset + len(chunk) + 1  # includes the newline
+            stripped = chunk.strip()
+            offset = line_end
+            if not stripped:
+                # A blank-but-terminated line is fine to keep; a torn
+                # trailing fragment of whitespace is handled below.
+                if line_end <= len(data):
+                    valid_end = line_end
+                continue
+            if line_end > len(data):
+                break  # unterminated tail — torn record
+            try:
+                entry = json.loads(stripped.decode("utf-8"))
+            except ValueError:
+                break  # torn tail from the crash; fsynced prefix is intact
+            if isinstance(entry, dict):
+                entries.append(entry)
+            valid_end = line_end
+        journal = cls(path, entries)
+        if valid_end < len(data):
+            with open(path, "r+b") as raw:
+                raw.truncate(valid_end)
+        journal._open("a")
+        return journal
+
+    # -- writing -------------------------------------------------------------
+
+    def _open(self, mode: str) -> None:
+        self._handle = open(self.path, mode, encoding="utf-8")
+
+    def _append(self, entry: dict) -> None:
+        if self._handle is None:
+            raise JournalError(f"journal {self.path} is closed")
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.entries.append(entry)
+
+    def record_event(self, event: str, **fields: Any) -> None:
+        entry = {"event": event}
+        entry.update(fields)
+        self._append(entry)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def header(self) -> dict:
+        return self.entries[0] if self.entries else {}
+
+
+class RunJournal(JsonlJournal):
+    """Append-only, fsync'd record of finished measurement runs."""
 
     # -- construction --------------------------------------------------------
 
@@ -57,38 +141,12 @@ class RunJournal:
         rather than rejected: everything before it was fsynced.
         """
         path = os.path.join(experiment_path, JOURNAL_NAME)
-        if not os.path.isfile(path):
-            raise JournalError(f"no journal at {path}; nothing to resume")
-        entries: List[dict] = []
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except ValueError:
-                    break  # torn tail from the crash; fsynced prefix is intact
-                if isinstance(entry, dict):
-                    entries.append(entry)
-        if not entries or entries[0].get("event") != "experiment":
+        journal = cls._load(path)
+        if not journal.entries or journal.entries[0].get("event") != "experiment":
             raise JournalError(f"journal {path} has no experiment header")
-        journal = cls(path, entries)
-        journal._open("a")
         return journal
 
     # -- writing -------------------------------------------------------------
-
-    def _open(self, mode: str) -> None:
-        self._handle = open(self.path, mode, encoding="utf-8")
-
-    def _append(self, entry: dict) -> None:
-        if self._handle is None:
-            raise JournalError(f"journal {self.path} is closed")
-        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
-        self.entries.append(entry)
 
     def record_run(
         self,
@@ -117,21 +175,7 @@ class RunJournal:
             entry["dir"] = run_dir
         self._append(entry)
 
-    def record_event(self, event: str, **fields: Any) -> None:
-        entry = {"event": event}
-        entry.update(fields)
-        self._append(entry)
-
-    def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
-
     # -- reading -------------------------------------------------------------
-
-    @property
-    def header(self) -> dict:
-        return self.entries[0] if self.entries else {}
 
     def run_entries(self) -> List[dict]:
         return [entry for entry in self.entries if entry.get("event") == "run"]

@@ -66,6 +66,7 @@ __all__ = [
     "RunOutcome",
     "WorkerEnv",
     "WorkerWorld",
+    "ReorderBuffer",
     "ParallelScheduler",
     "resolve_jobs",
     "shard_runs",
@@ -683,6 +684,60 @@ def _shard_worker(
 # parent side
 # --------------------------------------------------------------------------
 
+class ReorderBuffer:
+    """Deliver indexed payloads strictly in ascending index order.
+
+    Producers :meth:`put` payloads as they complete, in any order; every
+    :meth:`drain` call delivers the consecutive ready prefix.  This is
+    the determinism primitive shared by the run scheduler (merging
+    worker outcomes into the result tree) and the campaign scheduler
+    (merging experiment outcomes into the campaign journal): whatever
+    completion order concurrency produces, the side effects happen in
+    index order, so artifacts and journals are byte-identical for any
+    job count and a crash always leaves a resumable prefix.
+    """
+
+    def __init__(self, total: int, deliver: Callable[[int, Any], None]):
+        self._total = total
+        self._deliver = deliver
+        self._next = 0
+        self._pending: Dict[int, Any] = {}
+
+    @property
+    def next_index(self) -> int:
+        """The lowest index not yet delivered."""
+        return self._next
+
+    def complete(self) -> bool:
+        """Whether every index below ``total`` has been delivered."""
+        return self._next >= self._total
+
+    def put(self, index: int, payload: Any) -> None:
+        """Stage one payload; duplicate or already-delivered indices raise."""
+        if index < self._next or index in self._pending:
+            raise ExperimentError(
+                f"reorder buffer received index {index} twice"
+            )
+        if index >= self._total:
+            raise ExperimentError(
+                f"reorder buffer sized for {self._total} got index {index}"
+            )
+        self._pending[index] = payload
+
+    def drain(self) -> None:
+        """Deliver every consecutive ready payload, in index order.
+
+        The cursor advances *before* the delivery callback runs, so a
+        callback that raises (e.g. ``on_error="abort"``) leaves the
+        buffer consistent with everything already delivered.
+        """
+        while self._next < self._total and self._next in self._pending:
+            index = self._next
+            payload = self._pending.pop(index)
+            self._next += 1
+            self._deliver(index, payload)
+
+
 class ParallelScheduler:
     """Fan a measurement phase out over a process pool and merge back.
 
@@ -721,66 +776,60 @@ class ParallelScheduler:
         total = len(runs)
         pending = [index for index in range(total) if index not in completed]
         shards = shard_runs(pending, self.jobs)
-        outcomes: Dict[int, RunOutcome] = {}
-        state = {"next": 0}
 
-        def drain() -> None:
-            """Persist every consecutive ready run, in index order."""
-            while state["next"] < total:
-                index = state["next"]
-                if index in completed:
-                    record = adopt(exp_dir, index, runs[index], completed[index])
-                    handle.runs.append(record)
-                    adopt_telemetry = getattr(log, "adopt_run", None)
-                    if adopt_telemetry is not None and completed[index].get("dir"):
-                        adopt_telemetry(
-                            index,
-                            os.path.join(exp_dir.path, completed[index]["dir"]),
-                        )
-                    if log is not None:
-                        log.event(
-                            f"run {index}: {runs[index]} -> ok (adopted from journal)"
-                        )
-                    if progress is not None:
-                        progress(index + 1, total)
-                    state["next"] += 1
-                    continue
-                if index not in outcomes:
-                    return
-                outcome = outcomes.pop(index)
-                record, run_dir = persist_outcome(exp_dir, outcome, log)
+        def deliver(index: int, outcome: Optional[RunOutcome]) -> None:
+            """Persist one ready run; ``None`` marks a journal adoption."""
+            if outcome is None:
+                record = adopt(exp_dir, index, runs[index], completed[index])
                 handle.runs.append(record)
-                # Re-sequence the worker's telemetry buffer in run order
-                # and snapshot it, before the journal promises the run.
-                merge_telemetry = getattr(log, "merge_run", None)
-                if merge_telemetry is not None:
-                    merge_telemetry(
-                        index, outcome.telemetry, run_dir.path,
-                        health=outcome.health,
-                    )
-                if injector is not None:
-                    injector.events.extend(outcome.fault_events)
-                if journal is not None:
-                    journal.record_run(
-                        index, outcome.loop_instance, ok=record.ok,
-                        retried=record.retried, error=record.error,
-                        run_dir=os.path.basename(run_dir.path),
+                adopt_telemetry = getattr(log, "adopt_run", None)
+                if adopt_telemetry is not None and completed[index].get("dir"):
+                    adopt_telemetry(
+                        index,
+                        os.path.join(exp_dir.path, completed[index]["dir"]),
                     )
                 if log is not None:
-                    status = "ok" if record.ok else f"FAILED ({record.error})"
-                    log.event(f"run {index}: {outcome.loop_instance} -> {status}")
-                if on_run_complete is not None:
-                    on_run_complete(record, run_dir.path)
+                    log.event(
+                        f"run {index}: {runs[index]} -> ok (adopted from journal)"
+                    )
                 if progress is not None:
                     progress(index + 1, total)
-                state["next"] += 1
-                if not record.ok and on_error == "abort":
-                    raise ScriptError(
-                        f"measurement run {index} failed: {record.error}"
-                    )
+                return
+            record, run_dir = persist_outcome(exp_dir, outcome, log)
+            handle.runs.append(record)
+            # Re-sequence the worker's telemetry buffer in run order
+            # and snapshot it, before the journal promises the run.
+            merge_telemetry = getattr(log, "merge_run", None)
+            if merge_telemetry is not None:
+                merge_telemetry(
+                    index, outcome.telemetry, run_dir.path,
+                    health=outcome.health,
+                )
+            if injector is not None:
+                injector.events.extend(outcome.fault_events)
+            if journal is not None:
+                journal.record_run(
+                    index, outcome.loop_instance, ok=record.ok,
+                    retried=record.retried, error=record.error,
+                    run_dir=os.path.basename(run_dir.path),
+                )
+            if log is not None:
+                status = "ok" if record.ok else f"FAILED ({record.error})"
+                log.event(f"run {index}: {outcome.loop_instance} -> {status}")
+            if on_run_complete is not None:
+                on_run_complete(record, run_dir.path)
+            if progress is not None:
+                progress(index + 1, total)
+            if not record.ok and on_error == "abort":
+                raise ScriptError(
+                    f"measurement run {index} failed: {record.error}"
+                )
 
+        buffer = ReorderBuffer(total, deliver)
+        for index in completed:
+            buffer.put(index, None)
         if not shards:
-            drain()
+            buffer.drain()
             return
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
             futures = [
@@ -795,8 +844,8 @@ class ParallelScheduler:
                 )
                 for shard in shards
             ]
-            drain()
+            buffer.drain()
             for future in as_completed(futures):
                 for outcome in future.result():
-                    outcomes[outcome.index] = outcome
-                drain()
+                    buffer.put(outcome.index, outcome)
+                buffer.drain()

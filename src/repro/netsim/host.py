@@ -17,6 +17,7 @@ point of a reproducibility testbed.
 from __future__ import annotations
 
 import shlex
+import zlib as _zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -86,7 +87,11 @@ class SimHost:
         self._extra_commands: Dict[str, Callable[[List[str]], Tuple[int, str]]] = {}
 
     def _mac(self, index: int) -> str:
-        stem = abs(hash(self.name)) % 0xFFFF
+        # A process-independent digest: built-in str hashing is salted
+        # per interpreter (PYTHONHASHSEED), which would give a worker
+        # process different MACs than the parent — breaking the
+        # byte-identical-artifacts guarantee across --jobs N.
+        stem = _zlib.crc32(self.name.encode("utf-8")) % 0xFFFF
         return f"52:54:00:{stem >> 8:02x}:{stem & 0xFF:02x}:{index:02x}"
 
     # -- lifecycle ---------------------------------------------------------

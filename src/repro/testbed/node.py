@@ -93,13 +93,25 @@ class Node:
         self.owner = owner
 
     def release(self) -> None:
-        """Return the node to the free pool; in-band session is closed."""
+        """Return the node to the free pool; in-band session is closed.
+
+        Idempotent: releasing an already-free node is a no-op, so the
+        BMC event log records exactly one release per allocation no
+        matter how many paths (allocator teardown, campaign cleanup,
+        error handlers) call it.
+        """
+        if self.state is NodeState.FREE and self.owner is None:
+            return
+        owner = self.owner
         if self.transport is not None:
             self.transport.close()
         self.state = NodeState.FREE
         self.owner = None
         self.image = None
         self.boot_parameters = {}
+        record_event = getattr(self.power, "record_event", None)
+        if record_event is not None:
+            record_event("release", f"node released from owner {owner}")
 
     # -- image & boot configuration -----------------------------------------
 

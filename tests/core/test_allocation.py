@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.allocation import Allocator
+from repro.core.allocation import Allocation, Allocator
 from repro.core.calendar import Calendar
 from repro.core.errors import AllocationError
+from repro.netsim.host import SimHost
 from repro.testbed.node import Node, NodeState
+from repro.testbed.power import IpmiController
 
 
 def make_allocator(node_names=("riga", "tartu", "vilnius")):
@@ -86,6 +88,140 @@ class TestRelease:
         allocator.release(allocation)
         again = allocator.allocate("bob", ["riga"], duration=60.0)
         assert again.user == "bob"
+
+
+class TestBoundRelease:
+    """Allocation.release() — the handle releases itself, exactly once."""
+
+    def test_allocation_releases_itself(self):
+        allocator, nodes, calendar = make_allocator()
+        allocation = allocator.allocate("alice", ["riga"], duration=60.0)
+        allocation.release()
+        assert allocation.released
+        assert nodes["riga"].state is NodeState.FREE
+        assert calendar.bookings_for_node("riga") == []
+
+    def test_double_release_through_either_path_is_idempotent(self):
+        allocator, __, __ = make_allocator()
+        allocation = allocator.allocate("alice", ["riga"], duration=60.0)
+        allocation.release()
+        allocation.release()                # handle, again
+        allocator.release(allocation)       # allocator path, again
+
+    def test_unbound_allocation_refuses_to_release(self):
+        allocation = Allocation(user="alice", nodes={}, bookings=[])
+        with pytest.raises(AllocationError, match="not bound"):
+            allocation.release()
+
+    def test_double_release_records_a_single_sel_event(self):
+        """Regression: double release must not log two BMC release
+        events — one allocation, one 'release' SEL record."""
+        host = SimHost("riga")
+        power = IpmiController(host)
+        nodes = {"riga": Node("riga", host=host, power=power)}
+        allocator = Allocator(Calendar(clock=lambda: 1000.0), nodes)
+        allocation = allocator.allocate("alice", ["riga"], duration=60.0)
+        allocation.release()
+        allocation.release()
+        allocator.release(allocation)
+        releases = [entry for entry in power.sel
+                    if entry["sensor"] == "release"]
+        assert len(releases) == 1
+        assert "alice" in releases[0]["event"]
+
+    def test_release_of_an_already_free_node_is_a_no_op(self):
+        host = SimHost("riga")
+        power = IpmiController(host)
+        node = Node("riga", host=host, power=power)
+        node.release()  # never allocated
+        assert [e for e in power.sel if e["sensor"] == "release"] == []
+
+
+class TestReserveAndClaim:
+    """The two-step path campaigns use: book the future, claim later."""
+
+    def test_reserve_books_without_touching_node_state(self):
+        allocator, nodes, calendar = make_allocator()
+        reservation = allocator.reserve(
+            "alice", ["riga", "tartu"], duration=60.0, start=5000.0
+        )
+        assert nodes["riga"].state is NodeState.FREE
+        assert reservation.start == 5000.0 and reservation.end == 5060.0
+        assert len(calendar.bookings_for_node("riga")) == 1
+
+    def test_reserve_is_all_or_nothing(self):
+        allocator, __, calendar = make_allocator()
+        calendar.book("tartu", "carol", duration=600.0, start=5000.0)
+        with pytest.raises(AllocationError):
+            allocator.reserve("alice", ["riga", "tartu"], duration=60.0,
+                              start=5000.0)
+        assert calendar.bookings_for_node("riga") == []
+
+    def test_reserve_future_window_while_node_is_busy(self):
+        """A future reservation must not require the node to be FREE
+        now — it is still serving the previous experiment."""
+        allocator, __, __ = make_allocator()
+        allocator.allocate("alice", ["riga"], duration=60.0)
+        reservation = allocator.reserve("bob", ["riga"], duration=30.0,
+                                        start=2000.0)
+        assert not reservation.claimed
+
+    def test_claim_marks_nodes_and_binds_the_allocation(self):
+        allocator, nodes, __ = make_allocator()
+        reservation = allocator.reserve("alice", ["riga"], duration=60.0)
+        allocation = allocator.claim(reservation)
+        assert reservation.claimed
+        assert nodes["riga"].state is NodeState.ALLOCATED
+        allocation.release()  # bound: releases through the allocator
+        assert nodes["riga"].state is NodeState.FREE
+
+    def test_claim_twice_raises(self):
+        allocator, __, __ = make_allocator()
+        reservation = allocator.reserve("alice", ["riga"], duration=60.0)
+        allocator.claim(reservation)
+        with pytest.raises(AllocationError, match="already claimed"):
+            allocator.claim(reservation)
+
+    def test_claim_of_a_busy_node_raises_and_changes_nothing(self):
+        allocator, nodes, __ = make_allocator()
+        allocator.allocate("alice", ["riga"], duration=60.0)
+        reservation = allocator.reserve("bob", ["riga"], duration=30.0,
+                                        start=2000.0)
+        with pytest.raises(AllocationError, match="in use"):
+            allocator.claim(reservation)
+        assert not reservation.claimed
+        assert nodes["riga"].owner == "alice"
+
+    def test_cancel_reservation_is_idempotent(self):
+        allocator, __, calendar = make_allocator()
+        reservation = allocator.reserve("alice", ["riga"], duration=60.0)
+        allocator.cancel_reservation(reservation)
+        allocator.cancel_reservation(reservation)
+        assert reservation.cancelled
+        assert calendar.bookings_for_node("riga") == []
+
+    def test_claim_after_cancel_raises(self):
+        allocator, __, __ = make_allocator()
+        reservation = allocator.reserve("alice", ["riga"], duration=60.0)
+        allocator.cancel_reservation(reservation)
+        with pytest.raises(AllocationError, match="cancelled"):
+            allocator.claim(reservation)
+
+    def test_cancel_of_a_claimed_reservation_raises(self):
+        allocator, __, __ = make_allocator()
+        reservation = allocator.reserve("alice", ["riga"], duration=60.0)
+        allocator.claim(reservation)
+        with pytest.raises(AllocationError, match="claimed"):
+            allocator.cancel_reservation(reservation)
+
+    def test_describe_reports_the_reservation(self):
+        allocator, __, __ = make_allocator()
+        reservation = allocator.reserve("alice", ["tartu", "riga"],
+                                        duration=60.0)
+        described = reservation.describe()
+        assert described["user"] == "alice"
+        assert described["nodes"] == ["riga", "tartu"]
+        assert described["claimed"] is False
 
 
 class TestAllocationObject:

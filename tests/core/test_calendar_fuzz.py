@@ -1,0 +1,197 @@
+"""Fuzz tests for the booking calendar.
+
+Random interleaved sequences of book / cancel / query operations,
+checked after every step against a naive model of the live booking set.
+The two invariants the campaign scheduler's correctness rests on:
+
+* no two live bookings of the same node ever overlap, and
+* intervals are half-open — back-to-back ``[start, mid)`` / ``[mid,
+  end)`` bookings never conflict.
+
+Plus the campaign-facing primitives: release hooks fire exactly once
+per cancellation, window queries agree with the model, and the per-node
+wait-lists are strict FIFOs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calendar import Calendar
+from repro.core.errors import CalendarError
+
+NODES = ["n0", "n1", "n2"]
+USERS = ["alice", "bob"]
+
+# Small integer grids provoke plenty of collisions and boundary hits.
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("book"),
+            st.sampled_from(NODES),
+            st.sampled_from(USERS),
+            st.integers(min_value=0, max_value=20),   # start
+            st.integers(min_value=1, max_value=10),   # duration
+        ),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=30)),
+        st.tuples(
+            st.just("query"),
+            st.sampled_from(NODES),
+            st.integers(min_value=0, max_value=20),
+            st.integers(min_value=1, max_value=10),
+        ),
+    ),
+    max_size=40,
+)
+
+
+def model_overlaps(live, node, start, end):
+    return [
+        booking for booking in live
+        if booking.node == node and booking.start < end and start < booking.end
+    ]
+
+
+@given(ops=operations)
+@settings(max_examples=250, deadline=None)
+def test_calendar_book_cancel_query_fuzz(ops):
+    calendar = Calendar(clock=lambda: 0.0)
+    live = []
+    cancelled_hook_calls = []
+    calendar.add_release_hook(cancelled_hook_calls.append)
+    for op in ops:
+        if op[0] == "book":
+            __, node, user, start, duration = op
+            conflicts = model_overlaps(live, node, start, start + duration)
+            if conflicts:
+                with pytest.raises(CalendarError):
+                    calendar.book(node, user, float(duration),
+                                  start=float(start))
+            else:
+                booking = calendar.book(node, user, float(duration),
+                                        start=float(start))
+                assert booking.start == start and booking.end == start + duration
+                live.append(booking)
+        elif op[0] == "cancel":
+            if not live:
+                continue
+            booking = live.pop(op[1] % len(live))
+            fired_before = len(cancelled_hook_calls)
+            calendar.cancel(booking)
+            # The hook fired exactly once, with that booking, after
+            # removal (the calendar already shows the slot free).
+            assert len(cancelled_hook_calls) == fired_before + 1
+            assert cancelled_hook_calls[-1] == booking
+            assert calendar.free_during(booking.node, booking.start,
+                                        booking.end)
+            # A second cancel of the same booking must raise.
+            with pytest.raises(CalendarError):
+                calendar.cancel(booking)
+        else:
+            __, node, start, duration = op
+            expected = model_overlaps(live, node, start, start + duration)
+            found = calendar.window_conflicts(node, float(start),
+                                              float(start + duration))
+            assert sorted(b.booking_id for b in found) == sorted(
+                b.booking_id for b in expected
+            )
+            assert calendar.free_during(
+                node, float(start), float(start + duration)
+            ) == (not expected)
+            assert calendar.is_free(
+                node, float(duration), start=float(start)
+            ) == (not expected)
+        # Global invariant: no two live bookings of a node overlap.
+        for node in NODES:
+            bookings = calendar.bookings_for_node(node)
+            for earlier, later in zip(bookings, bookings[1:]):
+                assert earlier.end <= later.start, (
+                    f"overlapping bookings survived on {node}: "
+                    f"{earlier} / {later}"
+                )
+
+
+@given(
+    start=st.integers(min_value=0, max_value=100),
+    first=st.integers(min_value=1, max_value=50),
+    second=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=200, deadline=None)
+def test_back_to_back_bookings_never_conflict(start, first, second):
+    """Half-open intervals: [start, mid) and [mid, end) always coexist."""
+    calendar = Calendar(clock=lambda: 0.0)
+    calendar.book("n0", "alice", float(first), start=float(start))
+    booking = calendar.book(
+        "n0", "bob", float(second), start=float(start + first)
+    )
+    assert booking.start == start + first
+    # And in front as well: something ending exactly at `start` fits.
+    if start > 0:
+        lead = min(start, 7)
+        calendar.book("n0", "carol", float(lead), start=float(start - lead))
+
+
+@given(
+    windows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=30),
+            st.integers(min_value=1, max_value=10),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    duration=st.integers(min_value=1, max_value=10),
+    nodes=st.sets(st.sampled_from(NODES), min_size=1, max_size=3),
+)
+@settings(max_examples=200, deadline=None)
+def test_next_common_free_slot_is_free_on_every_node(windows, duration, nodes):
+    calendar = Calendar(clock=lambda: 0.0)
+    for index, (start, width) in enumerate(windows):
+        node = NODES[index % len(NODES)]
+        if calendar.is_free(node, float(width), start=float(start)):
+            calendar.book(node, "alice", float(width), start=float(start))
+    slot = calendar.next_common_free_slot(nodes, float(duration), earliest=0.0)
+    for node in nodes:
+        assert calendar.free_during(node, slot, slot + duration)
+    # Minimality: no earlier event point admits the same window.
+    boundaries = sorted(
+        {0.0}
+        | {b.end for node in nodes for b in calendar.bookings_for_node(node)}
+    )
+    for candidate in boundaries:
+        if candidate >= slot:
+            break
+        assert not all(
+            calendar.free_during(node, candidate, candidate + duration)
+            for node in nodes
+        )
+
+
+def test_waitlists_are_fifo_and_pop_empty_raises():
+    calendar = Calendar(clock=lambda: 0.0)
+    for token in (3, 1, 2):
+        calendar.enqueue_waiter("n0", token)
+    assert calendar.waiting("n0") == [3, 1, 2]
+    assert calendar.pop_waiter("n0") == 3
+    assert calendar.waiting("n0") == [1, 2]
+    # waiting() returns a copy — mutating it cannot corrupt the queue.
+    calendar.waiting("n0").append(99)
+    assert calendar.waiting("n0") == [1, 2]
+    calendar.pop_waiter("n0"), calendar.pop_waiter("n0")
+    with pytest.raises(CalendarError, match="no waiters"):
+        calendar.pop_waiter("n0")
+
+
+def test_release_hooks_can_be_removed():
+    calendar = Calendar(clock=lambda: 0.0)
+    fired = []
+    hook = fired.append
+    calendar.add_release_hook(hook)
+    booking = calendar.book("n0", "alice", 10.0, start=0.0)
+    calendar.remove_release_hook(hook)
+    calendar.cancel(booking)
+    assert fired == []
+    with pytest.raises(CalendarError, match="not registered"):
+        calendar.remove_release_hook(hook)
