@@ -105,13 +105,24 @@ class AdmissionPlan:
         return [entry for _, entry in sorted(decisions, key=lambda item: item[0])]
 
     def write(self, campaign_dir: str) -> str:
-        """Write ``admission.jsonl``: one decision per line, fsynced."""
+        """Write ``admission.jsonl``: one decision per line, fsynced.
+
+        The write is atomic (temp file + :func:`os.replace`): a crash
+        mid-write can never leave a torn admission log behind — readers
+        see either the previous complete plan or the new one.  The plan
+        is a pure function of the spec, so a resume that recomputes and
+        rewrites it produces identical bytes either way; atomicity
+        protects the *observers* (``pos campaign status``, the health
+        plane) that read the log while a campaign starts up.
+        """
         path = os.path.join(campaign_dir, ADMISSION_NAME)
-        with open(path, "w", encoding="utf-8") as handle:
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
             for entry in self.entries():
                 handle.write(json.dumps(entry, sort_keys=True) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
         return path
 
     def dispatch_order(self) -> List[Placement]:

@@ -155,13 +155,23 @@ def run_campaign(
     resume: bool = False,
     on_experiment_complete: Optional[Callable[[dict], None]] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    agents: Optional[int] = None,
 ) -> CampaignResult:
-    """Run (or resume) a campaign against one shared simulated pool."""
+    """Run (or resume) a campaign against one shared simulated pool.
+
+    ``agents`` > 0 executes each experiment's runs on the distributed
+    plane (``agents`` loopback node agents per experiment) instead of
+    inline — see :mod:`repro.dist`.  Orthogonal to ``jobs``, which
+    controls how many *experiments* run concurrently.
+    """
     spec = (
         load_campaign_file(campaign) if isinstance(campaign, str) else campaign
     )
     spec.validate()
     jobs = resolve_jobs(jobs)
+    from repro.dist import resolve_agents
+
+    agents = resolve_agents(agents)
     plan = plan_admission(spec)
     campaign_dir = os.path.abspath(results_dir)
     os.makedirs(campaign_dir, exist_ok=True)
@@ -300,6 +310,7 @@ def run_campaign(
                 request = _workload.execution_request(
                     campaign_dir, spec.base_epoch, placement,
                     "resume" if how == "resume" else "fresh",
+                    agents=agents,
                 )
                 outcome = _workload.run_placement(request)
                 finish(placement.execution_index)
@@ -325,6 +336,7 @@ def run_campaign(
                             request = _workload.execution_request(
                                 campaign_dir, spec.base_epoch, placement,
                                 "resume" if how == "resume" else "fresh",
+                                agents=agents,
                             )
                             futures[
                                 pool.submit(_workload.run_placement, request)

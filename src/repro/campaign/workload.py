@@ -86,8 +86,15 @@ def build_campaign_experiment(
 
 def execution_request(
     campaign_dir: str, base_epoch: float, placement: Placement, mode: str,
+    agents: Optional[int] = None,
 ) -> dict:
-    """The plain-dict work order shipped to a worker process."""
+    """The plain-dict work order shipped to a worker process.
+
+    ``agents`` > 0 makes the worker execute its experiment's runs on
+    the fault-tolerant distributed plane (:mod:`repro.dist`) instead of
+    inline — campaigns ride the same controller → node-agent split as
+    single experiments, and the artifact tree stays byte-identical.
+    """
     return {
         "campaign_dir": campaign_dir,
         "index": placement.execution_index,
@@ -98,6 +105,7 @@ def execution_request(
         "rates": list(placement.spec.rates),
         "epoch": base_epoch + placement.start,
         "mode": mode,
+        "agents": int(agents) if agents else 0,
     }
 
 
@@ -172,6 +180,23 @@ def _build_world(node_names: List[str]) -> Dict[str, Node]:
     return nodes
 
 
+def _campaign_worker_world(node_names: List[str]) -> "WorkerWorld":
+    """One node agent's isolated world for a campaign experiment.
+
+    Module-level so the :class:`~repro.core.scheduler.WorkerEnv` recipe
+    pickles by reference, exactly like the case study's worker factory.
+    A fresh set of simulated hosts per call — agents share nothing.
+    """
+    from repro.core.scheduler import WorkerWorld
+
+    return WorkerWorld(
+        nodes=_build_world(node_names),
+        images=default_registry(),
+        context_extra={},
+        fault_injector=None,
+    )
+
+
 def run_placement(request: dict) -> dict:
     """Execute one admitted experiment in an isolated world.
 
@@ -203,6 +228,23 @@ def run_placement(request: dict) -> dict:
         "error": None,
         "adopted": False,
     }
+    agents = int(request.get("agents") or 0)
+    extra: dict = {}
+    if agents > 0:
+        from repro.core.scheduler import WorkerEnv
+
+        # Campaigns always fan out over the loopback transport: it is
+        # deterministic, and a campaign worker may itself be a pool
+        # subprocess that must not spawn grandchildren.
+        extra = {
+            "jobs": 1,  # agents and jobs are mutually exclusive planes
+            "agents": agents,
+            "transport": "loopback",
+            "worker_env": WorkerEnv(
+                factory=_campaign_worker_world,
+                kwargs={"node_names": sorted(request["nodes"])},
+            ),
+        }
     result_path: Optional[str] = None
     try:
         if request["mode"] == "resume":
@@ -214,10 +256,10 @@ def run_placement(request: dict) -> dict:
                 format_timestamp(epoch),
             )
             handle = controller.resume(
-                experiment, result_path, user=request["user"]
+                experiment, result_path, user=request["user"], **extra
             )
         else:
-            handle = controller.run(experiment, user=request["user"])
+            handle = controller.run(experiment, user=request["user"], **extra)
         result_path = handle.result_path
         outcome["ok"] = handle.failed_runs == 0 and not handle.aborted
         outcome["runs_completed"] = handle.completed_runs

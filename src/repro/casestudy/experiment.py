@@ -379,6 +379,9 @@ def run_case_study(
     fault_plan=None,
     resume_path: Optional[str] = None,
     jobs: Optional[int] = None,
+    agents: Optional[int] = None,
+    transport: str = "loopback",
+    dist_fault_plan=None,
 ) -> ExperimentHandle:
     """Execute the whole case study on one platform, end to end.
 
@@ -391,6 +394,14 @@ def run_case_study(
     shards the measurement cross product over that many worker
     processes, each owning an isolated testbed world; the result tree
     is byte-identical to a sequential execution.
+
+    ``agents`` (default: the ``POS_AGENTS`` environment variable, else
+    0 = off) instead fans the runs out to that many node-agent daemons
+    on the fault-tolerant distributed plane (:mod:`repro.dist`) over
+    the given ``transport``; ``dist_fault_plan`` injects seeded chaos
+    (agent kills, message drop/duplicate/delay) into that plane only.
+    The result tree stays byte-identical to a sequential execution for
+    any agent count and crash schedule.
 
     Returns the experiment handle; ``handle.result_path`` is the result
     folder ready for evaluation and publication.
@@ -419,6 +430,9 @@ def run_case_study(
                 setup_context_extra={"setup": env.setup},
                 jobs=jobs,
                 worker_env=worker_env,
+                agents=agents,
+                transport=transport,
+                dist_fault_plan=dist_fault_plan,
             )
         else:
             handle = env.controller.run(
@@ -429,6 +443,9 @@ def run_case_study(
                 setup_context_extra={"setup": env.setup},
                 jobs=jobs,
                 worker_env=worker_env,
+                agents=agents,
+                transport=transport,
+                dist_fault_plan=dist_fault_plan,
             )
     finally:
         if env.setup.hypervisor is not None:

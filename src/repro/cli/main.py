@@ -73,6 +73,26 @@ def build_parser() -> argparse.ArgumentParser:
                           "worker processes (default: the POS_JOBS "
                           "environment variable, else 1); the result tree "
                           "is byte-identical for any N")
+    run.add_argument("--agents", type=int, default=None, metavar="N",
+                     help="fan the runs out to N node-agent daemons on the "
+                          "fault-tolerant distributed plane (default: the "
+                          "POS_AGENTS environment variable, else off); "
+                          "mutually exclusive with --jobs > 1; the result "
+                          "tree is byte-identical for any N and any agent "
+                          "crash schedule")
+    run.add_argument("--transport", choices=("loopback", "pipe"),
+                     default="loopback",
+                     help="distributed-plane transport: deterministic "
+                          "in-process bus, or real agent subprocesses "
+                          "behind pipes (with --agents)")
+    run.add_argument("--dist-fault-plan", metavar="FILE", default=None,
+                     help="YAML fault plan injecting seeded chaos into the "
+                          "distributed plane only: agent kills and message "
+                          "drop/duplicate/delay (kinds: agent, transport)")
+    run.add_argument("--epoch", type=float, default=None, metavar="SECONDS",
+                     help="pin the result-store clock to a fixed epoch so "
+                          "two executions land in the same timestamp folder "
+                          "(byte-identity checks across invocations)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--user", default="user")
     run.add_argument("--script-style", choices=("python", "shell"),
@@ -169,6 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument("--jobs", type=int, default=None, metavar="N",
                               help="run up to N experiments concurrently "
                                    "(default: POS_JOBS, else 1)")
+    campaign_run.add_argument("--agents", type=int, default=None, metavar="N",
+                              help="execute each experiment's runs on N "
+                                   "loopback node agents (the distributed "
+                                   "plane; default: POS_AGENTS, else off)")
     campaign_run.add_argument("--resume", action="store_true",
                               help="continue a killed campaign from its "
                                    "journal; finished experiments are "
@@ -179,6 +203,22 @@ def build_parser() -> argparse.ArgumentParser:
              "reconstructed from the flushed artifacts alone",
     )
     campaign_status.add_argument("results", help="campaign directory")
+
+    agents = sub.add_parser(
+        "agents",
+        help="inspect the distributed execution plane of an experiment",
+    )
+    agents_sub = agents.add_subparsers(dest="agents_command", required=True)
+    agents_status = agents_sub.add_parser(
+        "status",
+        help="per-agent fleet report (spawns, deliveries, re-dispatches, "
+             "deaths, quarantines) folded from the dispatch.jsonl "
+             "evidence sidecar",
+    )
+    agents_status.add_argument(
+        "results",
+        help="an experiment's timestamp folder (or any directory above it)",
+    )
 
     sub.add_parser("compare", help="print the testbed comparison (Table 1)")
 
@@ -199,10 +239,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if rates is None:
         rates = POS_RATES if args.platform == "pos" else VPOS_RATES
     fault_plan = None
-    if args.fault_plan is not None:
+    dist_fault_plan = None
+    if args.fault_plan is not None or args.dist_fault_plan is not None:
         from repro.faults.plan import load_fault_plan
 
-        fault_plan = load_fault_plan(args.fault_plan)
+        if args.fault_plan is not None:
+            fault_plan = load_fault_plan(args.fault_plan)
+        if args.dist_fault_plan is not None:
+            dist_fault_plan = load_fault_plan(args.dist_fault_plan)
+    epoch = args.epoch
     handle = run_case_study(
         args.platform,
         args.results,
@@ -212,12 +257,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         user=args.user,
         max_runs=args.max_runs,
+        clock=(lambda: epoch) if epoch is not None else None,
         progress=_progress_bar,
         script_style=args.script_style,
         on_error=args.on_error,
         fault_plan=fault_plan,
         resume_path=args.resume,
         jobs=args.jobs,
+        agents=args.agents,
+        transport=args.transport,
+        dist_fault_plan=dist_fault_plan,
     )
     print(f"results: {handle.result_path}")
     print(f"runs completed: {handle.completed_runs}, failed: {handle.failed_runs}")
@@ -237,6 +286,11 @@ def _run_experiment_dir(args: argparse.Namespace) -> int:
         from repro.faults.plan import load_fault_plan
 
         fault_plan = load_fault_plan(args.fault_plan)
+    if args.agents is not None and args.agents > 0:
+        raise PosError(
+            "--agents needs a picklable worker-world recipe and is only "
+            "available for the built-in case study (drop --experiment-dir)"
+        )
     env = build_environment(
         args.platform, args.results, seed=args.seed, progress=_progress_bar,
         fault_plan=fault_plan,
@@ -379,6 +433,13 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_agents(args: argparse.Namespace) -> int:
+    from repro.dist.report import agents_status, format_agents_status
+
+    print(format_agents_status(agents_status(args.results)))
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaign import campaign_status, run_campaign
 
@@ -391,6 +452,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         resume=args.resume,
         progress=_progress_bar,
+        agents=args.agents,
     )
     print(f"campaign: {result.path}")
     print(
@@ -428,6 +490,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "status": _cmd_status,
     "watch": _cmd_watch,
+    "agents": _cmd_agents,
     "campaign": _cmd_campaign,
     "compare": _cmd_compare,
     "check-replication": _cmd_check_replication,
@@ -443,6 +506,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except PosError as exc:
         print(f"pos: error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream pager/grep closed the pipe (e.g. `pos agents
+        # status | grep -q ...`); that is their prerogative, not an
+        # error.  Detach stdout so interpreter shutdown does not try to
+        # flush into the dead pipe and print a spurious traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

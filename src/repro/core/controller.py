@@ -151,6 +151,9 @@ class Controller:
         on_run_complete: Optional[Callable[[RunRecord, str], None]] = None,
         jobs: Optional[int] = None,
         worker_env: Optional[WorkerEnv] = None,
+        agents: Optional[int] = None,
+        transport: str = "loopback",
+        dist_fault_plan=None,
     ) -> ExperimentHandle:
         """Execute the whole experimental workflow for ``experiment``.
 
@@ -168,9 +171,23 @@ class Controller:
         processes; ``worker_env`` must then supply the recipe for
         building each worker's isolated testbed world.  Artifacts are
         byte-identical for any job count.
+
+        ``agents`` (default: the ``POS_AGENTS`` environment variable,
+        else 0 = off) instead fans the measurement phase out to that
+        many node-agent daemons over a message ``transport``
+        (``loopback`` in-process, ``pipe`` subprocess), with heartbeat
+        leases, crash re-dispatch and journal-backed dedupe — see
+        :mod:`repro.dist`.  ``dist_fault_plan`` is a seeded chaos plan
+        striking only that plane (agent kills, dropped/duplicated/
+        delayed messages); unlike ``fault_injector`` it never touches
+        the in-world management plane and leaves no trace in the
+        deterministic artifacts.  Artifacts are byte-identical for any
+        agent count, placement, and crash schedule.
         """
         self._check_policy(on_error)
-        jobs = self._check_parallel(jobs, worker_env, on_error)
+        jobs, agents = self._check_execution_plane(
+            jobs, worker_env, on_error, agents, transport, dist_fault_plan,
+        )
         experiment.validate()
         exp_dir = self._results.create_experiment_dir(user, experiment.name)
         total = self._total_runs(experiment, max_runs)
@@ -181,6 +198,8 @@ class Controller:
             setup_context_extra=setup_context_extra,
             on_run_complete=on_run_complete, resumed=False,
             jobs=jobs, worker_env=worker_env,
+            agents=agents, transport=transport,
+            dist_fault_plan=dist_fault_plan,
         )
 
     def resume(
@@ -194,6 +213,9 @@ class Controller:
         on_run_complete: Optional[Callable[[RunRecord, str], None]] = None,
         jobs: Optional[int] = None,
         worker_env: Optional[WorkerEnv] = None,
+        agents: Optional[int] = None,
+        transport: str = "loopback",
+        dist_fault_plan=None,
     ) -> ExperimentHandle:
         """Continue a killed or aborted experiment from its journal.
 
@@ -203,11 +225,14 @@ class Controller:
         loop instance the journal records as completed.  Adopted run
         folders are left untouched; re-executed runs land in
         attempt-suffixed folders so nothing is overwritten.  ``jobs``
-        parallelizes the remaining runs exactly as in :meth:`run` —
-        a sequential sweep may be resumed in parallel and vice versa.
+        and ``agents`` parallelize the remaining runs exactly as in
+        :meth:`run` — a sequential sweep may be resumed distributed and
+        vice versa, with zero completed runs re-executed.
         """
         self._check_policy(on_error)
-        jobs = self._check_parallel(jobs, worker_env, on_error)
+        jobs, agents = self._check_execution_plane(
+            jobs, worker_env, on_error, agents, transport, dist_fault_plan,
+        )
         experiment.validate()
         journal = RunJournal.open(result_path)
         try:
@@ -225,6 +250,8 @@ class Controller:
             setup_context_extra=setup_context_extra,
             on_run_complete=on_run_complete, resumed=True,
             jobs=jobs, worker_env=worker_env,
+            agents=agents, transport=transport,
+            dist_fault_plan=dist_fault_plan,
         )
 
     # -- workflow ---------------------------------------------------------------
@@ -257,6 +284,55 @@ class Controller:
             _scheduler.validate_parallel_fault_plan(self.fault_injector.plan)
         return jobs
 
+    def _check_execution_plane(
+        self,
+        jobs: Optional[int],
+        worker_env: Optional[WorkerEnv],
+        on_error: str,
+        agents: Optional[int],
+        transport: str,
+        dist_fault_plan,
+    ) -> tuple:
+        """Validate how the measurement phase executes: sequential,
+        process pool (``jobs``), or distributed agents (``agents``).
+        Returns the resolved ``(jobs, agents)`` pair."""
+        from repro.dist import resolve_agents, validate_dist_fault_plan
+
+        agents = resolve_agents(agents)
+        jobs = self._check_parallel(jobs, worker_env, on_error)
+        if agents == 0:
+            if dist_fault_plan is not None:
+                raise ExperimentError(
+                    "a dist fault plan needs the distributed plane; "
+                    "pass agents >= 1 (or --agents N)"
+                )
+            return jobs, agents
+        if jobs > 1:
+            raise ExperimentError(
+                "jobs and agents are mutually exclusive ways to "
+                "parallelize the measurement phase; pick one"
+            )
+        if worker_env is None:
+            raise ExperimentError(
+                "distributed execution (agents >= 1) needs a worker_env "
+                "recipe for building isolated per-agent testbed worlds"
+            )
+        if on_error == "continue":
+            raise ExperimentError(
+                "distributed execution supports on_error='abort' or "
+                "'recover'; the 'continue' policy couples runs through "
+                "shared watchdog/quarantine state and cannot be sharded"
+            )
+        if self.fault_injector is not None:
+            _scheduler.validate_parallel_fault_plan(self.fault_injector.plan)
+        validate_dist_fault_plan(dist_fault_plan)
+        if transport not in ("loopback", "pipe"):
+            raise ExperimentError(
+                f"unknown dist transport {transport!r} "
+                f"(known: loopback, pipe)"
+            )
+        return jobs, agents
+
     @staticmethod
     def _total_runs(experiment: Experiment, max_runs: Optional[int]) -> int:
         count = len(experiment.variables.runs())
@@ -276,6 +352,9 @@ class Controller:
         resumed: bool,
         jobs: int = 1,
         worker_env: Optional[WorkerEnv] = None,
+        agents: int = 0,
+        transport: str = "loopback",
+        dist_fault_plan=None,
     ) -> ExperimentHandle:
         # ---- setup phase: allocate, configure, boot -------------------------
         allocation = self._allocator.allocate(
@@ -322,6 +401,8 @@ class Controller:
                 on_run_complete=on_run_complete, log=log,
                 journal=journal, completed=completed,
                 jobs=jobs, worker_env=worker_env,
+                agents=agents, transport=transport,
+                dist_fault_plan=dist_fault_plan,
             )
             log.finish_span(measurement_span)
             log.flush(fsync=True)
@@ -408,6 +489,9 @@ class Controller:
         completed: Optional[Dict[int, dict]] = None,
         jobs: int = 1,
         worker_env: Optional[WorkerEnv] = None,
+        agents: int = 0,
+        transport: str = "loopback",
+        dist_fault_plan=None,
     ) -> None:
         runs = experiment.variables.runs()
         if max_runs is not None:
@@ -423,6 +507,19 @@ class Controller:
                 f"measurement phase: {total} runs queued "
                 f"(cross product of loop variables)"
             )
+        if agents > 0:
+            from repro.dist import DistScheduler
+
+            DistScheduler(
+                agents, worker_env, self.recovery_policy,
+                transport=transport, fault_plan=dist_fault_plan,
+                quarantine_threshold=self.quarantine_threshold,
+            ).execute(
+                experiment, runs, completed, exp_dir, journal, handle, log,
+                injector, on_error, on_run_complete=on_run_complete,
+                progress=self._progress, adopt=self._adopt_completed_run,
+            )
+            return
         if jobs > 1:
             ParallelScheduler(jobs, worker_env, self.recovery_policy).execute(
                 experiment, runs, completed, exp_dir, journal, handle, log,

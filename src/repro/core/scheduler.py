@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -68,6 +69,7 @@ __all__ = [
     "WorkerWorld",
     "ReorderBuffer",
     "ParallelScheduler",
+    "build_deliver",
     "resolve_jobs",
     "shard_runs",
     "boot_nodes",
@@ -712,6 +714,16 @@ class ReorderBuffer:
         """Whether every index below ``total`` has been delivered."""
         return self._next >= self._total
 
+    def seen(self, index: int) -> bool:
+        """Whether ``index`` was already delivered or is staged.
+
+        The at-least-once executors (the broken-pool retry below and
+        the distributed controller) use this to drop duplicate
+        outcomes instead of tripping the duplicate guard in
+        :meth:`put` — re-execution is safe, re-delivery is not.
+        """
+        return index < self._next or index in self._pending
+
     def put(self, index: int, payload: Any) -> None:
         """Stage one payload; duplicate or already-delivered indices raise."""
         if index < self._next or index in self._pending:
@@ -738,6 +750,81 @@ class ReorderBuffer:
             self._deliver(index, payload)
 
 
+def build_deliver(
+    runs: List[Dict[str, Any]],
+    completed: Dict[int, dict],
+    exp_dir: ExperimentDir,
+    journal,
+    handle,
+    log,
+    injector,
+    on_error: str,
+    on_run_complete: Optional[Callable] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    adopt: Optional[Callable] = None,
+) -> Callable[[int, Optional[RunOutcome]], None]:
+    """The canonical per-run persistence step, as a reorder-buffer sink.
+
+    Shared by the process-pool scheduler and the distributed
+    controller (:mod:`repro.dist`): however outcomes were produced,
+    every run is persisted, journalled, logged and reported through
+    this one code path, in strict index order — which is what makes
+    the result tree byte-identical across executors.  A ``None``
+    payload marks a journal adoption on resume.
+    """
+    total = len(runs)
+
+    def deliver(index: int, outcome: Optional[RunOutcome]) -> None:
+        """Persist one ready run; ``None`` marks a journal adoption."""
+        if outcome is None:
+            record = adopt(exp_dir, index, runs[index], completed[index])
+            handle.runs.append(record)
+            adopt_telemetry = getattr(log, "adopt_run", None)
+            if adopt_telemetry is not None and completed[index].get("dir"):
+                adopt_telemetry(
+                    index,
+                    os.path.join(exp_dir.path, completed[index]["dir"]),
+                )
+            if log is not None:
+                log.event(
+                    f"run {index}: {runs[index]} -> ok (adopted from journal)"
+                )
+            if progress is not None:
+                progress(index + 1, total)
+            return
+        record, run_dir = persist_outcome(exp_dir, outcome, log)
+        handle.runs.append(record)
+        # Re-sequence the worker's telemetry buffer in run order
+        # and snapshot it, before the journal promises the run.
+        merge_telemetry = getattr(log, "merge_run", None)
+        if merge_telemetry is not None:
+            merge_telemetry(
+                index, outcome.telemetry, run_dir.path,
+                health=outcome.health,
+            )
+        if injector is not None:
+            injector.events.extend(outcome.fault_events)
+        if journal is not None:
+            journal.record_run(
+                index, outcome.loop_instance, ok=record.ok,
+                retried=record.retried, error=record.error,
+                run_dir=os.path.basename(run_dir.path),
+            )
+        if log is not None:
+            status = "ok" if record.ok else f"FAILED ({record.error})"
+            log.event(f"run {index}: {outcome.loop_instance} -> {status}")
+        if on_run_complete is not None:
+            on_run_complete(record, run_dir.path)
+        if progress is not None:
+            progress(index + 1, total)
+        if not record.ok and on_error == "abort":
+            raise ScriptError(
+                f"measurement run {index} failed: {record.error}"
+            )
+
+    return deliver
+
+
 class ParallelScheduler:
     """Fan a measurement phase out over a process pool and merge back.
 
@@ -746,6 +833,13 @@ class ParallelScheduler:
     reported strictly after every run below *k* — the artifacts of a
     parallel execution are byte-identical to a sequential one, and a
     crash leaves the same resumable journal prefix.
+
+    A worker that dies *uncleanly* (SIGKILL, OOM kill — anything that
+    breaks the pool rather than raising) is an infrastructure fault,
+    not an experiment result: the pass is retried under the recovery
+    policy with a fresh pool, re-running exactly the runs whose
+    outcomes were lost.  Run isolation makes the re-execution
+    byte-identical, so the retry is invisible in the artifacts.
     """
 
     def __init__(
@@ -775,77 +869,59 @@ class ParallelScheduler:
     ) -> None:
         total = len(runs)
         pending = [index for index in range(total) if index not in completed]
-        shards = shard_runs(pending, self.jobs)
-
-        def deliver(index: int, outcome: Optional[RunOutcome]) -> None:
-            """Persist one ready run; ``None`` marks a journal adoption."""
-            if outcome is None:
-                record = adopt(exp_dir, index, runs[index], completed[index])
-                handle.runs.append(record)
-                adopt_telemetry = getattr(log, "adopt_run", None)
-                if adopt_telemetry is not None and completed[index].get("dir"):
-                    adopt_telemetry(
-                        index,
-                        os.path.join(exp_dir.path, completed[index]["dir"]),
-                    )
-                if log is not None:
-                    log.event(
-                        f"run {index}: {runs[index]} -> ok (adopted from journal)"
-                    )
-                if progress is not None:
-                    progress(index + 1, total)
-                return
-            record, run_dir = persist_outcome(exp_dir, outcome, log)
-            handle.runs.append(record)
-            # Re-sequence the worker's telemetry buffer in run order
-            # and snapshot it, before the journal promises the run.
-            merge_telemetry = getattr(log, "merge_run", None)
-            if merge_telemetry is not None:
-                merge_telemetry(
-                    index, outcome.telemetry, run_dir.path,
-                    health=outcome.health,
-                )
-            if injector is not None:
-                injector.events.extend(outcome.fault_events)
-            if journal is not None:
-                journal.record_run(
-                    index, outcome.loop_instance, ok=record.ok,
-                    retried=record.retried, error=record.error,
-                    run_dir=os.path.basename(run_dir.path),
-                )
-            if log is not None:
-                status = "ok" if record.ok else f"FAILED ({record.error})"
-                log.event(f"run {index}: {outcome.loop_instance} -> {status}")
-            if on_run_complete is not None:
-                on_run_complete(record, run_dir.path)
-            if progress is not None:
-                progress(index + 1, total)
-            if not record.ok and on_error == "abort":
-                raise ScriptError(
-                    f"measurement run {index} failed: {record.error}"
-                )
-
+        deliver = build_deliver(
+            runs, completed, exp_dir, journal, handle, log, injector,
+            on_error, on_run_complete, progress, adopt,
+        )
         buffer = ReorderBuffer(total, deliver)
         for index in completed:
             buffer.put(index, None)
-        if not shards:
+        if not pending:
             buffer.drain()
             return
-        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-            futures = [
-                pool.submit(
-                    _shard_worker,
-                    self.worker_env,
-                    experiment,
-                    shard,
-                    [runs[index] for index in shard],
-                    on_error,
-                    self.recovery_policy,
-                )
-                for shard in shards
-            ]
-            buffer.drain()
-            for future in as_completed(futures):
-                for outcome in future.result():
-                    buffer.put(outcome.index, outcome)
+
+        def run_pass() -> None:
+            remaining = [index for index in pending if not buffer.seen(index)]
+            if not remaining:
                 buffer.drain()
+                return
+            shards = shard_runs(remaining, self.jobs)
+            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+                futures = [
+                    pool.submit(
+                        _shard_worker,
+                        self.worker_env,
+                        experiment,
+                        shard,
+                        [runs[index] for index in shard],
+                        on_error,
+                        self.recovery_policy,
+                    )
+                    for shard in shards
+                ]
+                buffer.drain()
+                try:
+                    for future in as_completed(futures):
+                        for outcome in future.result():
+                            # A retried pass can race a result that the
+                            # broken pool already surfaced: drop dupes,
+                            # re-execution is idempotent by isolation.
+                            if not buffer.seen(outcome.index):
+                                buffer.put(outcome.index, outcome)
+                        buffer.drain()
+                except BrokenProcessPool as exc:
+                    lost = [i for i in pending if not buffer.seen(i)]
+                    raise NodeError(
+                        f"worker process died uncleanly with "
+                        f"{len(lost)} run(s) unmerged: {exc}"
+                    ) from exc
+
+        try:
+            self.recovery_policy.call(
+                run_pass,
+                retry_on=(NodeError,),
+                clock=SimClock(),
+                describe="parallel worker pool",
+            )
+        except RetryExhausted as exc:
+            raise exc.last_error

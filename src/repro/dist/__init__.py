@@ -1,0 +1,27 @@
+"""Fault-tolerant distributed execution plane.
+
+The controller → node-agent split of the run scheduler: a
+:class:`~repro.dist.controller.DistScheduler` dispatches run shards to
+node agents over a message :class:`~repro.dist.transport.Bus`, tracks
+agents through heartbeat leases, and re-dispatches the work of crashed
+or silent agents to survivors — with at-least-once delivery made safe
+by idempotent, journal-backed dedupe of completed runs.  The merged
+artifact tree is byte-identical for any agent count, any placement,
+and any crash/re-dispatch schedule.
+"""
+
+from repro.dist.controller import (
+    DistScheduler,
+    resolve_agents,
+    validate_dist_fault_plan,
+)
+from repro.dist.transport import Envelope, LoopbackBus, PipeBus
+
+__all__ = [
+    "DistScheduler",
+    "Envelope",
+    "LoopbackBus",
+    "PipeBus",
+    "resolve_agents",
+    "validate_dist_fault_plan",
+]

@@ -26,7 +26,17 @@ wedge      transport execute           the host wedges (OS stops
                                        responding) and the command
                                        fails — only an out-of-band
                                        power cycle recovers it
+agent      distributed execution       the node agent dies (SIGKILL)
+           plane (``repro.dist``)      before (``kill``) or after
+                                       (``kill-after``) executing a
+                                       dispatched run
 ========== =========================== ===============================
+
+The ``agent`` kind — and ``transport`` specs whose ``operation`` is a
+bus verb (``drop``/``duplicate``/``delay``, optionally suffixed with an
+envelope kind, e.g. ``drop:result``) — only strike in the distributed
+execution plane (``--dist-fault-plan``); the in-world wrappers never
+consult them.
 
 Plans load from YAML files (``--fault-plan`` on the CLI)::
 
@@ -61,6 +71,7 @@ FAULT_KINDS: Tuple[str, ...] = (
     "boot",
     "script",
     "wedge",
+    "agent",
 )
 
 

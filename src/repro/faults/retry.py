@@ -38,6 +38,13 @@ class RetryPolicy:
     a jitter factor in ``[1 - jitter_fraction, 1 + jitter_fraction]``
     drawn from ``random.Random(seed)`` — the same policy always yields
     the same delay sequence.
+
+    ``max_elapsed_s`` adds a *time budget* on top of the attempt
+    budget: the backoff sequence is truncated so the cumulative sleep
+    never exceeds it — a retry whose delay would cross the budget is
+    simply not attempted.  The budget counts backoff time (the
+    deterministic quantity), not the caller's execution time, so the
+    truncated sequence is still a pure function of the policy.
     """
 
     max_attempts: int = 3
@@ -46,23 +53,38 @@ class RetryPolicy:
     max_delay_s: float = 5.0
     jitter_fraction: float = 0.1
     seed: int = 0
+    max_elapsed_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
         if not 0.0 <= self.jitter_fraction < 1.0:
             raise ValueError("jitter_fraction must be in [0, 1)")
+        if self.max_elapsed_s is not None and self.max_elapsed_s < 0:
+            raise ValueError("max_elapsed_s must be non-negative")
 
     def delays(self) -> List[float]:
-        """The deterministic backoff sequence (one delay per retry)."""
+        """The deterministic backoff sequence (one delay per retry).
+
+        With ``max_elapsed_s`` set, the sequence stops at the last
+        delay that keeps the cumulative backoff within the budget.
+        """
         rng = random.Random(self.seed)
         sequence: List[float] = []
+        elapsed = 0.0
         for attempt in range(self.max_attempts - 1):
             base = min(
                 self.base_delay_s * self.multiplier ** attempt, self.max_delay_s
             )
             jitter = 1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0)
-            sequence.append(base * jitter)
+            delay = base * jitter
+            if (
+                self.max_elapsed_s is not None
+                and elapsed + delay > self.max_elapsed_s
+            ):
+                break
+            elapsed += delay
+            sequence.append(delay)
         return sequence
 
     def call(
@@ -80,16 +102,20 @@ class RetryPolicy:
         fail, :class:`~repro.core.errors.RetryExhausted` is raised,
         carrying the attempt count and the last underlying error.
         ``on_retry(attempt, error)`` fires before each backoff sleep.
+
+        A ``max_elapsed_s`` budget shortens the attempt count: only the
+        retries whose backoff fits the budget are performed.
         """
         clock = clock if clock is not None else SimClock()
         delays = self.delays()
+        attempts = len(delays) + 1
         last_error: Optional[BaseException] = None
-        for attempt in range(1, self.max_attempts + 1):
+        for attempt in range(1, attempts + 1):
             try:
                 return fn()
             except retry_on as exc:  # noqa: PERF203 - retry loop by design
                 last_error = exc
-                if attempt < self.max_attempts:
+                if attempt < attempts:
                     collector = _telemetry.current()
                     if collector is not None:
                         collector.count("retry.attempts")
@@ -100,14 +126,18 @@ class RetryPolicy:
                         on_retry(attempt, exc)
                     clock.sleep(delays[attempt - 1])
         raise RetryExhausted(
-            f"{describe} failed after {self.max_attempts} attempts: {last_error}",
-            attempts=self.max_attempts,
+            f"{describe} failed after {attempts} attempts: {last_error}",
+            attempts=attempts,
             last_error=last_error,
         ) from last_error
 
     def describe(self) -> dict:
-        """Serializable policy record for the experiment artifacts."""
-        return {
+        """Serializable policy record for the experiment artifacts.
+
+        ``max_elapsed_s`` only appears when set, so policies without a
+        time budget keep their historical artifact bytes.
+        """
+        record = {
             "max_attempts": self.max_attempts,
             "base_delay_s": self.base_delay_s,
             "multiplier": self.multiplier,
@@ -115,3 +145,6 @@ class RetryPolicy:
             "jitter_fraction": self.jitter_fraction,
             "seed": self.seed,
         }
+        if self.max_elapsed_s is not None:
+            record["max_elapsed_s"] = self.max_elapsed_s
+        return record

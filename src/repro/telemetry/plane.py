@@ -25,6 +25,15 @@ Owns every telemetry artifact of one experiment execution:
     Opt-in sidecar (``POS_TELEMETRY_WALLCLOCK=1``) carrying wall-clock
     profile measurements; deliberately separate so the deterministic
     artifacts never embed wall time.
+``dispatch.jsonl``
+    Evidence sidecar of the distributed execution plane (``--agents``):
+    agent spawns, registrations, leases, dispatches, deaths,
+    re-dispatches, quarantines.  Deliberately quarantined from the
+    determinism contract — which agent ran which run and how often it
+    crashed depends on the placement and the crash schedule, while the
+    merged artifacts must not — so determinism comparisons exclude it
+    (``diff -r -x dispatch.jsonl``) or disable it (``POS_DISPATCH_LOG=0``).
+    A resumed execution appends: crash evidence is never destroyed.
 
 Every record is flushed as written; phase boundaries additionally fsync
 both the legacy log and the trace, matching the journal's durability —
@@ -49,14 +58,17 @@ __all__ = [
     "TELEMETRY_NAME",
     "RUN_TELEMETRY_NAME",
     "WALL_SIDECAR_NAME",
+    "DISPATCH_NAME",
     "enabled",
     "wallclock_enabled",
+    "dispatch_enabled",
 ]
 
 TRACE_NAME = "trace.jsonl"
 TELEMETRY_NAME = "telemetry.json"
 RUN_TELEMETRY_NAME = "telemetry.json"
 WALL_SIDECAR_NAME = "trace-wall.jsonl"
+DISPATCH_NAME = "dispatch.jsonl"
 
 _LEGACY_LINE = re.compile(r"^\[(\d+)\] ")
 
@@ -69,6 +81,12 @@ def enabled() -> bool:
 def wallclock_enabled() -> bool:
     """Whether wall-clock profiles go to the ``trace-wall.jsonl`` sidecar."""
     return os.environ.get("POS_TELEMETRY_WALLCLOCK", "0") == "1"
+
+
+def dispatch_enabled() -> bool:
+    """Whether the ``dispatch.jsonl`` evidence sidecar is written
+    (``POS_DISPATCH_LOG`` != 0; on by default)."""
+    return os.environ.get("POS_DISPATCH_LOG", "1") != "0"
 
 
 class _WorkflowLog:
@@ -132,6 +150,9 @@ class ExperimentTelemetry:
         self._log = _WorkflowLog(experiment_path, append=resumed)
         self._trace = None
         self._wall = None
+        self._dispatch = None
+        self._dispatch_append = resumed
+        self._dispatch_seq = 0
         self._clock = LogicalClock()
         self._seq = 0
         self._stack: List[Span] = []
@@ -158,6 +179,30 @@ class ExperimentTelemetry:
     def event(self, message: str) -> None:
         """Write one legacy ``controller.log`` line (flushed immediately)."""
         self._log.event(message)
+
+    # -- distributed-execution evidence --------------------------------------
+
+    def dispatch_event(self, event: str, **fields: Any) -> None:
+        """Append one record to the ``dispatch.jsonl`` evidence sidecar.
+
+        Lazily opened: experiments that never fan out to agents never
+        create the file.  The sidecar is outside the determinism
+        contract (see the module docstring), so records may carry
+        placement- and crash-schedule-dependent detail freely.
+        """
+        if not dispatch_enabled():
+            return
+        if self._dispatch is None:
+            self._dispatch = open(
+                os.path.join(self.path, DISPATCH_NAME),
+                "a" if self._dispatch_append else "w",
+                encoding="utf-8",
+            )
+        self._dispatch_seq += 1
+        record = {"seq": self._dispatch_seq, "event": event}
+        record.update(fields)
+        self._dispatch.write(json.dumps(record, sort_keys=True) + "\n")
+        self._dispatch.flush()
 
     # -- workflow spans ------------------------------------------------------
 
@@ -315,6 +360,9 @@ class ExperimentTelemetry:
         if self._wall is not None:
             self._wall.close()
             self._wall = None
+        if self._dispatch is not None:
+            self._dispatch.close()
+            self._dispatch = None
 
     # -- internals -----------------------------------------------------------
 

@@ -23,7 +23,8 @@ import json
 import os
 import shutil
 
-from repro.campaign import run_campaign
+from repro.campaign import campaign_status, run_campaign
+from repro.campaign.admission import ADMISSION_NAME
 from repro.core.journal import JOURNAL_NAME, RunJournal
 
 CAMPAIGN = """\
@@ -102,6 +103,45 @@ def test_campaign_resumes_cleanly_from_every_torn_byte(tmp_path):
         assert different == [], (
             f"tree diverged at cut offset {cut}: {different}"
         )
+
+
+def test_admission_log_heals_from_every_torn_byte(tmp_path):
+    """``admission.jsonl`` is written atomically, so a torn tail can only
+    come from outside interference — but the plan is a pure function of
+    the spec, so resume recomputes it and the atomic rewrite restores
+    the exact baseline bytes at every cut point.  ``campaign status``
+    must tolerate the torn file in the meantime."""
+    spec_path = str(tmp_path / "c.yml")
+    with open(spec_path, "w") as handle:
+        handle.write(CAMPAIGN)
+    baseline = str(tmp_path / "baseline")
+    assert run_campaign(spec_path, baseline, jobs=1).ok
+    expected_tree = tree_snapshot(baseline)
+    expected_runs = run_directories(baseline)
+    admission_path = os.path.join(baseline, ADMISSION_NAME)
+    with open(admission_path, "rb") as handle:
+        admission_bytes = handle.read()
+    assert not os.path.exists(admission_path + ".tmp")  # atomic rename
+    lines = admission_bytes.splitlines(keepends=True)
+    assert len(lines) >= 2
+    tail_start = len(admission_bytes) - len(lines[-1])
+    scratch = str(tmp_path / "scratch")
+
+    for cut in range(tail_start, len(admission_bytes)):
+        shutil.rmtree(scratch, ignore_errors=True)
+        shutil.copytree(baseline, scratch)
+        with open(os.path.join(scratch, ADMISSION_NAME), "r+b") as handle:
+            handle.truncate(cut)
+        # Observers never crash on the torn log ...
+        status = campaign_status(scratch)
+        assert "campaign:" in status, cut
+        # ... and resume heals it: recompute, atomic rewrite, no re-runs.
+        result = run_campaign(spec_path, scratch, jobs=1, resume=True)
+        assert result.ok, f"resume failed at cut offset {cut}"
+        with open(os.path.join(scratch, ADMISSION_NAME), "rb") as handle:
+            assert handle.read() == admission_bytes, cut
+        assert run_directories(scratch) == expected_runs, cut
+        assert tree_snapshot(scratch) == expected_tree, cut
 
 
 def test_run_journal_append_after_torn_tail_leaves_clean_records(tmp_path):

@@ -334,3 +334,106 @@ class TestParallelResume:
         assert handle.completed_runs == 4
         resumed = tree(str(tmp_path / "crashed"))
         assert run_dir_files(resumed) == run_dir_files(clean)
+
+
+# --------------------------------------------------------------------------
+# worker crashes: BrokenProcessPool is a retryable infrastructure fault
+# --------------------------------------------------------------------------
+
+
+def _suicidal_worker_world(platform, seed, fault_plan, sentinel):
+    """A worker world factory whose first-ever call SIGKILLs the worker.
+
+    The sentinel file marks the first attempt; the retried pass finds it
+    and builds a perfectly normal world.  Module-level so the WorkerEnv
+    recipe pickles by reference into the pool workers.
+    """
+    import signal
+
+    from repro.casestudy.experiment import _build_worker_world
+
+    if sentinel is None:
+        os.kill(os.getpid(), signal.SIGKILL)  # persistently dying fleet
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w", encoding="utf-8") as handle:
+            handle.write("first worker died here\n")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _build_worker_world(platform, seed, fault_plan)
+
+
+class TestWorkerCrash:
+    """A SIGKILLed pool worker is infrastructure failure, not run
+    failure: the pass is retried under the recovery policy and the
+    merged tree stays byte-identical to a clean run."""
+
+    KWARGS = dict(
+        rates=[200_000, 400_000], sizes=(64, 1500),
+        duration_s=0.05, interval_s=0.02,
+    )
+
+    def run_with_env(self, root, worker_env, jobs):
+        env = build_environment("pos", str(root), clock=CLOCK)
+        experiment = build_case_study_experiment(
+            platform="pos",
+            rates=self.KWARGS["rates"],
+            sizes=self.KWARGS["sizes"],
+            duration_s=self.KWARGS["duration_s"],
+            interval_s=self.KWARGS["interval_s"],
+        )
+        try:
+            return env.controller.run(
+                experiment,
+                setup_context_extra={"setup": env.setup},
+                jobs=jobs,
+                worker_env=worker_env,
+            )
+        finally:
+            if env.setup.hypervisor is not None:
+                env.setup.hypervisor.stop()
+
+    def test_worker_sigkill_is_retried_and_tree_is_identical(self, tmp_path):
+        from repro.core.scheduler import WorkerEnv
+
+        run_case_study("pos", str(tmp_path / "clean"), jobs=1,
+                       clock=CLOCK, **self.KWARGS)
+        clean = tree(str(tmp_path / "clean"))
+
+        sentinel = str(tmp_path / "first-attempt-died")
+        worker_env = WorkerEnv(
+            factory=_suicidal_worker_world,
+            kwargs={
+                "platform": "pos", "seed": 0, "fault_plan": None,
+                "sentinel": sentinel,
+            },
+        )
+        handle = self.run_with_env(tmp_path / "crashy", worker_env, jobs=2)
+        assert handle.completed_runs == 4
+        assert handle.failed_runs == 0
+        assert os.path.exists(sentinel)  # the first pass really died
+        crashy = tree(str(tmp_path / "crashy"))
+        assert run_dir_files(crashy) == run_dir_files(clean)
+        indices = [
+            entry["index"]
+            for entry in journal_entries(crashy)
+            if entry.get("event") == "run"
+        ]
+        assert indices == [0, 1, 2, 3]
+
+    def test_persistently_dying_workers_exhaust_the_recovery_policy(
+        self, tmp_path,
+    ):
+        from repro.core.errors import NodeError
+        from repro.core.scheduler import WorkerEnv
+
+        # sentinel=None: every incarnation dies, every retried pass
+        # dies again, and the NodeError escapes once the recovery
+        # policy is exhausted.
+        worker_env = WorkerEnv(
+            factory=_suicidal_worker_world,
+            kwargs={
+                "platform": "pos", "seed": 0, "fault_plan": None,
+                "sentinel": None,
+            },
+        )
+        with pytest.raises(NodeError, match="worker process died"):
+            self.run_with_env(tmp_path / "doomed", worker_env, jobs=2)

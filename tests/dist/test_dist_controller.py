@@ -1,0 +1,160 @@
+"""Unit and policy tests for the distributed run controller.
+
+Covers agent-count resolution, chaos-plan validation, the execution-
+plane guards in the experiment controller, and the failure policies the
+scheduler enforces when a fleet cannot make progress: the re-dispatch
+budget and fleet-wide quarantine both fail loudly instead of spinning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudy import run_case_study
+from repro.core.errors import ExperimentError
+from repro.dist import DistScheduler, resolve_agents, validate_dist_fault_plan
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.retry import RetryPolicy
+
+CLOCK = lambda: 1_600_000_000.0  # noqa: E731 - fixed clock => fixed tree paths
+
+
+def run(tmp_path, sub, **kwargs):
+    kwargs.setdefault("duration_s", 0.2)
+    kwargs.setdefault("max_runs", 4)
+    kwargs.setdefault("clock", CLOCK)
+    return run_case_study("vpos", str(tmp_path / sub), **kwargs)
+
+
+class TestResolveAgents:
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv("POS_AGENTS", raising=False)
+        assert resolve_agents(None) == 0
+
+    def test_explicit_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv("POS_AGENTS", "8")
+        assert resolve_agents(2) == 2
+
+    def test_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv("POS_AGENTS", "3")
+        assert resolve_agents(None) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExperimentError, match="non-negative"):
+            resolve_agents(-1)
+
+
+class TestValidateDistFaultPlan:
+    def test_none_and_dist_kinds_accepted(self):
+        validate_dist_fault_plan(None)
+        validate_dist_fault_plan(FaultPlan([
+            FaultSpec(kind="agent", operation="kill", node="agent-00", times=1),
+            FaultSpec(kind="agent", operation="kill-after", runs=(1,)),
+            FaultSpec(kind="transport", operation="drop", times=2),
+            FaultSpec(kind="transport", operation="drop:result", times=1),
+            FaultSpec(kind="transport", operation="delay:heartbeat"),
+            FaultSpec(kind="transport", operation="duplicate"),
+        ]))
+
+    def test_unknown_agent_operation_rejected(self):
+        with pytest.raises(ExperimentError, match="agent operation"):
+            validate_dist_fault_plan(FaultPlan([
+                FaultSpec(kind="agent", operation="reboot"),
+            ]))
+
+    def test_transport_needs_explicit_operation(self):
+        with pytest.raises(ExperimentError, match="explicit bus operation"):
+            validate_dist_fault_plan(FaultPlan([
+                FaultSpec(kind="transport"),
+            ]))
+
+    def test_unknown_bus_verb_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown bus operation"):
+            validate_dist_fault_plan(FaultPlan([
+                FaultSpec(kind="transport", operation="scramble"),
+            ]))
+
+    def test_unknown_envelope_kind_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown envelope kind"):
+            validate_dist_fault_plan(FaultPlan([
+                FaultSpec(kind="transport", operation="drop:telegram"),
+            ]))
+
+    def test_in_world_kinds_belong_to_the_regular_plan(self):
+        with pytest.raises(ExperimentError, match="regular\nfault plan|regular "):
+            validate_dist_fault_plan(FaultPlan([
+                FaultSpec(kind="power", node="tartu", runs=(0,)),
+            ]))
+
+
+class TestSchedulerConstruction:
+    def test_agent_count_must_be_positive(self):
+        with pytest.raises(ExperimentError, match="at least 1"):
+            DistScheduler(0, object(), RetryPolicy())
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown transport"):
+            DistScheduler(2, object(), RetryPolicy(), transport="carrier-pigeon")
+
+    def test_quarantine_threshold_must_be_positive(self):
+        with pytest.raises(ExperimentError, match="quarantine_threshold"):
+            DistScheduler(2, object(), RetryPolicy(), quarantine_threshold=0)
+
+    def test_chaos_plan_validated_at_construction(self):
+        with pytest.raises(ExperimentError, match="unknown bus operation"):
+            DistScheduler(
+                2, object(), RetryPolicy(),
+                fault_plan=FaultPlan([
+                    FaultSpec(kind="transport", operation="scramble"),
+                ]),
+            )
+
+
+class TestExecutionPlaneGuards:
+    def test_jobs_and_agents_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ExperimentError, match="mutually exclusive"):
+            run(tmp_path, "x", jobs=2, agents=2)
+
+    def test_dist_fault_plan_requires_agents(self, tmp_path):
+        plan = FaultPlan([
+            FaultSpec(kind="transport", operation="drop", times=1),
+        ])
+        with pytest.raises(ExperimentError, match="needs the distributed plane"):
+            run(tmp_path, "x", dist_fault_plan=plan)
+
+    def test_continue_policy_rejected_on_the_plane(self, tmp_path):
+        with pytest.raises(ExperimentError, match="on_error"):
+            run(tmp_path, "x", agents=2, on_error="continue")
+
+    def test_in_world_spec_in_dist_plan_rejected(self, tmp_path):
+        plan = FaultPlan([
+            FaultSpec(kind="power", node="tartu", runs=(0,), times=1),
+        ])
+        with pytest.raises(ExperimentError, match="regular"):
+            run(tmp_path, "x", agents=2, dist_fault_plan=plan)
+
+    def test_unknown_transport_rejected_by_controller(self, tmp_path):
+        with pytest.raises(ExperimentError, match="transport"):
+            run(tmp_path, "x", agents=2, transport="smoke-signal")
+
+
+class TestFleetFailurePolicies:
+    def test_always_dying_fleet_is_quarantined_loudly(self, tmp_path):
+        # Every incarnation of the single agent is killed before its
+        # first run; after quarantine_threshold deaths the whole fleet
+        # is quarantined and the experiment must fail, not spin.
+        plan = FaultPlan([
+            FaultSpec(kind="agent", operation="kill", times=None),
+        ])
+        with pytest.raises(ExperimentError, match="quarantined"):
+            run(tmp_path, "x", agents=1, dist_fault_plan=plan)
+
+    def test_unreliable_transport_exhausts_redispatch_budget(self, tmp_path):
+        # Results never survive the wire: the agent executes and
+        # re-executes, reconcile re-dispatches, and the budget trips
+        # before the scheduler loops forever.
+        plan = FaultPlan([
+            FaultSpec(kind="transport", operation="drop:result", times=None),
+        ])
+        with pytest.raises(ExperimentError, match="re-dispatched|stalled"):
+            run(tmp_path, "x", max_runs=2, agents=1, dist_fault_plan=plan)

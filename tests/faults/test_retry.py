@@ -118,6 +118,75 @@ class TestCall:
         assert info["seed"] == 9
 
 
+class TestMaxElapsed:
+    """The time budget truncates the backoff sequence deterministically."""
+
+    def test_budget_truncates_delay_sequence(self):
+        unbounded = RetryPolicy(
+            max_attempts=6, base_delay_s=1.0, multiplier=2.0,
+            max_delay_s=10.0, jitter_fraction=0.0,
+        )
+        assert unbounded.delays() == [1.0, 2.0, 4.0, 8.0, 10.0]
+        budgeted = RetryPolicy(
+            max_attempts=6, base_delay_s=1.0, multiplier=2.0,
+            max_delay_s=10.0, jitter_fraction=0.0, max_elapsed_s=7.5,
+        )
+        # 1 + 2 + 4 = 7 fits; adding the 8s delay would cross 7.5.
+        assert budgeted.delays() == [1.0, 2.0, 4.0]
+
+    def test_budget_is_cumulative_not_per_delay(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=1.0, multiplier=1.0,
+            max_delay_s=1.0, jitter_fraction=0.0, max_elapsed_s=3.0,
+        )
+        assert policy.delays() == [1.0, 1.0, 1.0]
+
+    def test_zero_budget_means_single_attempt(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.5, jitter_fraction=0.0,
+            max_elapsed_s=0.0,
+        )
+        assert policy.delays() == []
+        calls = {"n": 0}
+
+        def fails():
+            calls["n"] += 1
+            raise PowerError("down")
+
+        with pytest.raises(RetryExhausted, match="after 1 attempts"):
+            policy.call(fails, retry_on=(PowerError,), clock=SimClock())
+        assert calls["n"] == 1
+
+    def test_call_respects_the_truncated_schedule(self):
+        clock = SimClock()
+        policy = RetryPolicy(
+            max_attempts=6, base_delay_s=1.0, multiplier=2.0,
+            max_delay_s=10.0, jitter_fraction=0.0, max_elapsed_s=3.5,
+        )
+
+        def always_fails():
+            raise PowerError("bmc")
+
+        with pytest.raises(RetryExhausted, match="after 3 attempts") as info:
+            policy.call(always_fails, retry_on=(PowerError,), clock=clock)
+        assert info.value.attempts == 3
+        assert clock.sleeps == [1.0, 2.0]
+        assert sum(clock.sleeps) <= 3.5
+
+    def test_no_budget_preserves_historical_behaviour(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.1)
+        assert len(policy.delays()) == 3
+        assert "max_elapsed_s" not in policy.describe()
+
+    def test_budget_appears_in_describe_when_set(self):
+        policy = RetryPolicy(max_attempts=4, max_elapsed_s=9.0)
+        assert policy.describe()["max_elapsed_s"] == 9.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_elapsed_s=-1.0)
+
+
 class TestClocks:
     def test_sim_clock_advances_and_records(self):
         clock = SimClock(start=100.0)
