@@ -1,0 +1,198 @@
+"""DAG fastpath + run cache — what the generalized kernel buys.
+
+Three measurements, all recorded in ``benchmarks/BENCH_fastpath_dag.json``:
+
+1. Events processed for one measurement run on the sweep topologies the
+   generalized compiler newly covers (3-router chain, multi-core RSS
+   fan-out, mixed ASIC/bridge/router chain), event path vs DAG kernel —
+   the ISSUE's >=100x reduction floor, gated per topology, with the
+   committed numbers doubling as the CI regression baseline.
+2. Spec reuse across a sweep: the second and later runs on one world
+   skip compilation entirely (``acquire_dag`` returns the cached spec).
+3. Wall clock of a warm cached sweep vs a cold one — the run cache's
+   end-to-end payoff: replaying memoized outcomes through the persist
+   pipeline costs a small fraction of simulating them.
+
+Correctness rides along: packet counts must be identical between the
+two paths, and the warm tree byte-identical to the cold one.
+"""
+
+from __future__ import annotations
+
+import filecmp
+import json
+import os
+import time
+
+from repro.casestudy import run_case_study
+from repro.loadgen.moongen import MoonGen
+from repro.netsim import fastpath
+from repro.netsim.asicswitch import AsicSwitch
+from repro.netsim.bridge import LinuxBridge
+from repro.netsim.engine import Simulator
+from repro.netsim.link import DirectWire
+from repro.netsim.multicore import MultiCoreRouter
+from repro.netsim.nic import HardwareNic
+from repro.netsim.router import LinuxRouter
+
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_fastpath_dag.json")
+
+#: The batched event count is deterministic; any real regression is a
+#: step change far above this slack over the recorded baseline.
+EVENT_GATE_SLACK = 1.05
+
+TOPOLOGIES = {
+    "router_chain_x3": ["router", "router", "router"],
+    "multicore_rss": ["multicore"],
+    "mixed_asic_bridge_router": ["asic", "bridge", "router"],
+}
+
+
+def _update_bench_json(section, payload):
+    data = {}
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as handle:
+            data = json.load(handle)
+    data[section] = payload
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _build(sim, kinds):
+    tx = HardwareNic(sim, "lg.tx")
+    rx = HardwareNic(sim, "lg.rx")
+    upstream = tx
+    for position, kind in enumerate(kinds):
+        if kind == "asic":
+            switch = AsicSwitch(sim, f"sw{position}", ports=2)
+            switch.add_rule("lg.rx", 1)
+            DirectWire(sim, upstream, switch.ports[0])
+            upstream = switch.ports[1]
+            continue
+        p0 = HardwareNic(sim, f"d{position}.p0")
+        p1 = HardwareNic(sim, f"d{position}.p1")
+        device = {
+            "router": LinuxRouter,
+            "multicore": lambda s, n: MultiCoreRouter(s, n, cores=8),
+            "bridge": LinuxBridge,
+        }[kind](sim, f"d{position}")
+        device.add_port(p0)
+        device.add_port(p1)
+        DirectWire(sim, upstream, p0)
+        upstream = p1
+    DirectWire(sim, upstream, rx)
+    return MoonGen(sim, tx, rx, seed=3)
+
+
+def _one_run(kinds, batched, runs=1):
+    os.environ["POS_NETSIM_BATCH"] = "1" if batched else "0"
+    fastpath.enabled.refresh()
+    try:
+        sim = Simulator()
+        gen = _build(sim, kinds)
+        flows = 8 if "multicore" in kinds else 1
+        job = None
+        for __ in range(runs):
+            gen.reseed(3)
+            job = gen.start(rate_pps=2_000_000, frame_size=64,
+                            duration_s=0.02, interval_s=0.01, flows=flows)
+            sim.run(until=sim.now + 0.05)
+            assert job.finished
+        return sim.events_processed, job, gen
+    finally:
+        os.environ.pop("POS_NETSIM_BATCH", None)
+        fastpath.enabled.refresh()
+
+
+def test_bench_dag_event_reduction():
+    baseline = {}
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as handle:
+            baseline = json.load(handle).get("events", {})
+
+    payload = {}
+    print("\n=== DAG kernel: events per measurement run ===")
+    for name, kinds in TOPOLOGIES.items():
+        legacy_events, legacy_job, __ = _one_run(kinds, batched=False)
+        batched_events, batched_job, __ = _one_run(kinds, batched=True)
+        assert (batched_job.tx_packets, batched_job.rx_packets) == (
+            legacy_job.tx_packets, legacy_job.rx_packets
+        )
+        reduction = legacy_events / batched_events
+        print(f"{name:>26}: legacy {legacy_events:>8}  "
+              f"batched {batched_events:>5}  reduction {reduction:7.0f}x")
+        payload[name] = {
+            "legacy": legacy_events,
+            "batched": batched_events,
+            "reduction": round(reduction, 1),
+        }
+        assert reduction >= 100.0, (
+            f"{name}: only {reduction:.0f}x event reduction"
+        )
+        recorded = baseline.get(name, {}).get("batched")
+        if recorded is not None:
+            assert batched_events <= recorded * EVENT_GATE_SLACK, (
+                f"{name}: {batched_events} events vs baseline {recorded} — "
+                f"the DAG fast path stopped engaging"
+            )
+    _update_bench_json("events", payload)
+
+
+def test_bench_sweep_spec_reuse():
+    runs = 5
+    __, job, gen = _one_run(
+        TOPOLOGIES["mixed_asic_bridge_router"], batched=True, runs=runs
+    )
+    spec = getattr(gen, "_dag_spec", None)
+    assert spec is not None and job.rx_packets > 0
+    assert spec.reuse_count == runs - 1
+    print(f"\n=== sweep spec reuse: {runs} runs, "
+          f"{spec.reuse_count} compile(s) skipped ===")
+    _update_bench_json("spec_reuse", {
+        "runs": runs,
+        "compiles_skipped": spec.reuse_count,
+    })
+
+
+def test_bench_warm_cache_wallclock(tmp_path_factory, monkeypatch):
+    cache = tmp_path_factory.mktemp("run-cache")
+    monkeypatch.setenv("POS_RUN_CACHE_DIR", str(cache))
+    sweep = dict(rates=[100_000, 300_000, 500_000], sizes=(64, 1500),
+                 duration_s=0.05, interval_s=0.01,
+                 clock=lambda: 1_700_000_000.0)
+
+    cold_root = tmp_path_factory.mktemp("cold")
+    start = time.perf_counter()
+    handle = run_case_study("pos", str(cold_root), **sweep)
+    cold_s = time.perf_counter() - start
+    assert handle.failed_runs == 0
+
+    warm_root = tmp_path_factory.mktemp("warm")
+    start = time.perf_counter()
+    handle = run_case_study("pos", str(warm_root), **sweep)
+    warm_s = time.perf_counter() - start
+    assert handle.failed_runs == 0
+
+    comparison = filecmp.dircmp(
+        str(cold_root), str(warm_root), ignore=["cache.jsonl"]
+    )
+
+    def assert_same(node):
+        assert not node.diff_files, node.diff_files
+        assert not node.left_only and not node.right_only
+        for sub in node.subdirs.values():
+            assert_same(sub)
+
+    assert_same(comparison)
+    speedup = cold_s / warm_s
+    print(f"\n=== warm run cache: 6-run sweep wall clock ===")
+    print(f"cold: {cold_s:6.3f} s   warm: {warm_s:6.3f} s   "
+          f"speedup: {speedup:.1f}x")
+    _update_bench_json("warm_cache", {
+        "sweep_runs": 6,
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 3),
+        "speedup": round(speedup, 2),
+    })
+    assert speedup >= 1.5, f"warm cache only {speedup:.2f}x faster"

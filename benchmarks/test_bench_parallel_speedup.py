@@ -22,6 +22,7 @@ import time
 from repro.casestudy import POS_RATES, run_case_study
 from repro.evaluation.loader import load_experiment
 from repro.loadgen.moongen import MoonGen
+from repro.netsim import fastpath
 from repro.netsim.engine import Simulator
 from repro.netsim.link import DirectWire
 from repro.netsim.nic import HardwareNic
@@ -57,12 +58,14 @@ def _update_bench_json(section, payload):
 
 def _timed_sweep(root, jobs, batched):
     os.environ["POS_NETSIM_BATCH"] = "1" if batched else "0"
+    fastpath.enabled.refresh()
     try:
         start = time.perf_counter()
         handle = run_case_study("pos", str(root), jobs=jobs, **SWEEP)
         elapsed = time.perf_counter() - start
     finally:
         os.environ.pop("POS_NETSIM_BATCH", None)
+        fastpath.enabled.refresh()
     assert handle.failed_runs == 0
     return elapsed, load_experiment(handle.result_path)
 
@@ -70,6 +73,7 @@ def _timed_sweep(root, jobs, batched):
 def _one_measurement_run(batched):
     """Events the simulator processes for one Fig. 3a-style run."""
     os.environ["POS_NETSIM_BATCH"] = "1" if batched else "0"
+    fastpath.enabled.refresh()
     try:
         sim = Simulator()
         tx = HardwareNic(sim, "lg.tx")
@@ -89,6 +93,7 @@ def _one_measurement_run(batched):
         return sim.events_processed, job
     finally:
         os.environ.pop("POS_NETSIM_BATCH", None)
+        fastpath.enabled.refresh()
 
 
 def test_bench_parallel_speedup(tmp_path_factory):

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro import cache as _runcache
+from repro.core import envcache
 from repro.core.allocation import Allocator
 from repro.core.calendar import Calendar
 from repro.core.controller import Controller, ExperimentHandle
@@ -282,6 +284,7 @@ def build_environment(
     clock: Optional[Callable[[], float]] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     fault_plan=None,
+    cache_dir: Optional[str] = None,
 ) -> CaseStudyEnvironment:
     """Build the full environment for one platform.
 
@@ -289,7 +292,16 @@ def build_environment(
     every node's power and transport layer with the seeded injection
     plane and attaches the injector to the controller, so planned
     faults strike by run index and are recorded in the inventory.
+
+    ``cache_dir`` (default: the ``POS_RUN_CACHE_DIR`` environment
+    variable, else off) attaches a content-addressed run cache
+    (:mod:`repro.cache`): a repeated (scenario, assignment, seed) point
+    is served from the cache with zero simulator events and a
+    byte-identical artifact tree.  ``POS_RUN_CACHE=0`` kills it.
     """
+    # Kill switches are resolved once per world, here: hot paths read
+    # the cached resolution instead of hitting os.environ per run.
+    envcache.refresh_all()
     if platform == "pos":
         setup = build_pos_pair(seed=seed)
     elif platform == "vpos":
@@ -301,6 +313,18 @@ def build_environment(
         from repro.faults.injector import install_fault_plan
 
         injector = install_fault_plan(setup.nodes, fault_plan)
+    run_cache = None
+    cache_root = _runcache.resolve_cache_dir(cache_dir)
+    if cache_root is not None and injector is None:
+        run_cache = _runcache.RunCache(
+            cache_root,
+            scope={
+                "code_epoch": _runcache.CODE_EPOCH,
+                "platform": platform,
+                "seed": seed,
+                "testbed": setup.describe(),
+            },
+        )
     calendar = Calendar(clock=clock)
     allocator = Allocator(calendar, setup.nodes)
     results = ResultStore(result_root, clock=clock)
@@ -311,6 +335,7 @@ def build_environment(
         inventory_extra=lambda: {"testbed": setup.describe()},
         progress=progress,
         fault_injector=injector,
+        run_cache=run_cache,
     )
     return CaseStudyEnvironment(
         platform=platform,
@@ -333,6 +358,10 @@ def _build_worker_world(
     is attached) its own injector copy — sharing nothing with the
     parent's or any sibling's.
     """
+    # A fresh world re-reads the kill switches: cached env resolutions
+    # belong to a world, and a spawned worker process may have inherited
+    # a parent's cache alongside a changed environment.
+    envcache.refresh_all()
     if platform == "pos":
         setup = build_pos_pair(seed=seed)
     elif platform == "vpos":
@@ -382,6 +411,7 @@ def run_case_study(
     agents: Optional[int] = None,
     transport: str = "loopback",
     dist_fault_plan=None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentHandle:
     """Execute the whole case study on one platform, end to end.
 
@@ -403,12 +433,17 @@ def run_case_study(
     The result tree stays byte-identical to a sequential execution for
     any agent count and crash schedule.
 
+    ``cache_dir`` attaches the content-addressed run cache: repeated
+    (scenario, assignment, seed) points are replayed from it with zero
+    simulator events and byte-identical artifacts (see
+    :mod:`repro.cache`).
+
     Returns the experiment handle; ``handle.result_path`` is the result
     folder ready for evaluation and publication.
     """
     env = build_environment(
         platform, result_root, seed=seed, clock=clock, progress=progress,
-        fault_plan=fault_plan,
+        fault_plan=fault_plan, cache_dir=cache_dir,
     )
     experiment = build_case_study_experiment(
         platform=platform,

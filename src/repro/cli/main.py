@@ -112,6 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fault-plan", metavar="FILE", default=None,
                      help="YAML fault plan injecting deterministic faults "
                           "into the power/transport layers (testing R3)")
+    run.add_argument("--cache", metavar="DIR", default=None,
+                     help="content-addressed run cache directory (default: "
+                          "the POS_RUN_CACHE_DIR environment variable, else "
+                          "off); repeated (scenario, assignment, seed) "
+                          "points are served from it with zero simulator "
+                          "events and byte-identical artifacts; "
+                          "POS_RUN_CACHE=0 disables it")
 
     export = sub.add_parser(
         "export", help="write the case study as a publishable artifact folder"
@@ -220,6 +227,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="an experiment's timestamp folder (or any directory above it)",
     )
 
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain a content-addressed run cache directory",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_sub.add_parser(
+        "ls", help="list cached run outcomes with their provenance"
+    )
+    cache_ls.add_argument("--cache", required=True, metavar="DIR",
+                          help="run cache directory")
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="hash-check every cached outcome against its manifest",
+    )
+    cache_verify.add_argument("--cache", required=True, metavar="DIR",
+                              help="run cache directory")
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help="remove corrupt entries and entries from older code epochs",
+    )
+    cache_gc.add_argument("--cache", required=True, metavar="DIR",
+                          help="run cache directory")
+
     sub.add_parser("compare", help="print the testbed comparison (Table 1)")
 
     check = sub.add_parser(
@@ -267,6 +297,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         agents=args.agents,
         transport=args.transport,
         dist_fault_plan=dist_fault_plan,
+        cache_dir=args.cache,
     )
     print(f"results: {handle.result_path}")
     print(f"runs completed: {handle.completed_runs}, failed: {handle.failed_runs}")
@@ -462,6 +493,42 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache import RunCache
+
+    cache = RunCache(args.cache)
+    if args.cache_command == "ls":
+        count = 0
+        for entry in cache.entries():
+            manifest = entry.manifest
+            loop = manifest.get("loop", {})
+            loop_text = " ".join(
+                f"{key}={loop[key]}" for key in sorted(loop)
+            ) or "-"
+            scope = manifest.get("scope", {})
+            print(
+                f"{entry.key[:12]}  epoch={manifest.get('code_epoch', '?')} "
+                f"seed={scope.get('seed', '?')} "
+                f"run={manifest.get('index', '?')} {loop_text}"
+            )
+            count += 1
+        print(f"{count} cached run(s)")
+        return 0
+    if args.cache_command == "verify":
+        report = cache.verify()
+        for key in report["corrupt"]:
+            print(f"corrupt: {key}")
+        print(
+            f"{len(report['ok'])} ok, {len(report['corrupt'])} corrupt"
+        )
+        return 0 if not report["corrupt"] else 1
+    result = cache.gc()
+    for key in result["removed"]:
+        print(f"removed: {key}")
+    print(f"{len(result['removed'])} removed, {len(result['kept'])} kept")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     print(format_table(), end="")
     return 0
@@ -492,6 +559,7 @@ _COMMANDS = {
     "watch": _cmd_watch,
     "agents": _cmd_agents,
     "campaign": _cmd_campaign,
+    "cache": _cmd_cache,
     "compare": _cmd_compare,
     "check-replication": _cmd_check_replication,
 }

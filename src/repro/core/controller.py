@@ -126,6 +126,7 @@ class Controller:
         recovery_policy: Optional[RetryPolicy] = None,
         quarantine_threshold: int = 3,
         clock: Optional[Clock] = None,
+        run_cache=None,
     ):
         self._allocator = allocator
         self._images = images
@@ -133,6 +134,12 @@ class Controller:
         self._inventory_extra = inventory_extra
         self._progress = progress
         self.fault_injector = fault_injector
+        #: Optional :class:`repro.cache.RunCache`.  Consulted before the
+        #: measurement phase dispatches each run — sequentially, under
+        #: --jobs and under --agents alike — and fed with fresh eligible
+        #: outcomes.  Never active alongside a fault injector: injected
+        #: faults make outcomes a function of the plan, not the run.
+        self.run_cache = run_cache
         self.recovery_policy = recovery_policy or DEFAULT_RECOVERY_POLICY
         if quarantine_threshold < 1:
             raise ExperimentError("quarantine_threshold must be at least 1")
@@ -500,6 +507,9 @@ class Controller:
         completed = completed or {}
         health: Dict[str, int] = {}
         injector = self.fault_injector
+        cache, cache_keys, cached = self._cache_plan(
+            experiment, runs, completed, log
+        )
         if log is not None:
             # Deliberately job-count-agnostic: the artifact tree of a
             # parallel execution is byte-identical to a sequential one.
@@ -518,6 +528,7 @@ class Controller:
                 experiment, runs, completed, exp_dir, journal, handle, log,
                 injector, on_error, on_run_complete=on_run_complete,
                 progress=self._progress, adopt=self._adopt_completed_run,
+                cached=cached, cache=cache, cache_keys=cache_keys,
             )
             return
         if jobs > 1:
@@ -525,6 +536,7 @@ class Controller:
                 experiment, runs, completed, exp_dir, journal, handle, log,
                 injector, on_error, on_run_complete=on_run_complete,
                 progress=self._progress, adopt=self._adopt_completed_run,
+                cached=cached, cache=cache, cache_keys=cache_keys,
             )
             return
         isolation = getattr(extra.get("setup"), "begin_run", None)
@@ -571,12 +583,19 @@ class Controller:
                 if self._progress is not None:
                     self._progress(index + 1, total)
                 continue
-            # -- execute ----------------------------------------------------
-            outcome = _scheduler.execute_run(
-                experiment, allocation.node, store, extra, index,
-                loop_instance, on_error, self.recovery_policy, self.clock,
-                injector, isolation,
-            )
+            # -- execute (or replay the cached outcome) ---------------------
+            outcome = cached.get(index)
+            if outcome is None:
+                outcome = _scheduler.execute_run(
+                    experiment, allocation.node, store, extra, index,
+                    loop_instance, on_error, self.recovery_policy, self.clock,
+                    injector, isolation,
+                )
+                if cache is not None and index in cache_keys:
+                    if cache.store(cache_keys[index], outcome) and log is not None:
+                        log.cache_event(
+                            "cache.store", run=index, key=cache_keys[index]
+                        )
             record, run_dir = _scheduler.persist_outcome(exp_dir, outcome, log)
             handle.runs.append(record)
             if log is not None:
@@ -614,6 +633,48 @@ class Controller:
                         experiment, allocation, store, exp_dir, extra,
                         health, handle.quarantined, log,
                     )
+
+    def _cache_plan(
+        self,
+        experiment: Experiment,
+        runs: List[Dict[str, Any]],
+        completed: Dict[int, dict],
+        log: Optional[ExperimentTelemetry],
+    ) -> tuple:
+        """Consult the run cache for every pending run, up front.
+
+        Returns ``(cache, cache_keys, cached)``: the active cache (or
+        None), the fingerprint per pending index, and the hits — cached
+        :class:`RunOutcome` payloads that replace execution and flow
+        through the unchanged persistence pipeline, so a warm tree is
+        byte-identical to a cold one by construction.  Probing happens
+        here, before any scheduler dispatches, so the hit/miss evidence
+        in ``cache.jsonl`` is identical for any job or agent count.
+
+        A fault injector disables the cache outright: planned faults
+        make outcomes a function of the plan, and even a run the plan
+        spares must not be served stale from a plan-free execution.
+        """
+        cache = self.run_cache if self.fault_injector is None else None
+        cache_keys: Dict[int, str] = {}
+        cached: Dict[int, Any] = {}
+        if cache is None:
+            return None, cache_keys, cached
+        described = experiment.describe()
+        for index, loop_instance in enumerate(runs):
+            if index in completed:
+                continue
+            key = cache.key(described, index, loop_instance)
+            cache_keys[index] = key
+            outcome = cache.lookup(key)
+            if outcome is not None:
+                cached[index] = outcome
+            if log is not None:
+                log.cache_event(
+                    "cache.hit" if outcome is not None else "cache.miss",
+                    run=index, key=key,
+                )
+        return cache, cache_keys, cached
 
     @staticmethod
     def _adopt_completed_run(

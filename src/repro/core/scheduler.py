@@ -762,6 +762,8 @@ def build_deliver(
     on_run_complete: Optional[Callable] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     adopt: Optional[Callable] = None,
+    cache=None,
+    cache_keys: Optional[Dict[int, str]] = None,
 ) -> Callable[[int, Optional[RunOutcome]], None]:
     """The canonical per-run persistence step, as a reorder-buffer sink.
 
@@ -771,8 +773,15 @@ def build_deliver(
     this one code path, in strict index order — which is what makes
     the result tree byte-identical across executors.  A ``None``
     payload marks a journal adoption on resume.
+
+    When a run ``cache`` is active, every freshly produced eligible
+    outcome is stored under its fingerprint from ``cache_keys`` as it
+    is delivered — in index order, so the store evidence in
+    ``cache.jsonl`` is executor-independent too.  Replayed hits pass
+    through unchanged (the store is idempotent and skips them).
     """
     total = len(runs)
+    cache_keys = cache_keys or {}
 
     def deliver(index: int, outcome: Optional[RunOutcome]) -> None:
         """Persist one ready run; ``None`` marks a journal adoption."""
@@ -794,6 +803,13 @@ def build_deliver(
             return
         record, run_dir = persist_outcome(exp_dir, outcome, log)
         handle.runs.append(record)
+        if cache is not None and index in cache_keys:
+            if cache.store(cache_keys[index], outcome):
+                cache_evidence = getattr(log, "cache_event", None)
+                if cache_evidence is not None:
+                    cache_evidence(
+                        "cache.store", run=index, key=cache_keys[index]
+                    )
         # Re-sequence the worker's telemetry buffer in run order
         # and snapshot it, before the journal promises the run.
         merge_telemetry = getattr(log, "merge_run", None)
@@ -866,16 +882,30 @@ class ParallelScheduler:
         on_run_complete: Optional[Callable] = None,
         progress: Optional[Callable[[int, int], None]] = None,
         adopt: Optional[Callable] = None,
+        cached: Optional[Dict[int, RunOutcome]] = None,
+        cache=None,
+        cache_keys: Optional[Dict[int, str]] = None,
     ) -> None:
         total = len(runs)
-        pending = [index for index in range(total) if index not in completed]
+        cached = cached or {}
+        pending = [
+            index for index in range(total)
+            if index not in completed and index not in cached
+        ]
         deliver = build_deliver(
             runs, completed, exp_dir, journal, handle, log, injector,
             on_error, on_run_complete, progress, adopt,
+            cache=cache, cache_keys=cache_keys,
         )
         buffer = ReorderBuffer(total, deliver)
         for index in completed:
             buffer.put(index, None)
+        # Cache hits never reach a worker: their outcomes are staged
+        # up front and flow through the same delivery pipeline as
+        # executed runs, in index order — a warm tree is byte-identical
+        # to a cold one with zero simulator events spent.
+        for index, outcome in cached.items():
+            buffer.put(index, outcome)
         if not pending:
             buffer.drain()
             return

@@ -264,16 +264,28 @@ class DistScheduler:
         on_run_complete: Optional[Callable] = None,
         progress: Optional[Callable[[int, int], None]] = None,
         adopt: Optional[Callable] = None,
+        cached: Optional[Dict[int, Any]] = None,
+        cache=None,
+        cache_keys: Optional[Dict[int, str]] = None,
     ) -> None:
         total = len(runs)
-        pending = [index for index in range(total) if index not in completed]
+        cached = cached or {}
+        pending = [
+            index for index in range(total)
+            if index not in completed and index not in cached
+        ]
         deliver = build_deliver(
             runs, completed, exp_dir, journal, handle, log, injector,
             on_error, on_run_complete, progress, adopt,
+            cache=cache, cache_keys=cache_keys,
         )
         buffer = ReorderBuffer(total, deliver)
         for index in completed:
             buffer.put(index, None)
+        # Cache hits never reach an agent: staged up front, delivered
+        # through the same pipeline as agent results, in index order.
+        for index, outcome in cached.items():
+            buffer.put(index, outcome)
         if not pending:
             buffer.drain()
             return
@@ -284,9 +296,10 @@ class DistScheduler:
                 sink(event, **fields)
 
         # Journal-backed dedupe: everything the (possibly crashed,
-        # resumed) journal already promised is delivered once and never
-        # re-persisted, no matter how often an agent re-produces it.
-        delivered: Set[int] = set(completed)
+        # resumed) journal already promised — and every cache hit staged
+        # above — is delivered once and never re-persisted, no matter
+        # how often an agent re-produces it.
+        delivered: Set[int] = set(completed) | set(cached)
         agent_count = min(self.agents, len(pending))
         states = {
             f"agent-{position:02d}": AgentState(f"agent-{position:02d}")

@@ -204,17 +204,19 @@ class MoonGen:
         """Replay the run on the batched fast path when the topology allows.
 
         Returns False when the traffic path is not an analytically
-        replayable chain (or batching is disabled), in which case the
-        caller schedules the legacy per-packet event loop.
+        replayable feed-forward DAG (or batching is disabled), in which
+        case the caller schedules the legacy per-packet event loop.
+        Consecutive runs on an unchanged topology reuse the compiled
+        stage table and its replay arrays (the vectorized sweep path).
         """
         from repro.netsim import fastpath
 
         if not fastpath.enabled():
             return False
-        chain = fastpath.compile_chain(self)
-        if chain is None:
+        spec = fastpath.acquire_dag(self)
+        if spec is None:
             return False
-        fastpath.run_batched(self, job, chain)
+        fastpath.run_batched(self, job, spec)
         return True
 
     # -- transmit ------------------------------------------------------------

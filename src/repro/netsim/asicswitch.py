@@ -39,6 +39,10 @@ class AsicSwitch:
     experiment's setup script's job.
     """
 
+    #: The pipeline adds a constant latency and the match-action lookup
+    #: is a pure function of the packet's destination key: replayable.
+    deterministic_service = True
+
     def __init__(self, sim: Simulator, name: str = "tofino", ports: int = 4):
         if ports < 2:
             raise TopologyError("a switch needs at least two ports")
@@ -50,6 +54,7 @@ class AsicSwitch:
             nic.set_rx_handler(
                 lambda packet, port_index=index: self._process(port_index, packet)
             )
+            nic.rx_owner = self
             self.ports.append(nic)
         self._table: Dict[str, int] = {}
         self.matched = 0

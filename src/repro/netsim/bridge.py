@@ -29,6 +29,10 @@ BRIDGE_COST_S = 2.0e-6
 class LinuxBridge(ForwardingDevice):
     """Learning software bridge with N ports."""
 
+    #: Constant per-packet cost; FDB learning is the only side effect
+    #: and is replayed by the batched fast path.
+    deterministic_service = True
+
     def __init__(
         self,
         sim: Simulator,

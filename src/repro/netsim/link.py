@@ -52,6 +52,18 @@ class DirectWire:
             return self.a
         raise TopologyError(f"port {port.name} is not an endpoint of this link")
 
+    def constant_delay(self):
+        """Constant carry delay, or ``None`` when delivery is stochastic.
+
+        The declared replayability capability of a link: the batched
+        fast path (:mod:`repro.netsim.fastpath`) compiles any link whose
+        ``carry`` adds exactly this constant to every frame.  A subclass
+        that overrides :meth:`carry` must also override this method (to
+        vouch for the new behaviour, or to return ``None``), otherwise
+        the compiler rejects it.
+        """
+        return self.propagation_delay + self.switching_delay
+
     def carry(self, sender: Nic, packet: Packet) -> None:
         """Propagate a fully-serialized frame to the peer port."""
         receiver = self.peer(sender)
@@ -106,6 +118,12 @@ class CutThroughSwitchPort(DirectWire):
             )
         self.background_load = background_load
         self._rng = random.Random(seed)
+
+    def constant_delay(self):
+        """Contended ports queue stochastically and are not replayable."""
+        if self.background_load > 0.0:
+            return None
+        return self.propagation_delay + self.switching_delay
 
     def carry(self, sender: Nic, packet: Packet) -> None:
         receiver = self.peer(sender)

@@ -27,6 +27,11 @@ __all__ = ["MultiCoreRouter"]
 class MultiCoreRouter(LinuxRouter):
     """Linux router with ``cores`` independent RSS service queues."""
 
+    #: Re-declared (not merely inherited): this class overrides the
+    #: queueing behaviour of :class:`LinuxRouter`, so it must vouch for
+    #: its own overrides to stay eligible for the batched fast path.
+    deterministic_service = True
+
     def __init__(
         self,
         sim: Simulator,

@@ -54,6 +54,17 @@ class ForwardingDevice:
     frames still enter the backlog, but no service completions happen.
     """
 
+    #: Declared replayability capability.  A class sets this to True to
+    #: vouch that its per-packet service time is a pure function of the
+    #: frame size (no RNG, no time dependence, no hidden state), which
+    #: lets the batched fast path (:mod:`repro.netsim.fastpath`) replay
+    #: it analytically.  The vouch covers exactly the queueing behaviour
+    #: defined at or above the declaring class: a subclass that
+    #: overrides any behaviour method without re-declaring the
+    #: capability is rejected by the compiler and falls back to the
+    #: event path.
+    deterministic_service = False
+
     def __init__(
         self,
         sim: Simulator,
@@ -195,6 +206,9 @@ class LinuxRouter(ForwardingDevice):
     With the default 2 KiB buffers the cliff sits above standard frame
     sizes and the model is purely linear.
     """
+
+    #: The service time is a pure function of the frame size.
+    deterministic_service = True
 
     def __init__(
         self,

@@ -115,6 +115,9 @@ class VirtualizedLinuxRouter(LinuxRouter):
     the backlog: calm while the guest keeps up, erratic once overloaded.
     """
 
+    #: Stochastic service times: never replayable analytically.
+    deterministic_service = False
+
     def __init__(
         self,
         sim: Simulator,

@@ -49,6 +49,7 @@ import re
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.core.envcache import EnvSwitch
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.spans import LogicalClock, Span, strip_wall
 
@@ -59,6 +60,7 @@ __all__ = [
     "RUN_TELEMETRY_NAME",
     "WALL_SIDECAR_NAME",
     "DISPATCH_NAME",
+    "CACHE_NAME",
     "enabled",
     "wallclock_enabled",
     "dispatch_enabled",
@@ -69,24 +71,22 @@ TELEMETRY_NAME = "telemetry.json"
 RUN_TELEMETRY_NAME = "telemetry.json"
 WALL_SIDECAR_NAME = "trace-wall.jsonl"
 DISPATCH_NAME = "dispatch.jsonl"
+CACHE_NAME = "cache.jsonl"
 
 _LEGACY_LINE = re.compile(r"^\[(\d+)\] ")
 
 
-def enabled() -> bool:
-    """Whether telemetry collection is on (``POS_TELEMETRY`` != 0)."""
-    return os.environ.get("POS_TELEMETRY", "1") != "0"
+#: Whether telemetry collection is on (``POS_TELEMETRY`` != 0).
+#: Resolved once per world (:mod:`repro.core.envcache`), not per run.
+enabled = EnvSwitch("POS_TELEMETRY")
 
+#: Whether wall-clock profiles go to the ``trace-wall.jsonl`` sidecar
+#: (``POS_TELEMETRY_WALLCLOCK`` == 1; off by default).
+wallclock_enabled = EnvSwitch("POS_TELEMETRY_WALLCLOCK", default="0", mode="one")
 
-def wallclock_enabled() -> bool:
-    """Whether wall-clock profiles go to the ``trace-wall.jsonl`` sidecar."""
-    return os.environ.get("POS_TELEMETRY_WALLCLOCK", "0") == "1"
-
-
-def dispatch_enabled() -> bool:
-    """Whether the ``dispatch.jsonl`` evidence sidecar is written
-    (``POS_DISPATCH_LOG`` != 0; on by default)."""
-    return os.environ.get("POS_DISPATCH_LOG", "1") != "0"
+#: Whether the ``dispatch.jsonl`` evidence sidecar is written
+#: (``POS_DISPATCH_LOG`` != 0; on by default).
+dispatch_enabled = EnvSwitch("POS_DISPATCH_LOG")
 
 
 class _WorkflowLog:
@@ -153,6 +153,9 @@ class ExperimentTelemetry:
         self._dispatch = None
         self._dispatch_append = resumed
         self._dispatch_seq = 0
+        self._cache_log = None
+        self._cache_append = resumed
+        self._cache_seq = 0
         self._clock = LogicalClock()
         self._seq = 0
         self._stack: List[Span] = []
@@ -203,6 +206,32 @@ class ExperimentTelemetry:
         record.update(fields)
         self._dispatch.write(json.dumps(record, sort_keys=True) + "\n")
         self._dispatch.flush()
+
+    # -- run-cache evidence ---------------------------------------------------
+
+    def cache_event(self, event: str, **fields: Any) -> None:
+        """Append one record to the ``cache.jsonl`` evidence sidecar.
+
+        Same contract as :meth:`dispatch_event`: lazily opened (runs
+        without a cache never create the file) and deliberately outside
+        the byte-identity contract — whether a run was served from the
+        cache is execution history, not run content, so a warm tree
+        must stay ``diff -r -x cache.jsonl``-identical to a cold one.
+        ``pos report`` folds these records into cache provenance.
+        """
+        if not dispatch_enabled():
+            return
+        if self._cache_log is None:
+            self._cache_log = open(
+                os.path.join(self.path, CACHE_NAME),
+                "a" if self._cache_append else "w",
+                encoding="utf-8",
+            )
+        self._cache_seq += 1
+        record = {"seq": self._cache_seq, "event": event}
+        record.update(fields)
+        self._cache_log.write(json.dumps(record, sort_keys=True) + "\n")
+        self._cache_log.flush()
 
     # -- workflow spans ------------------------------------------------------
 
@@ -363,6 +392,9 @@ class ExperimentTelemetry:
         if self._dispatch is not None:
             self._dispatch.close()
             self._dispatch = None
+        if self._cache_log is not None:
+            self._cache_log.close()
+            self._cache_log = None
 
     # -- internals -----------------------------------------------------------
 

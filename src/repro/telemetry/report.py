@@ -4,11 +4,13 @@
 replay machinery and no live testbed: everything it prints is
 reconstructed from the files an execution left behind — the run journal
 (``journal.jsonl``), the per-run telemetry snapshots
-(``run-NNN/telemetry.json``) and the experiment-wide aggregate
-(``telemetry.json``).  That is the artifact-first contract of the
-telemetry plane: a reader of a published result folder can retrace how
-the toolchain behaved (attempts, faults, recovery, engine events,
-which netsim path ran) without ever having run the experiment.
+(``run-NNN/telemetry.json``), the experiment-wide aggregate
+(``telemetry.json``) and, when a run cache was active, the cache
+evidence sidecar (``cache.jsonl``).  That is the artifact-first
+contract of the telemetry plane: a reader of a published result folder
+can retrace how the toolchain behaved (attempts, faults, recovery,
+engine events, which netsim path ran, which runs were replayed from
+the cache) without ever having run the experiment.
 """
 
 from __future__ import annotations
@@ -55,6 +57,51 @@ def _read_journal(experiment_path: str) -> List[dict]:
             if isinstance(entry, dict):
                 entries.append(entry)
     return entries
+
+
+def _read_cache_events(experiment_path: str) -> Optional[List[dict]]:
+    """The cache evidence sidecar, or None when no cache was active."""
+    path = os.path.join(experiment_path, "cache.jsonl")
+    if not os.path.isfile(path):
+        return None
+    events: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                break  # torn tail of a crashed execution
+            if isinstance(event, dict):
+                events.append(event)
+    return events
+
+
+def _cache_summary(events: Optional[List[dict]]) -> Optional[Dict[str, Any]]:
+    if events is None:
+        return None
+    runs: Dict[int, Dict[str, Any]] = {}
+    for event in events:
+        kind = event.get("event")
+        run = event.get("run")
+        if run is None or kind not in ("cache.hit", "cache.miss", "cache.store"):
+            continue
+        entry = runs.setdefault(int(run), {})
+        if kind == "cache.store":
+            entry["stored"] = True
+        else:
+            entry["event"] = kind
+            entry["key"] = event.get("key")
+    return {
+        "hits": sum(1 for e in runs.values() if e.get("event") == "cache.hit"),
+        "misses": sum(
+            1 for e in runs.values() if e.get("event") == "cache.miss"
+        ),
+        "stores": sum(1 for e in runs.values() if e.get("stored")),
+        "runs": runs,
+    }
 
 
 def _latest_runs(entries: List[dict]) -> Dict[int, dict]:
@@ -144,6 +191,7 @@ def load_report(experiment_path: str) -> Dict[str, Any]:
         "telemetry": _read_json(
             os.path.join(experiment_path, "telemetry.json")
         ),
+        "cache": _cache_summary(_read_cache_events(experiment_path)),
     }
 
 
@@ -184,6 +232,19 @@ def render_report(experiment_path: str) -> str:
             f"{row.get('latency_samples', '-'):>7} "
             f"{row.get('path') or '-':<6} {_loop_text(row['loop'])}"
         )
+    cache = report.get("cache")
+    if cache is not None:
+        lines.append("")
+        lines.append(
+            f"run cache: {cache['hits']} hit(s), {cache['misses']} miss(es), "
+            f"{cache['stores']} store(s)"
+        )
+        for run in sorted(cache["runs"]):
+            entry = cache["runs"][run]
+            kind = entry.get("event", "-")
+            suffix = " stored" if entry.get("stored") else ""
+            key = entry.get("key") or ""
+            lines.append(f"  run {run}: {kind} key={key[:12]}{suffix}")
     telemetry = report.get("telemetry")
     if telemetry:
         lines.append("")

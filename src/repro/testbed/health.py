@@ -31,6 +31,7 @@ import json
 import os
 from typing import Any, Dict, List, Optional
 
+from repro.core.envcache import EnvSwitch
 from repro.core.errors import PowerError
 from repro.testbed.power import STANDBY_POWER_W, TEMP_CRITICAL_C
 
@@ -63,9 +64,9 @@ _LEVEL = {HEALTHY: 0, DEGRADED: 1, WEDGED: 2}
 _ORDER = (HEALTHY, DEGRADED, WEDGED)
 
 
-def health_enabled() -> bool:
-    """Whether the health plane is on (``POS_HEALTH`` != 0)."""
-    return os.environ.get("POS_HEALTH", "1") != "0"
+#: Whether the health plane is on (``POS_HEALTH`` != 0).  Resolved once
+#: per world (:mod:`repro.core.envcache`), not per run.
+health_enabled = EnvSwitch("POS_HEALTH")
 
 
 def advance_state(state: str, observation: str) -> str:

@@ -7,7 +7,21 @@ import itertools
 import pytest
 
 from repro.core.calendar import Calendar
+from repro.core.envcache import refresh_all
 from repro.testbed.scenarios import build_pos_pair, build_vpos_pair
+
+
+@pytest.fixture(autouse=True)
+def _fresh_env_switches():
+    """Re-resolve cached kill switches around every test.
+
+    Kill switches (POS_NETSIM_BATCH, POS_TELEMETRY, ...) are resolved
+    once per world and cached; tests that set them via monkeypatch need
+    the cache dropped on both sides of the test body.
+    """
+    refresh_all()
+    yield
+    refresh_all()
 
 
 @pytest.fixture

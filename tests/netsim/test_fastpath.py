@@ -46,6 +46,7 @@ def run_once(batched, rate_pps, frame_size, duration_s=0.05, pattern="cbr",
     """One full measurement on a fresh world; returns all observables."""
     previous = os.environ.get("POS_NETSIM_BATCH")
     os.environ["POS_NETSIM_BATCH"] = "1" if batched else "0"
+    fastpath.enabled.refresh()
     try:
         sim = Simulator()
         gen, router = build_chain(sim, seed=seed, generator=generator)
@@ -75,6 +76,7 @@ def run_once(batched, rate_pps, frame_size, duration_s=0.05, pattern="cbr",
             os.environ.pop("POS_NETSIM_BATCH", None)
         else:
             os.environ["POS_NETSIM_BATCH"] = previous
+        fastpath.enabled.refresh()
 
 
 def assert_equivalent(**kwargs):
@@ -134,6 +136,7 @@ class TestExactEquivalence:
     def _two_runs(batched):
         previous = os.environ.get("POS_NETSIM_BATCH")
         os.environ["POS_NETSIM_BATCH"] = "1" if batched else "0"
+        fastpath.enabled.refresh()
         try:
             sim = Simulator()
             gen, __ = build_chain(sim)
@@ -154,6 +157,7 @@ class TestExactEquivalence:
                 os.environ.pop("POS_NETSIM_BATCH", None)
             else:
                 os.environ["POS_NETSIM_BATCH"] = previous
+            fastpath.enabled.refresh()
 
     def test_back_to_back_runs_on_one_generator(self):
         # Residual chain state from run k must not leak into run k+1,
@@ -168,67 +172,141 @@ class TestEventReduction:
         assert batched["events"] * 10 <= legacy["events"]
 
 
+def build_custom_chain(sim, router):
+    tx = HardwareNic(sim, "lg.tx")
+    rx = HardwareNic(sim, "lg.rx")
+    p0 = HardwareNic(sim, "dut.p0")
+    p1 = HardwareNic(sim, "dut.p1")
+    router.add_port(p0)
+    router.add_port(p1)
+    DirectWire(sim, tx, p0)
+    DirectWire(sim, p1, rx)
+    return MoonGen(sim, tx, rx, seed=0)
+
+
 class TestCompileEligibility:
     def test_simple_chain_compiles(self):
         sim = Simulator()
         gen, router = build_chain(sim)
-        spec = fastpath.compile_chain(gen)
+        spec = fastpath.compile_dag(gen)
         assert spec is not None
-        assert spec.router is router
+        assert spec.devices == [router]
         assert spec.tx_nic is gen.tx_nic
         assert spec.rx_nic is gen.rx_nic
+        assert [stage.kind for stage in spec.stages] == ["fifo", "serialize"]
 
     def test_virtio_chain_compiles(self):
         # NIC class does not matter, only the wiring and router type.
         sim = Simulator()
         gen, __ = build_chain(sim, nic_class=VirtioNic)
-        assert fastpath.compile_chain(gen) is not None
+        assert fastpath.compile_dag(gen) is not None
 
     def test_contended_switch_port_rejected(self):
         sim = Simulator()
         gen, __ = build_chain(
             sim, link_class=CutThroughSwitchPort, background_load=0.3
         )
-        assert fastpath.compile_chain(gen) is None
+        assert fastpath.compile_dag(gen) is None
 
     def test_uncontended_switch_port_accepted(self):
         sim = Simulator()
         gen, __ = build_chain(sim, link_class=CutThroughSwitchPort)
-        assert fastpath.compile_chain(gen) is not None
+        assert fastpath.compile_dag(gen) is not None
 
     def test_three_port_router_rejected(self):
         sim = Simulator()
         gen, router = build_chain(sim)
         router.add_port(HardwareNic(sim, "dut.p2"))
-        assert fastpath.compile_chain(gen) is None
+        assert fastpath.compile_dag(gen) is None
 
-    def test_stochastic_router_subclass_rejected(self):
-        class JitteryRouter(LinuxRouter):
-            pass
+    def test_plain_subclass_inherits_capability(self):
+        # A subclass that overrides nothing behavioural inherits the
+        # parent's declaration: eligibility is declared, not type-gated.
+        class RenamedRouter(LinuxRouter):
+            def describe(self):  # non-replay method: irrelevant
+                return {"model": "renamed"}
 
         sim = Simulator()
-        tx = HardwareNic(sim, "lg.tx")
-        rx = HardwareNic(sim, "lg.rx")
-        p0 = HardwareNic(sim, "dut.p0")
-        p1 = HardwareNic(sim, "dut.p1")
-        router = JitteryRouter(sim)
-        router.add_port(p0)
-        router.add_port(p1)
-        DirectWire(sim, tx, p0)
-        DirectWire(sim, p1, rx)
-        gen = MoonGen(sim, tx, rx, seed=0)
-        assert fastpath.compile_chain(gen) is None
+        gen = build_custom_chain(sim, RenamedRouter(sim))
+        assert fastpath.compile_dag(gen) is not None
+
+    def test_undeclared_service_override_rejected(self):
+        # Overriding service_time below the declaring class silently
+        # voids the capability: the subclass never vouched for it.
+        class JitteryRouter(LinuxRouter):
+            def service_time(self, packet):
+                return super().service_time(packet) * 1.01
+
+        sim = Simulator()
+        gen = build_custom_chain(sim, JitteryRouter(sim))
+        assert fastpath.compile_dag(gen) is None
+
+    def test_redeclaring_subclass_compiles_bit_identically(self):
+        # A deterministic cost model that re-declares the capability for
+        # its own override is eligible — and must replay exactly.
+        class SlowRouter(LinuxRouter):
+            deterministic_service = True
+
+            def service_time(self, packet):
+                return super().service_time(packet) * 2.0
+
+        def run(batched):
+            previous = os.environ.get("POS_NETSIM_BATCH")
+            os.environ["POS_NETSIM_BATCH"] = "1" if batched else "0"
+            fastpath.enabled.refresh()
+            try:
+                sim = Simulator()
+                gen = build_custom_chain(sim, SlowRouter(sim))
+                job = gen.start(rate_pps=300_000, frame_size=64,
+                                duration_s=0.05, interval_s=0.01)
+                sim.run(until=0.1)
+                return (job.tx_packets, job.rx_packets,
+                        tuple(job.latency_samples_s), sim.events_processed)
+            finally:
+                if previous is None:
+                    os.environ.pop("POS_NETSIM_BATCH", None)
+                else:
+                    os.environ["POS_NETSIM_BATCH"] = previous
+                fastpath.enabled.refresh()
+
+        sim = Simulator()
+        assert fastpath.compile_dag(build_custom_chain(sim, SlowRouter(sim))) \
+            is not None
+        legacy = run(False)
+        batched = run(True)
+        assert batched[:3] == legacy[:3]
+        assert batched[3] < legacy[3]
+
+    def test_stochastic_vm_router_rejected(self):
+        from repro.netsim.vm import VirtualizedLinuxRouter
+
+        sim = Simulator()
+        gen = build_custom_chain(sim, VirtualizedLinuxRouter(sim))
+        assert fastpath.compile_dag(gen) is None
 
     def test_busy_stage_rejected(self):
         sim = Simulator()
         gen, router = build_chain(sim)
         router._busy = True
-        assert fastpath.compile_chain(gen) is None
+        assert fastpath.compile_dag(gen) is None
+
+    def test_spec_reuse_across_runs(self):
+        # Consecutive runs on an unchanged topology reuse the compiled
+        # spec object (and therefore its preallocated replay arrays).
+        sim = Simulator()
+        gen, __ = build_chain(sim)
+        first = fastpath.acquire_dag(gen)
+        assert first is not None
+        again = fastpath.acquire_dag(gen)
+        assert again is first
 
     def test_kill_switch_disables_batching(self, monkeypatch):
         monkeypatch.setenv("POS_NETSIM_BATCH", "0")
+        fastpath.enabled.refresh()
         assert not fastpath.enabled()
         monkeypatch.setenv("POS_NETSIM_BATCH", "1")
+        fastpath.enabled.refresh()
         assert fastpath.enabled()
         monkeypatch.delenv("POS_NETSIM_BATCH")
+        fastpath.enabled.refresh()
         assert fastpath.enabled()
