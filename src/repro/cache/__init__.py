@@ -58,7 +58,7 @@ import pickle
 import shutil
 import tempfile
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.core.envcache import EnvSwitch
 
@@ -131,6 +131,11 @@ class RunCache:
         self.root = root
         self.scope = dict(scope or {})
         self.scope.setdefault("code_epoch", CODE_EPOCH)
+        #: Optional evidence sink ``(event, **fields)`` — the controller
+        #: wires it to the telemetry plane's ``cache_event`` so silent
+        #: corrupt-as-miss degradations still leave a ``cache.jsonl``
+        #: record for ``pos report`` and the critical-path profiler.
+        self.evidence: Optional[Callable[..., None]] = None
 
     # -- keys -----------------------------------------------------------------
 
@@ -159,19 +164,29 @@ class RunCache:
         entry_dir = self._entry_dir(key)
         manifest_path = os.path.join(entry_dir, MANIFEST_NAME)
         outcome_path = os.path.join(entry_dir, OUTCOME_NAME)
+        if not os.path.isdir(entry_dir):
+            return None
         try:
             with open(manifest_path, "r", encoding="utf-8") as handle:
                 manifest = json.load(handle)
             with open(outcome_path, "rb") as handle:
                 blob = handle.read()
         except (OSError, ValueError):
+            self._corrupt(key)
             return None
         if hashlib.sha256(blob).hexdigest() != manifest.get("outcome_sha256"):
+            self._corrupt(key)
             return None
         try:
             return pickle.loads(blob)
         except Exception:  # noqa: BLE001 - any unpickling failure is a miss
+            self._corrupt(key)
             return None
+
+    def _corrupt(self, key: str) -> None:
+        """An entry exists but cannot be trusted: degrade to a miss, loudly."""
+        if self.evidence is not None:
+            self.evidence("cache.corrupt", key=key)
 
     @staticmethod
     def storable(outcome) -> bool:

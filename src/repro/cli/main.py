@@ -161,6 +161,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also validate the telemetry artifacts against "
                              "the checked-in JSON schemas")
 
+    trace = sub.add_parser(
+        "trace",
+        help="critical-path profile of an execution from its stitched "
+             "fleet trace: phase breakdown, per-agent utilization, "
+             "slowest runs, cache savings",
+    )
+    trace.add_argument(
+        "results",
+        help="an experiment's timestamp folder or a campaign folder",
+    )
+    trace.add_argument("--top", type=int, default=5,
+                       help="how many slowest runs to list (default 5)")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the raw profile as JSON instead of text")
+
     status = sub.add_parser(
         "status",
         help="one-shot progress and node-health view of an experiment "
@@ -447,6 +462,30 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.campaign.admission import ADMISSION_NAME
+    from repro.telemetry.criticalpath import (
+        analyze,
+        analyze_campaign,
+        render_analysis,
+        render_campaign_analysis,
+    )
+
+    if os.path.isfile(os.path.join(args.results, ADMISSION_NAME)):
+        analysis = analyze_campaign(args.results)
+        rendered = render_campaign_analysis(analysis, top=args.top)
+    else:
+        analysis = analyze(args.results)
+        rendered = render_analysis(analysis, top=args.top)
+    if args.json:
+        print(_json.dumps(analysis, sort_keys=True, indent=2))
+    else:
+        print(rendered, end="")
+    return 0
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     from repro.telemetry.live import render_status
 
@@ -555,6 +594,7 @@ _COMMANDS = {
     "images": _cmd_images,
     "topology": _cmd_topology,
     "report": _cmd_report,
+    "trace": _cmd_trace,
     "status": _cmd_status,
     "watch": _cmd_watch,
     "agents": _cmd_agents,

@@ -385,6 +385,10 @@ class Controller:
         exp_span = log.begin_span(
             "experiment", experiment=experiment.name, user=user, runs=total,
         )
+        # The stitched fleet trace spans the whole execution; its id is
+        # a pure function of the experiment identity so a resumed
+        # execution stitches into the same causal DAG.
+        log.fleet_begin(experiment.name, total)
         try:
             with log.span("phase.setup"):
                 with log.span("boot"):
@@ -660,6 +664,10 @@ class Controller:
         cached: Dict[int, Any] = {}
         if cache is None:
             return None, cache_keys, cached
+        if log is not None:
+            # Corrupt-as-miss degradations inside lookup() leave a
+            # cache.corrupt record next to the hit/miss evidence.
+            cache.evidence = log.cache_event
         described = experiment.describe()
         for index, loop_instance in enumerate(runs):
             if index in completed:

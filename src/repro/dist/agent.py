@@ -164,6 +164,26 @@ def _register_schedule(policy: RetryPolicy) -> List[float]:
     return delays if delays else [1.0]
 
 
+def _echo(
+    cause: Optional[dict], config: AgentConfig, seq: int,
+) -> Optional[dict]:
+    """The trace context an agent stamps on an outgoing envelope.
+
+    Child of the controller envelope that caused it: same trace id,
+    parented on the causing envelope's span.  ``None`` when the agent
+    has seen no traced envelope yet (registration) or when the fleet
+    trace is off — the context only ever *rides* the protocol.
+    """
+    if cause is None:
+        return None
+    return {
+        "id": cause.get("id"),
+        "parent": cause.get("span"),
+        "span": f"{config.agent_id}.g{config.generation}.e{seq}",
+        "seq": seq,
+    }
+
+
 class LoopbackAgent:
     """Cooperative agent for the deterministic in-process bus.
 
@@ -188,13 +208,22 @@ class LoopbackAgent:
         self._register_attempt = 0
         self._next_register_at: Optional[float] = None
         self._last_heartbeat: Optional[float] = None
+        #: Trace context of the latest controller envelope (lease wins
+        #: the race for the first one) and of the dispatch that named
+        #: each run — results echo the *dispatch* context so a late
+        #: duplicate stitches to the send that caused it.
+        self._ctx: Optional[dict] = None
+        self._run_ctx: Dict[int, Optional[dict]] = {}
 
     # -- helpers -------------------------------------------------------------
 
-    def _send(self, kind: str, payload: Any = None) -> None:
+    def _send(
+        self, kind: str, payload: Any = None, cause: Optional[dict] = None,
+    ) -> None:
         env = Envelope(
             kind=kind, sender=self.config.agent_id, seq=self._seq,
             payload=payload,
+            trace=_echo(cause, self.config, self._seq),
         )
         self._seq += 1
         self._send_raw(env)
@@ -218,12 +247,16 @@ class LoopbackAgent:
         if not self.alive:
             return
         for env in self.inbox:
+            if env.trace is not None:
+                self._ctx = env.trace
             if env.kind == "lease":
                 self._registered = True
                 self._register_attempt = 0
                 self._next_register_at = None
             elif env.kind == "dispatch":
                 self._queue.extend(env.payload["runs"])
+                for index, _ in env.payload["runs"]:
+                    self._run_ctx[index] = env.trace
             elif env.kind == "shutdown":
                 self.alive = False
                 self._runner.close()
@@ -245,7 +278,7 @@ class LoopbackAgent:
             or now - self._last_heartbeat >= self.config.heartbeat_every
         ):
             self._last_heartbeat = now
-            self._send("heartbeat", self._status_payload())
+            self._send("heartbeat", self._status_payload(), cause=self._ctx)
         if not self._queue:
             return
         index, instance = self._queue.popleft()
@@ -258,7 +291,9 @@ class LoopbackAgent:
         if _kill_strikes(self.config, "kill", index):
             self._die()
             return
+        started = _time.perf_counter()
         outcome = self._runner.run(index, instance)
+        wall_s = _time.perf_counter() - started
         self._executed.append(index)
         if _kill_strikes(self.config, "kill-after", index):
             self._die()
@@ -266,9 +301,10 @@ class LoopbackAgent:
         self._send("result", {
             "outcome": outcome,
             "generation": self.config.generation,
-        })
+            "wall_s": wall_s,
+        }, cause=self._run_ctx.get(index, self._ctx))
         if not self._queue:
-            self._send("shard-done", self._status_payload())
+            self._send("shard-done", self._status_payload(), cause=self._ctx)
 
     def close(self) -> None:
         self._runner.close()
@@ -295,11 +331,15 @@ def agent_main(conn, config: AgentConfig) -> None:
     register_attempt = 0
     next_register = 0.0
     last_heartbeat: Optional[float] = None
+    ctx: Optional[dict] = None
+    run_ctx: Dict[int, Optional[dict]] = {}
 
-    def send(kind: str, payload: Any = None) -> bool:
+    def send(
+        kind: str, payload: Any = None, cause: Optional[dict] = None,
+    ) -> bool:
         nonlocal seq
         env = Envelope(kind=kind, sender=config.agent_id, seq=seq,
-                       payload=payload)
+                       payload=payload, trace=_echo(cause, config, seq))
         seq += 1
         try:
             conn.send(env)
@@ -337,11 +377,15 @@ def agent_main(conn, config: AgentConfig) -> None:
                 except (EOFError, OSError):
                     return
                 drained = True
+                if env.trace is not None:
+                    ctx = env.trace
                 if env.kind == "lease":
                     registered = True
                     register_attempt = 0
                 elif env.kind == "dispatch":
                     queue.extend(env.payload["runs"])
+                    for index, _ in env.payload["runs"]:
+                        run_ctx[index] = env.trace
                 elif env.kind == "shutdown":
                     return
             if not registered:
@@ -351,7 +395,7 @@ def agent_main(conn, config: AgentConfig) -> None:
                 or now - last_heartbeat >= config.heartbeat_every
             ):
                 last_heartbeat = now
-                if not send("heartbeat", status()):
+                if not send("heartbeat", status(), cause=ctx):
                     return
             if not queue:
                 if not drained:
@@ -360,14 +404,17 @@ def agent_main(conn, config: AgentConfig) -> None:
             index, instance = queue.popleft()
             if _kill_strikes(config, "kill", index):
                 os.kill(os.getpid(), signal.SIGKILL)
+            started = _time.perf_counter()
             outcome = runner.run(index, instance)
+            wall_s = _time.perf_counter() - started
             executed.append(index)
             if _kill_strikes(config, "kill-after", index):
                 os.kill(os.getpid(), signal.SIGKILL)
             if not send("result", {
                 "outcome": outcome,
                 "generation": config.generation,
-            }):
+                "wall_s": wall_s,
+            }, cause=run_ctx.get(index, ctx)):
                 return
             if not queue and not send("shard-done", status()):
                 return

@@ -295,6 +295,15 @@ class DistScheduler:
             if sink is not None:
                 sink(event, **fields)
 
+        # The causal trace context stamped on every controller envelope
+        # (and echoed back by the agents); real transport-clock timings
+        # of the pump go to the fleet-trace-wall.jsonl sidecar.  Both
+        # duck-typed like evidence(): any telemetry-less log disables
+        # them wholesale.
+        fleet_context = getattr(log, "fleet_context", None)
+        trace_id = fleet_context() if fleet_context is not None else None
+        wall_sink = getattr(log, "fleet_wall_event", None)
+
         # Journal-backed dedupe: everything the (possibly crashed,
         # resumed) journal already promised — and every cache hit staged
         # above — is delivered once and never re-persisted, no matter
@@ -312,13 +321,34 @@ class DistScheduler:
         bus = self._make_bus(experiment, on_error)
         last_progress = bus.now()
 
+        def wall(event: str, **fields: Any) -> None:
+            if wall_sink is not None:
+                wall_sink(event, t=bus.now(), trace=trace_id, **fields)
+
         def send(agent_id: str, kind: str, payload: Any = None) -> None:
             nonlocal controller_seq
             controller_seq += 1
+            trace = None if trace_id is None else {
+                "id": trace_id,
+                "parent": "root",
+                "span": f"env-{controller_seq}",
+                "seq": controller_seq,
+            }
             bus.send(agent_id, Envelope(
                 kind=kind, sender="controller", seq=controller_seq,
-                payload=payload,
+                payload=payload, trace=trace,
             ))
+            fields: Dict[str, Any] = {"kind": kind, "agent": agent_id}
+            if kind == "dispatch":
+                fields["runs"] = [index for index, _ in payload["runs"]]
+            if trace is not None:
+                fields["span"] = trace["span"]
+            wall("send", **fields)
+
+        def note_delivered(before: int) -> None:
+            """Stamp the instant each run cleared the reorder buffer."""
+            for index in range(before, buffer.next_index):
+                wall("deliver", run=index)
 
         def renew(state: AgentState) -> None:
             state.lease_expires = bus.now() + self.lease_ttl
@@ -388,6 +418,10 @@ class DistScheduler:
                 registered=was_registered, orphaned=orphaned,
                 failures=state.failures,
             )
+            wall(
+                "death", agent=state.agent_id, reason=reason,
+                orphaned=orphaned,
+            )
             if state.failures >= self.quarantine_threshold:
                 state.quarantined = True
                 evidence(
@@ -410,6 +444,8 @@ class DistScheduler:
             state = states.get(env.sender)
             if state is None:
                 return
+            if env.kind != "result":
+                wall("recv", kind=env.kind, agent=env.sender, ctx=env.trace)
             if env.kind == "register":
                 generation = env.payload["generation"]
                 if state.quarantined or generation < state.generation:
@@ -438,6 +474,10 @@ class DistScheduler:
             elif env.kind == "result":
                 outcome = env.payload["outcome"]
                 index = outcome.index
+                wall(
+                    "recv", kind="result", agent=env.sender, run=index,
+                    wall_s=env.payload.get("wall_s"), ctx=env.trace,
+                )
                 if state.registered:
                     renew(state)
                 for other in states.values():
@@ -446,6 +486,7 @@ class DistScheduler:
                     evidence(
                         "duplicate-dropped", agent=state.agent_id, run=index,
                     )
+                    wall("duplicate", agent=env.sender, run=index)
                     return
                 delivered.add(index)
                 last_progress = bus.now()
@@ -453,8 +494,10 @@ class DistScheduler:
                     "result", agent=state.agent_id,
                     generation=env.payload.get("generation"), run=index,
                 )
+                before = buffer.next_index
                 buffer.put(index, outcome)
                 buffer.drain()
+                note_delivered(before)
             elif env.kind == "shard-done":
                 if state.registered:
                     renew(state)
@@ -499,6 +542,10 @@ class DistScheduler:
                     give(target, batch, reason="redispatch")
 
         try:
+            wall(
+                "begin", runs=len(pending), agents=agent_count,
+                transport=self.transport,
+            )
             for agent_id in sorted(states):
                 bus.spawn(agent_id, 0)
                 evidence("agent-spawn", agent=agent_id, generation=0)
@@ -534,6 +581,7 @@ class DistScheduler:
                 delivered=len(delivered),
                 redispatched=sum(redispatches.values()),
             )
+            wall("complete", delivered=len(delivered))
         finally:
             for state in states.values():
                 if state.registered:

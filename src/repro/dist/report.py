@@ -9,11 +9,11 @@ history of the experiment, crashes included.
 
 from __future__ import annotations
 
-import json
 import os
 from typing import Dict, List, Optional
 
 from repro.core.errors import ExperimentError
+from repro.telemetry.jsonl import read_jsonl
 from repro.telemetry.plane import DISPATCH_NAME
 
 __all__ = ["agents_status", "find_dispatch_log", "format_agents_status"]
@@ -64,53 +64,50 @@ def agents_status(path: str) -> dict:
             "quarantined": False,
         })
 
-    with open(log_path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError:
-                continue  # torn tail of a crashed controller
-            totals["events"] += 1
-            event = record.get("event")
-            agent_id = record.get("agent")
-            entry = book(agent_id) if agent_id else None
-            if event == "agent-spawn":
-                entry["spawns"] += 1
-                entry["generation"] = record.get("generation", 0)
-            elif event == "register":
-                entry["registered"] = True
-                entry["generation"] = record.get("generation", 0)
-            elif event == "dispatch":
-                runs = record.get("runs", [])
-                entry["runs_dispatched"] += len(runs)
-                if record.get("reason") == "redispatch":
-                    # Orphaned work re-assigned after a death counts as
-                    # re-dispatch too, not just reconcile-driven resends.
-                    entry["redispatches"] += len(runs)
-                    totals["redispatched_runs"] += len(runs)
-            elif event == "redispatch":
-                entry["redispatches"] += len(record.get("runs", []))
-                totals["redispatched_runs"] += len(record.get("runs", []))
-            elif event == "result":
-                entry["runs_delivered"] += 1
-                totals["results"] += 1
-            elif event == "duplicate-dropped":
-                totals["duplicates_dropped"] += 1
-            elif event == "agent-dead":
-                entry["registered"] = False
-                entry["deaths"].append(record.get("reason", "unknown"))
-                totals["deaths"] += 1
-            elif event == "quarantine":
-                entry["quarantined"] = True
-                totals["quarantined"] += 1
-            elif event == "complete":
-                totals["completed"] = True
-                totals["redispatched_runs"] = record.get(
-                    "redispatched", totals["redispatched_runs"]
-                )
+    # The sidecar is single-writer with one flushed write() per record,
+    # so the only malformed line a reader can observe is a torn final
+    # one (crashed controller, or a write in flight right now).  The
+    # shared reader truncates there instead of raising — or, worse,
+    # skipping interior lines and cooking the books.
+    for record in read_jsonl(log_path):
+        totals["events"] += 1
+        event = record.get("event")
+        agent_id = record.get("agent")
+        entry = book(agent_id) if agent_id else None
+        if event == "agent-spawn":
+            entry["spawns"] += 1
+            entry["generation"] = record.get("generation", 0)
+        elif event == "register":
+            entry["registered"] = True
+            entry["generation"] = record.get("generation", 0)
+        elif event == "dispatch":
+            runs = record.get("runs", [])
+            entry["runs_dispatched"] += len(runs)
+            if record.get("reason") == "redispatch":
+                # Orphaned work re-assigned after a death counts as
+                # re-dispatch too, not just reconcile-driven resends.
+                entry["redispatches"] += len(runs)
+                totals["redispatched_runs"] += len(runs)
+        elif event == "redispatch":
+            entry["redispatches"] += len(record.get("runs", []))
+            totals["redispatched_runs"] += len(record.get("runs", []))
+        elif event == "result":
+            entry["runs_delivered"] += 1
+            totals["results"] += 1
+        elif event == "duplicate-dropped":
+            totals["duplicates_dropped"] += 1
+        elif event == "agent-dead":
+            entry["registered"] = False
+            entry["deaths"].append(record.get("reason", "unknown"))
+            totals["deaths"] += 1
+        elif event == "quarantine":
+            entry["quarantined"] = True
+            totals["quarantined"] += 1
+        elif event == "complete":
+            totals["completed"] = True
+            totals["redispatched_runs"] = record.get(
+                "redispatched", totals["redispatched_runs"]
+            )
     return {
         "path": log_path,
         "agents": [agents[agent_id] for agent_id in sorted(agents)],

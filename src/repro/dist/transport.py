@@ -60,12 +60,25 @@ ENVELOPE_KINDS: Tuple[str, ...] = (
 
 @dataclass
 class Envelope:
-    """One message on the bus.  ``payload`` must be picklable."""
+    """One message on the bus.  ``payload`` must be picklable.
+
+    ``trace`` is the causal trace context riding every envelope once
+    the controller has a live fleet trace: ``{"id": trace id,
+    "parent": span id of the envelope that caused this one,
+    "span": this envelope's own span id, "seq": sender-local causal
+    seq}``.  Agents echo the context of the dispatch they are working
+    on, so a result (or a late duplicate of one) can be stitched to
+    the exact dispatch — across re-dispatches and agent generations —
+    in the ``fleet-trace-wall.jsonl`` evidence.  ``None`` before the
+    first lease (an agent registering knows no trace yet) and when the
+    fleet trace is off; the protocol never requires it.
+    """
 
     kind: str
     sender: str
     seq: int
     payload: Any = None
+    trace: Optional[dict] = None
 
 
 def _run_index(env: Envelope) -> Optional[int]:

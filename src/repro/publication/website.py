@@ -13,9 +13,11 @@ links to the generated figures.
 When the folder carries the telemetry artifacts (``journal.jsonl``,
 per-run ``telemetry.json``/``health.json``), a third page —
 ``dashboard.html`` — is generated as well: the per-run provenance
-table, experiment-wide metric summaries, a run-duration chart, and the
-per-node health/SEL timeline, all rendered self-contained (inline SVG,
-no scripts, no external assets) from the published artifacts alone.
+table, experiment-wide metric summaries, a run-duration chart, the
+fleet-trace timeline with its critical-path bar (when the folder
+carries ``fleet-trace.jsonl``), and the per-node health/SEL timeline,
+all rendered self-contained (inline SVG, no scripts, no external
+assets) from the published artifacts alone.
 """
 
 from __future__ import annotations
@@ -41,6 +43,15 @@ _STATE_COLORS = {
     "degraded": "#fbc02d",
     "wedged": "#e53935",
     "unmonitored": "#bdbdbd",
+}
+
+#: Phase colours for the fleet-trace critical-path bar and timeline.
+_PHASE_COLORS = {
+    "admission": "#8c564b",
+    "dispatch": "#ff7f0e",
+    "run": "#1f77b4",
+    "reorder": "#9467bd",
+    "persist": "#2ca02c",
 }
 
 
@@ -257,6 +268,92 @@ def _health_timeline_svg(timeline: dict) -> Optional[str]:
     return scene_to_svg(scene)
 
 
+def _trace_timeline_svg(analysis: dict) -> Optional[str]:
+    """Inline SVG fleet timeline: critical-path bar + per-agent spans.
+
+    The top bar partitions the execution's whole lifetime into the
+    critical-path phases; below it, one lane per agent shows each run
+    as a block from its dispatch instant to its result arrival (serial
+    executions fall back to a single lane on the sim clock).
+    """
+    from repro.evaluation.plots import Scene, scene_to_svg
+    from repro.evaluation.plots.scene import Rect, Text
+    from repro.telemetry.criticalpath import PHASES
+
+    timeline = analysis.get("timeline") or []
+    total = float(analysis.get("total") or 0.0)
+    if not timeline or total <= 0.0:
+        return None
+    begin = float(analysis.get("begin") or 0.0)
+    phases = analysis.get("phases") or {}
+    lanes = sorted({entry.get("agent") or "runs" for entry in timeline})
+    left, top, lane_h, gap, plot_w = 96.0, 58.0, 18.0, 4.0, 480.0
+    width = left + plot_w + 16.0
+    height = top + len(lanes) * (lane_h + gap) + 22.0
+    scene = Scene(width=max(width, 320.0), height=height)
+
+    def scale(value: float) -> float:
+        return left + (float(value) - begin) / total * plot_w
+
+    legend_x = left
+    for phase in PHASES:
+        scene.add(Rect(
+            x=legend_x, y=6.0, w=10.0, h=10.0,
+            fill=_PHASE_COLORS[phase], stroke="#666666", width=0.5,
+        ))
+        scene.add(Text(x=legend_x + 13.0, y=15.0, text=phase, size=9.0))
+        legend_x += 13.0 + 5.5 * len(phase) + 14.0
+    scene.add(Text(
+        x=left - 8.0, y=37.0, text="critical path", size=10.0, anchor="end",
+    ))
+    cursor = left
+    for phase in PHASES:
+        seconds = float(phases.get(phase) or 0.0)
+        if seconds <= 0.0:
+            continue
+        span_w = seconds / total * plot_w
+        scene.add(Rect(
+            x=cursor, y=28.0, w=span_w, h=12.0,
+            fill=_PHASE_COLORS[phase], stroke="#ffffff", width=0.5,
+        ))
+        cursor += span_w
+
+    for row, lane in enumerate(lanes):
+        y = top + row * (lane_h + gap)
+        scene.add(Text(
+            x=left - 8.0, y=y + lane_h - 5.0, text=lane,
+            size=10.0, anchor="end",
+        ))
+        scene.add(Rect(
+            x=left, y=y, w=plot_w, h=lane_h,
+            fill="#f4f4f4", stroke="#dddddd", width=0.5,
+        ))
+        for entry in timeline:
+            if (entry.get("agent") or "runs") != lane:
+                continue
+            x0 = scale(entry["dispatch"])
+            x1 = scale(entry["arrival"])
+            scene.add(Rect(
+                x=x0, y=y + 2.0, w=max(x1 - x0, 1.5), h=lane_h - 4.0,
+                fill=_PHASE_COLORS["run"], stroke="#ffffff", width=0.5,
+            ))
+            if x1 - x0 >= 14.0:
+                scene.add(Text(
+                    x=(x0 + x1) / 2.0, y=y + lane_h - 5.0,
+                    text=str(entry["run"]), size=9.0,
+                    anchor="middle", color="#ffffff",
+                ))
+    unit = "t" if analysis.get("clock") == "transport" else "s (sim)"
+    scene.add(Text(
+        x=left, y=height - 8.0, text="0", size=9.0, anchor="middle",
+    ))
+    scene.add(Text(
+        x=left + plot_w, y=height - 8.0, text=f"{total:g}{unit}",
+        size=9.0, anchor="middle",
+    ))
+    return scene_to_svg(scene)
+
+
 def _metric_table(parts: List[str], title: str, values: dict) -> None:
     if not values:
         return
@@ -342,6 +439,25 @@ def generate_dashboard(
     duration_svg = _duration_chart_svg(report["runs"])
     if duration_svg:
         parts.append(duration_svg)
+
+    trace_analysis = None
+    try:
+        from repro.telemetry.criticalpath import TraceError, analyze
+
+        trace_analysis = analyze(root)
+    except TraceError:
+        pass
+    if trace_analysis is not None:
+        trace_svg = _trace_timeline_svg(trace_analysis)
+        if trace_svg:
+            parts.append("<h2>Fleet timeline</h2>")
+            parts.append(
+                "<p>Critical-path attribution and per-agent occupancy, "
+                "reconstructed from <code>fleet-trace.jsonl</code> and "
+                "the wall-clock evidence sidecar "
+                "(<code>pos trace</code> prints the same breakdown).</p>"
+            )
+            parts.append(trace_svg)
 
     parts.append("<h2>Node health</h2>")
     timeline_svg = _health_timeline_svg(timeline)

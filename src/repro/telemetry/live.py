@@ -26,6 +26,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from repro.core.errors import PosError
+from repro.telemetry.jsonl import read_jsonl
 from repro.testbed.health import HEALTH_NAME, ExperimentHealth
 
 __all__ = [
@@ -49,19 +50,7 @@ def _read_journal(experiment_path: str) -> List[dict]:
             f"no journal.jsonl in {experiment_path} "
             f"(not an experiment result folder?)"
         )
-    entries: List[dict] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except ValueError:
-                break  # torn tail of a record being written right now
-            if isinstance(entry, dict):
-                entries.append(entry)
-    return entries
+    return read_jsonl(path)
 
 
 def _read_json(path: str) -> Optional[dict]:

@@ -20,6 +20,7 @@ import os
 from typing import Any, Dict, List, Optional
 
 from repro.core.errors import PosError
+from repro.telemetry.jsonl import read_jsonl, read_jsonl_or_none
 
 __all__ = ["load_report", "render_report"]
 
@@ -44,39 +45,12 @@ def _read_journal(experiment_path: str) -> List[dict]:
             f"no journal.jsonl in {experiment_path} "
             f"(not an experiment result folder?)"
         )
-    entries: List[dict] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                entry = json.loads(line)
-            except ValueError:
-                break  # torn tail of a crashed execution
-            if isinstance(entry, dict):
-                entries.append(entry)
-    return entries
+    return read_jsonl(path)
 
 
 def _read_cache_events(experiment_path: str) -> Optional[List[dict]]:
     """The cache evidence sidecar, or None when no cache was active."""
-    path = os.path.join(experiment_path, "cache.jsonl")
-    if not os.path.isfile(path):
-        return None
-    events: List[dict] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                event = json.loads(line)
-            except ValueError:
-                break  # torn tail of a crashed execution
-            if isinstance(event, dict):
-                events.append(event)
-    return events
+    return read_jsonl_or_none(os.path.join(experiment_path, "cache.jsonl"))
 
 
 def _cache_summary(events: Optional[List[dict]]) -> Optional[Dict[str, Any]]:

@@ -107,13 +107,22 @@ def validate_experiment(experiment_path: str) -> List[str]:
     """
     validated: List[str] = []
     trace_schema = _load_schema("trace.schema.json")
+    fleet_schema = _load_schema("fleet-trace.schema.json")
     telemetry_schema = _load_schema("telemetry.schema.json")
     run_schema = _load_schema("run-telemetry.schema.json")
     health_schema = _load_schema("health.schema.json")
     run_health_schema = _load_schema("run-health.schema.json")
+    dispatch_schema = _load_schema("dispatch.schema.json")
+    cache_schema = _load_schema("cache.schema.json")
 
-    trace_path = os.path.join(experiment_path, "trace.jsonl")
-    if os.path.isfile(trace_path):
+    # Deterministic artifacts are strict: every line must parse.
+    for trace_name, schema in (
+        ("trace.jsonl", trace_schema),
+        ("fleet-trace.jsonl", fleet_schema),
+    ):
+        trace_path = os.path.join(experiment_path, trace_name)
+        if not os.path.isfile(trace_path):
+            continue
         with open(trace_path, "r", encoding="utf-8") as handle:
             for number, line in enumerate(handle, start=1):
                 try:
@@ -123,10 +132,28 @@ def validate_experiment(experiment_path: str) -> List[str]:
                         f"{trace_path}:{number}: not valid JSON: {exc}"
                     ) from exc
                 try:
-                    validate(record, trace_schema)
+                    validate(record, schema)
                 except SchemaError as exc:
                     raise SchemaError(f"{trace_path}:{number}: {exc}") from exc
         validated.append(trace_path)
+
+    # Evidence sidecars tolerate a torn tail (a crashed writer's last
+    # line is evidence, not a violation); complete records must conform.
+    from repro.telemetry.jsonl import read_jsonl
+
+    for sidecar_name, schema in (
+        ("dispatch.jsonl", dispatch_schema),
+        ("cache.jsonl", cache_schema),
+    ):
+        sidecar_path = os.path.join(experiment_path, sidecar_name)
+        if not os.path.isfile(sidecar_path):
+            continue
+        for number, record in enumerate(read_jsonl(sidecar_path), start=1):
+            try:
+                validate(record, schema)
+            except SchemaError as exc:
+                raise SchemaError(f"{sidecar_path}:{number}: {exc}") from exc
+        validated.append(sidecar_path)
 
     telemetry_path = os.path.join(experiment_path, "telemetry.json")
     if os.path.isfile(telemetry_path):

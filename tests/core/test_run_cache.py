@@ -410,6 +410,42 @@ class TestSurfaces:
         out = capsys.readouterr().out
         assert "4 miss(es)" in out and "4 store(s)" in out
 
+    def test_cache_sidecar_identical_under_jobs_and_agents(
+        self, tmp_path, capsys, monkeypatch,
+    ):
+        # The evidence sidecar must tell the same hit/miss story no
+        # matter which execution plane served the sweep: warm serial,
+        # warm --jobs N and warm --agents N probe the same keys in the
+        # same run order, and `pos report` renders the section for all.
+        monkeypatch.setenv("POS_RUN_CACHE_DIR", str(tmp_path / "cache"))
+
+        def hit_miss(root):
+            events = cache_events(root)
+            return (
+                sorted(e["run"] for e in events if e["event"] == "cache.hit"),
+                sorted(e["run"] for e in events if e["event"] == "cache.miss"),
+            )
+
+        run_case_study("pos", str(tmp_path / "cold"), **SWEEP)
+        run_case_study("pos", str(tmp_path / "warm-serial"), **SWEEP)
+        run_case_study("pos", str(tmp_path / "warm-jobs"), jobs=2, **SWEEP)
+        assert hit_miss(tmp_path / "warm-jobs") \
+            == hit_miss(tmp_path / "warm-serial") == ([0, 1, 2, 3], [])
+
+        run_case_study("vpos", str(tmp_path / "vcold"), **SWEEP)
+        run_case_study("vpos", str(tmp_path / "vwarm-serial"), **SWEEP)
+        run_case_study(
+            "vpos", str(tmp_path / "vwarm-agents"), agents=2, **SWEEP,
+        )
+        assert hit_miss(tmp_path / "vwarm-agents") \
+            == hit_miss(tmp_path / "vwarm-serial") == ([0, 1, 2, 3], [])
+
+        for warm in ("warm-jobs", "vwarm-agents"):
+            warm_dir = find_result_dir(str(tmp_path / warm))
+            assert cli_main(["report", "--results", warm_dir]) == 0
+            out = capsys.readouterr().out
+            assert "run cache: 4 hit(s), 0 miss(es)" in out
+
     def test_run_cli_cache_flag(self, tmp_path, capsys, counted_runs):
         cache_dir = str(tmp_path / "cache")
         args = [

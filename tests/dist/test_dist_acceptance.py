@@ -18,7 +18,7 @@ import pytest
 from repro.casestudy import run_case_study
 from repro.dist.report import agents_status, format_agents_status
 from repro.faults.plan import FaultPlan, FaultSpec
-from repro.telemetry.plane import DISPATCH_NAME
+from repro.telemetry.plane import DISPATCH_NAME, EVIDENCE_SIDECARS
 from tests.core.test_parallel_scheduler import (
     CrashRequested,
     crashing_progress,
@@ -34,11 +34,11 @@ KWARGS = dict(duration_s=0.2, max_runs=4, clock=CLOCK)
 
 
 def dist_tree(root):
-    """Tree mapping without the evidence sidecar (outside the contract)."""
+    """Tree mapping without the evidence sidecars (outside the contract)."""
     return {
         rel: data
         for rel, data in tree(root).items()
-        if os.path.basename(rel) != DISPATCH_NAME
+        if os.path.basename(rel) not in EVIDENCE_SIDECARS
     }
 
 
