@@ -24,6 +24,42 @@ from repro.evaluation.loader import ExperimentResults, load_experiment
 
 FULL_SWEEPS = os.environ.get("POS_BENCH_FULL", "") == "1"
 
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+_HISTORY_DIR = os.path.join(_BENCH_DIR, "history")
+_bench_mtimes: Dict[str, float] = {}
+
+
+def _bench_snapshots() -> Dict[str, float]:
+    return {
+        name: os.path.getmtime(os.path.join(_BENCH_DIR, name))
+        for name in sorted(os.listdir(_BENCH_DIR))
+        if name.startswith("BENCH_") and name.endswith(".json")
+    }
+
+
+def pytest_sessionstart(session):
+    _bench_mtimes.update(_bench_snapshots())
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append refreshed BENCH snapshots to the perf-history ledger.
+
+    Every benchmark that ran re-writes its ``BENCH_*.json`` section;
+    any snapshot whose mtime moved during the session is recorded into
+    ``benchmarks/history/history.jsonl`` so ``pos perf trend`` sees the
+    new point.  ``POS_BENCH_HISTORY=0`` opts out (e.g. scratch runs
+    that should not pollute the committed trajectory).
+    """
+    if os.environ.get("POS_BENCH_HISTORY", "") == "0":
+        return
+    if exitstatus != 0:
+        return  # a failed session's numbers are not a trajectory point
+    from repro.telemetry.perfhistory import record_bench
+
+    for name, mtime in _bench_snapshots().items():
+        if _bench_mtimes.get(name) != mtime:
+            record_bench(_HISTORY_DIR, os.path.join(_BENCH_DIR, name))
+
 
 def sweep(rates: Sequence[int], keep_every: int) -> List[int]:
     """Thin a rate sweep unless POS_BENCH_FULL=1."""

@@ -15,6 +15,9 @@ the rates to 2 Mpps.
 
 from __future__ import annotations
 
+import hashlib
+import json
+
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -328,6 +331,13 @@ def build_environment(
     calendar = Calendar(clock=clock)
     allocator = Allocator(calendar, setup.nodes)
     results = ResultStore(result_root, clock=clock)
+    # The same fields the run cache fingerprints (minus the scenario
+    # content, which lives in experiment.yml/inventory.yml already):
+    # recorded in telemetry.json so `pos diff` can attribute deltas
+    # between two result trees to an identified input change.
+    testbed_digest = hashlib.sha256(
+        json.dumps(setup.describe(), sort_keys=True).encode("utf-8")
+    ).hexdigest()[:16]
     controller = Controller(
         allocator,
         setup.images,
@@ -336,6 +346,12 @@ def build_environment(
         progress=progress,
         fault_injector=injector,
         run_cache=run_cache,
+        provenance={
+            "code_epoch": _runcache.CODE_EPOCH,
+            "platform": platform,
+            "seed": seed,
+            "testbed": testbed_digest,
+        },
     )
     return CaseStudyEnvironment(
         platform=platform,

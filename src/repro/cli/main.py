@@ -265,6 +265,74 @@ def build_parser() -> argparse.ArgumentParser:
     cache_gc.add_argument("--cache", required=True, metavar="DIR",
                           help="run cache directory")
 
+    diff = sub.add_parser(
+        "diff",
+        help="structured comparison of two experiment result trees: "
+             "metrics joined run by run with robust effect sizes, "
+             "health/fault/retry deltas, the sim-clock phase breakdown, "
+             "and every delta attributed to a reproducibility-"
+             "fingerprint change or flagged unexplained",
+    )
+    diff.add_argument("a", help="first experiment timestamp folder")
+    diff.add_argument("b", help="second experiment timestamp folder")
+    diff.add_argument("--tolerance", type=float, default=0.0,
+                      help="relative change below which a metric pair is "
+                           "equal (default 0: exact agreement expected)")
+    diff.add_argument("--top", type=int, default=10,
+                      help="how many per-run deltas to list (default 10)")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the raw diff as JSON instead of text")
+    diff.add_argument("--save", action="store_true",
+                      help="also write the diff as diff.json into B "
+                           "(picked up by the published dashboard)")
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="automated diagnosis of one experiment tree: journal, "
+             "telemetry, health ledger, and dispatch/cache evidence "
+             "folded into ranked findings with evidence pointers",
+    )
+    doctor.add_argument("results", help="one experiment's timestamp folder")
+    doctor.add_argument("--json", action="store_true",
+                        help="emit the raw diagnosis as JSON instead of text")
+    doctor.add_argument("--save", action="store_true",
+                        help="also write the diagnosis as doctor.json into "
+                             "the folder")
+
+    perf = sub.add_parser(
+        "perf",
+        help="append-only performance history over benchmark snapshots "
+             "with deterministic regression and change-point detection",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_record = perf_sub.add_parser(
+        "record",
+        help="flatten BENCH_*.json snapshots into seq-numbered records "
+             "appended to the history ledger",
+    )
+    perf_record.add_argument("benches", nargs="+", metavar="BENCH_JSON",
+                             help="benchmark snapshot file(s)")
+    perf_record.add_argument("--history", required=True, metavar="DIR",
+                             help="history directory (holds history.jsonl)")
+    perf_trend = perf_sub.add_parser(
+        "trend",
+        help="per-metric series report: newest point vs robust baseline, "
+             "level-shift localization; --check exits 1 on regression",
+    )
+    perf_trend.add_argument("--history", required=True, metavar="DIR",
+                            help="history directory (holds history.jsonl)")
+    perf_trend.add_argument("--threshold", type=float, default=None,
+                            help="relative regression threshold "
+                                 "(default 0.5)")
+    perf_trend.add_argument("--json", action="store_true",
+                            help="emit the raw report as JSON")
+    perf_trend.add_argument("--verbose", action="store_true",
+                            help="list every directed series, not only "
+                                 "regressions and shifts")
+    perf_trend.add_argument("--check", action="store_true",
+                            help="exit non-zero when any regression is "
+                                 "detected (the CI gate)")
+
     sub.add_parser("compare", help="print the testbed comparison (Table 1)")
 
     check = sub.add_parser(
@@ -476,6 +544,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if os.path.isfile(os.path.join(args.results, ADMISSION_NAME)):
         analysis = analyze_campaign(args.results)
         rendered = render_campaign_analysis(analysis, top=args.top)
+    elif os.path.isdir(os.path.join(args.results, "experiments")):
+        # Campaign-shaped but the admission ledger is gone (pruned, or
+        # the planner crashed before its first append): descending into
+        # the first experiment's trace would silently mis-scope the
+        # profile, so refuse with a diagnosis instead.
+        from repro.telemetry.criticalpath import TraceError
+
+        raise TraceError(
+            f"{args.results} looks like a campaign folder (has "
+            f"experiments/) but carries no {ADMISSION_NAME}; profile a "
+            f"single experiment folder below experiments/ instead"
+        )
     else:
         analysis = analyze(args.results)
         rendered = render_analysis(analysis, top=args.top)
@@ -568,6 +648,76 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.telemetry.diff import DIFF_NAME, diff_experiments, render_diff
+
+    diff = diff_experiments(args.a, args.b, tolerance=args.tolerance)
+    if args.save:
+        target = os.path.join(args.b, DIFF_NAME)
+        with open(target, "w", encoding="utf-8") as handle:
+            _json.dump(diff, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"saved: {target}", file=sys.stderr)
+    if args.json:
+        print(_json.dumps(diff, sort_keys=True, indent=2))
+    else:
+        print(render_diff(diff, top=args.top), end="")
+    return 0 if diff["attribution"]["unexplained"] == 0 else 1
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.telemetry.doctor import DOCTOR_NAME, diagnose, render_diagnosis
+
+    diagnosis = diagnose(args.results)
+    if args.save:
+        target = os.path.join(args.results, DOCTOR_NAME)
+        with open(target, "w", encoding="utf-8") as handle:
+            _json.dump(diagnosis, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"saved: {target}", file=sys.stderr)
+    if args.json:
+        print(_json.dumps(diagnosis, sort_keys=True, indent=2))
+    else:
+        print(render_diagnosis(diagnosis), end="")
+    return 0 if diagnosis["verdict"] != "unhealthy" else 1
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.telemetry.perfhistory import (
+        DEFAULT_THRESHOLD,
+        load_history,
+        record_bench,
+        render_trend,
+        trend,
+    )
+
+    if args.perf_command == "record":
+        total = 0
+        for bench_path in args.benches:
+            records = record_bench(args.history, bench_path)
+            total += len(records)
+            print(f"{bench_path}: {len(records)} record(s)")
+        print(f"recorded {total} record(s) into {args.history}")
+        return 0
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    )
+    report = trend(load_history(args.history), threshold=threshold)
+    if args.json:
+        print(_json.dumps(report, sort_keys=True, indent=2))
+    else:
+        print(render_trend(report, verbose=args.verbose), end="")
+    if args.check and report["regressions"]:
+        return 1
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     print(format_table(), end="")
     return 0
@@ -600,6 +750,9 @@ _COMMANDS = {
     "agents": _cmd_agents,
     "campaign": _cmd_campaign,
     "cache": _cmd_cache,
+    "diff": _cmd_diff,
+    "doctor": _cmd_doctor,
+    "perf": _cmd_perf,
     "compare": _cmd_compare,
     "check-replication": _cmd_check_replication,
 }

@@ -127,11 +127,17 @@ class Controller:
         quarantine_threshold: int = 3,
         clock: Optional[Clock] = None,
         run_cache=None,
+        provenance: Optional[dict] = None,
     ):
         self._allocator = allocator
         self._images = images
         self._results = results
         self._inventory_extra = inventory_extra
+        #: Reproducibility fingerprint (code epoch, platform, seed, …)
+        #: recorded verbatim in ``telemetry.json`` so ``pos diff`` can
+        #: attribute result deltas between two executions to an input
+        #: change.  Must be a pure function of the experiment's inputs.
+        self.provenance = dict(provenance) if provenance else None
         self._progress = progress
         self.fault_injector = fault_injector
         #: Optional :class:`repro.cache.RunCache`.  Consulted before the
@@ -434,6 +440,7 @@ class Controller:
                     "skipped": handle.skipped_runs,
                 },
                 journal_entries=len(journal.entries),
+                provenance=self.provenance,
             )
         except PosError as exc:
             handle.aborted = True
@@ -448,6 +455,7 @@ class Controller:
                     "skipped": handle.skipped_runs,
                 },
                 journal_entries=len(journal.entries),
+                provenance=self.provenance,
             )
             raise
         finally:

@@ -19,15 +19,134 @@ though absolute rates differ by orders of magnitude.
 
 from __future__ import annotations
 
+import random
+
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 from repro.core.errors import EvaluationError
 
-__all__ = ["CurveFeatures", "extract_features", "tendencies_agree", "tendency_report"]
+__all__ = [
+    "CurveFeatures",
+    "extract_features",
+    "tendencies_agree",
+    "tendency_report",
+    "median",
+    "mad",
+    "robust_z",
+    "hodges_lehmann",
+    "paired_effect",
+]
 
 Point = Tuple[float, float]  # (offered, achieved)
+
+
+# --------------------------------------------------------------------------
+# robust location / dispersion / effect-size estimators
+#
+# The comparative tooling (`pos diff`, `pos doctor`, the perf-history
+# regression plane) reasons about small, possibly contaminated samples:
+# a handful of repeated runs, one of which may be an outlier caused by a
+# retry storm or a wedged node.  Means and standard deviations are
+# useless there — a single bad run drags both — so everything below is
+# median/MAD-based, and every randomized step is seeded so reports stay
+# pure functions of their inputs.
+# --------------------------------------------------------------------------
+
+#: Consistency constant making the MAD comparable to a standard
+#: deviation under normality (1 / Phi^-1(3/4)).
+_MAD_SCALE = 1.4826
+
+
+def median(samples: Sequence[float]) -> float:
+    """The sample median (average-of-two for even sizes)."""
+    if not samples:
+        raise EvaluationError("median of an empty sample")
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(samples: Sequence[float], center: Optional[float] = None) -> float:
+    """Median absolute deviation, scaled to be sigma-comparable."""
+    if not samples:
+        raise EvaluationError("MAD of an empty sample")
+    mid = median(samples) if center is None else center
+    return _MAD_SCALE * median([abs(value - mid) for value in samples])
+
+
+def robust_z(value: float, samples: Sequence[float]) -> float:
+    """How many robust sigmas ``value`` sits from the sample's median.
+
+    With a degenerate spread (MAD == 0, e.g. all-identical samples) the
+    score is 0 for values equal to the median and infinite otherwise —
+    any deviation from a perfectly concentrated sample is anomalous.
+    """
+    mid = median(samples)
+    spread = mad(samples, center=mid)
+    if spread == 0.0:
+        return 0.0 if value == mid else float("inf")
+    return (value - mid) / spread
+
+
+def hodges_lehmann(samples: Sequence[float]) -> float:
+    """Hodges–Lehmann one-sample estimator: median of pairwise means.
+
+    The classic robust location estimate for paired differences —
+    resistant to outliers yet far more efficient than the plain median.
+    """
+    if not samples:
+        raise EvaluationError("Hodges-Lehmann of an empty sample")
+    walsh = [
+        (samples[i] + samples[j]) / 2.0
+        for i in range(len(samples))
+        for j in range(i, len(samples))
+    ]
+    return median(walsh)
+
+
+def paired_effect(
+    before: Sequence[float],
+    after: Sequence[float],
+    confidence: float = 0.95,
+    bootstrap: int = 400,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Robust effect summary of paired samples (``after - before``).
+
+    Returns the Hodges–Lehmann estimate of the paired difference, the
+    median difference, and a seeded-bootstrap confidence interval on
+    the HL estimate — deterministic for identical inputs, so reports
+    built on it stay byte-stable.
+    """
+    if len(before) != len(after):
+        raise EvaluationError(
+            f"paired samples differ in length: {len(before)} vs {len(after)}"
+        )
+    if not before:
+        raise EvaluationError("paired effect of empty samples")
+    diffs = [b - a for a, b in zip(before, after)]
+    estimate = hodges_lehmann(diffs)
+    rng = random.Random(seed)
+    replicates: List[float] = []
+    for _ in range(bootstrap):
+        resample = [diffs[rng.randrange(len(diffs))] for _ in diffs]
+        replicates.append(hodges_lehmann(resample))
+    replicates.sort()
+    tail = (1.0 - confidence) / 2.0
+    low = replicates[int(tail * (len(replicates) - 1))]
+    high = replicates[int((1.0 - tail) * (len(replicates) - 1))]
+    return {
+        "hl_estimate": estimate,
+        "median_diff": median(diffs),
+        "ci_low": low,
+        "ci_high": high,
+        "confidence": confidence,
+        "n": float(len(diffs)),
+    }
 
 
 @dataclass

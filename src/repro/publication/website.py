@@ -368,6 +368,60 @@ def _metric_table(parts: List[str], title: str, values: dict) -> None:
     parts.append("</table>")
 
 
+def _what_changed_panel(parts: List[str], root: str) -> None:
+    """Render a saved ``pos diff --save`` report, when one is present.
+
+    The panel answers the first question every reader of a re-run
+    asks — *what changed against the baseline, and why* — without
+    making them re-derive it from the raw artifacts.
+    """
+    import json
+
+    diff_path = os.path.join(root, "diff.json")
+    if not os.path.isfile(diff_path):
+        return
+    try:
+        with open(diff_path, "r", encoding="utf-8") as handle:
+            diff = json.load(handle)
+        attribution = diff["attribution"]
+        causes = diff["causes"]
+        baseline = diff["a"]["path"]
+    except (ValueError, KeyError):
+        return  # a foreign or truncated diff.json is not ours to render
+    parts.append("<h2>What changed</h2>")
+    parts.append(
+        f"<p>Compared against baseline <code>{html.escape(baseline)}</code> "
+        f"(<code>pos diff</code>, saved as <code>diff.json</code>).</p>"
+    )
+    if causes:
+        parts.append(
+            "<table><tr><th>fingerprint field</th><th>baseline</th>"
+            "<th>this tree</th></tr>"
+        )
+        for cause in causes:
+            parts.append(
+                f"<tr><td>{html.escape(str(cause['field']))}</td>"
+                f"<td>{html.escape(str(cause['a']))}</td>"
+                f"<td>{html.escape(str(cause['b']))}</td></tr>"
+            )
+        parts.append("</table>")
+    else:
+        parts.append("<p>The reproducibility fingerprints are identical.</p>")
+    if attribution["total"] == 0:
+        parts.append("<p>0 metric deltas — the trees replicate.</p>")
+    elif attribution["unexplained"] == 0:
+        parts.append(
+            f"<p>{attribution['total']} metric delta(s), all explained by: "
+            f"{html.escape(', '.join(attribution['causes']))}.</p>"
+        )
+    else:
+        parts.append(
+            f"<p><strong>{attribution['unexplained']} of "
+            f"{attribution['total']} metric delta(s) are unexplained</strong> "
+            f"— identical inputs produced different results.</p>"
+        )
+
+
 def generate_dashboard(
     root: str, repository_url: Optional[str] = None
 ) -> Optional[str]:
@@ -496,6 +550,8 @@ def generate_dashboard(
         parts.append("<h2>Experiment-wide metrics</h2>")
         _metric_table(parts, "Counters", metrics.get("counters", {}))
         _metric_table(parts, "Gauges", metrics.get("gauges", {}))
+
+    _what_changed_panel(parts, root)
 
     parts.append('<p><a href="index.html">Back to the artifact index</a></p>')
     parts.append("</body></html>")

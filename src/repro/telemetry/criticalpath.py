@@ -359,8 +359,17 @@ def _sim_profile(runs: Dict[int, Dict[str, dict]]) -> Dict[str, Any]:
     }
 
 
-def analyze(experiment_path: str) -> Dict[str, Any]:
-    """The full trace profile of one experiment folder, as plain data."""
+def analyze(experiment_path: str, clock: str = "auto") -> Dict[str, Any]:
+    """The full trace profile of one experiment folder, as plain data.
+
+    ``clock`` selects the time base: ``"auto"`` prefers the quarantined
+    wall evidence when a pump left any; ``"sim"`` forces the virtual-
+    clock profile, which is a pure function of the deterministic trace
+    and therefore safe for byte-stable comparative reports
+    (:mod:`repro.telemetry.diff`).
+    """
+    if clock not in ("auto", "sim"):
+        raise TraceError(f"unknown trace clock {clock!r} (auto or sim)")
     trace_path = find_fleet_trace(experiment_path)
     if trace_path is None:
         raise TraceError(
@@ -370,7 +379,10 @@ def analyze(experiment_path: str) -> Dict[str, Any]:
         )
     dag = load_fleet_trace(trace_path)
     folder = os.path.dirname(trace_path)
-    wall_events = read_jsonl_or_none(os.path.join(folder, FLEET_WALL_NAME))
+    wall_events = (
+        read_jsonl_or_none(os.path.join(folder, FLEET_WALL_NAME))
+        if clock == "auto" else None
+    )
     if wall_events:
         profile = _wall_profile(wall_events)
     else:
@@ -536,7 +548,13 @@ def render_campaign_analysis(analysis: Dict[str, Any], top: int = 5) -> str:
     lines.append(header)
     lines.append("  " + "-" * (len(header) - 2))
     for row in analysis["experiments"]:
-        window = f"[{row['window'][0]:g}, {row['window'][1]:g}]"
+        # Admission rows written by older planners may lack window
+        # bounds; render the gap instead of crashing on None.
+        start, end = row["window"]
+        if start is None or end is None:
+            window = "(no window)"
+        else:
+            window = f"[{start:g}, {end:g}]"
         profile = row.get("profile")
         total = f"{profile['total']:.4f}" if profile else "(no trace)"
         lines.append(

@@ -1,0 +1,259 @@
+"""Append-only performance history and regression detection.
+
+The benchmark suite leaves one ``BENCH_*.json`` per subsystem — a
+snapshot of the *current* tree's performance with no memory of any
+earlier one.  A regression therefore only surfaces when a human
+remembers what the numbers used to be.  This module gives the numbers
+a memory:
+
+* ``pos perf record`` flattens every numeric leaf of a benchmark
+  snapshot into seq-numbered records appended to
+  ``benchmarks/history/history.jsonl`` (the bench conftest does this
+  automatically after each benchmark session);
+* ``pos perf trend`` folds the history into per-metric series and runs
+  a deterministic detector over each: the newest point is compared
+  against the robust baseline (median of all earlier points) with a
+  direction-aware threshold, and a median-split change-point scan
+  locates *where* a shift entered the history;
+* ``pos perf trend --check`` exits non-zero on any regression, which
+  is what CI gates on.
+
+Records carry **no timestamps** — ordering is the append order,
+identity is the monotone ``seq`` — so the history file and every
+report derived from it are pure functions of the recorded values:
+re-running ``pos perf trend`` anywhere, any time, yields byte-identical
+output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.errors import PosError
+from repro.evaluation.tendencies import median
+from repro.telemetry.jsonl import read_jsonl
+
+__all__ = [
+    "PerfHistoryError",
+    "HISTORY_NAME",
+    "flatten_bench",
+    "record_bench",
+    "load_history",
+    "trend",
+    "render_trend",
+]
+
+#: The single append-only ledger inside the history directory.
+HISTORY_NAME = "history.jsonl"
+
+#: Relative change of the newest point against the robust baseline
+#: beyond which a directed metric counts as regressed.  Wall-clock
+#: benches are noisy across machines; half-again is decisively outside
+#: that noise while a genuine 2x slowdown (rel = +1.0) clears it.
+DEFAULT_THRESHOLD = 0.5
+
+#: Leaves that are benchmark *configuration*, not measured outcomes.
+CONFIG_LEAVES = frozenset({
+    "cpu_count", "sweep_runs", "reps", "gate", "agents",
+    "frame_size", "rate_pps", "runs",
+})
+
+
+class PerfHistoryError(PosError):
+    """The history ledger is missing or malformed."""
+
+
+def _direction(metric: str) -> Optional[str]:
+    """Which way is better for this metric, if knowable from its name."""
+    leaf = metric.rpartition(".")[2]
+    if leaf in CONFIG_LEAVES:
+        return None
+    if leaf == "speedup" or leaf == "reduction" or leaf.endswith("_speedup"):
+        return "higher"
+    if leaf.endswith("_s") or leaf == "overhead":
+        return "lower"
+    return None
+
+
+def flatten_bench(payload: Dict[str, Any]) -> Dict[str, float]:
+    """Every numeric leaf of a BENCH snapshot as ``dotted.path: value``."""
+    flat: Dict[str, float] = {}
+
+    def walk(node: Any, prefix: str) -> None:
+        if isinstance(node, dict):
+            for key in sorted(node):
+                walk(node[key], f"{prefix}.{key}" if prefix else str(key))
+        elif isinstance(node, bool):
+            return  # booleans are flags, not measurements
+        elif isinstance(node, (int, float)):
+            flat[prefix] = float(node)
+
+    walk(payload, "")
+    return flat
+
+
+def load_history(history_dir: str) -> List[dict]:
+    """All records of the ledger, in append (= seq) order."""
+    path = os.path.join(history_dir, HISTORY_NAME)
+    if not os.path.isfile(path):
+        raise PerfHistoryError(
+            f"no {HISTORY_NAME} in {history_dir}; record a benchmark "
+            f"snapshot first (pos perf record)"
+        )
+    return read_jsonl(path)
+
+
+def record_bench(history_dir: str, bench_path: str) -> List[dict]:
+    """Append one BENCH snapshot's numeric leaves to the ledger."""
+    if not os.path.isfile(bench_path):
+        raise PerfHistoryError(f"no such benchmark snapshot: {bench_path}")
+    with open(bench_path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    source = os.path.basename(bench_path)
+    bench = source
+    if bench.startswith("BENCH_"):
+        bench = bench[len("BENCH_"):]
+    if bench.endswith(".json"):
+        bench = bench[: -len(".json")]
+    os.makedirs(history_dir, exist_ok=True)
+    path = os.path.join(history_dir, HISTORY_NAME)
+    existing = read_jsonl(path) if os.path.isfile(path) else []
+    seq = max((int(r.get("seq", 0)) for r in existing), default=0)
+    records: List[dict] = []
+    for metric, value in sorted(flatten_bench(payload).items()):
+        seq += 1
+        records.append({
+            "seq": seq,
+            "bench": bench,
+            "metric": metric,
+            "value": value,
+            "direction": _direction(metric),
+            "source": source,
+        })
+    with open(path, "a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return records
+
+
+def _change_point(values: Sequence[float]) -> Optional[int]:
+    """Index where a level shift most plausibly entered, or ``None``.
+
+    Scans every split with at least two points on each side and keeps
+    the one maximizing the absolute difference of the side medians,
+    CUSUM-weighted by ``sqrt(k * (n - k))`` so among equal shifts the
+    balanced split (the actual entry point of the level change) wins
+    over one that merely clips the edge; reported only when the shift
+    is large relative to the left level.
+    """
+    n = len(values)
+    if n < 4:
+        return None
+    best_index: Optional[int] = None
+    best_score = 0.0
+    best_shift = 0.0
+    for split in range(2, n - 1):
+        left = median(values[:split])
+        right = median(values[split:])
+        shift = abs(right - left)
+        score = shift * (split * (n - split)) ** 0.5
+        if score > best_score:
+            best_score = score
+            best_shift = shift
+            best_index = split
+    if best_index is None:
+        return None
+    left_level = abs(median(values[:best_index]))
+    scale = left_level if left_level > 0 else 1.0
+    if best_shift / scale < 0.25:
+        return None
+    return best_index
+
+
+def trend(
+    records: List[dict], threshold: float = DEFAULT_THRESHOLD,
+) -> Dict[str, Any]:
+    """Fold history records into per-metric series with verdicts."""
+    series_values: Dict[str, List[float]] = {}
+    series_meta: Dict[str, dict] = {}
+    for record in records:
+        key = f"{record['bench']}.{record['metric']}"
+        series_values.setdefault(key, []).append(float(record["value"]))
+        series_meta[key] = record
+    series: List[Dict[str, Any]] = []
+    regressions: List[Dict[str, Any]] = []
+    for key in sorted(series_values):
+        values = series_values[key]
+        direction = series_meta[key].get("direction")
+        row: Dict[str, Any] = {
+            "series": key,
+            "bench": series_meta[key]["bench"],
+            "metric": series_meta[key]["metric"],
+            "n": len(values),
+            "first": values[0],
+            "last": values[-1],
+            "direction": direction,
+            "baseline": None,
+            "rel": None,
+            "regressed": False,
+            "change_point": _change_point(values),
+        }
+        if direction is not None and len(values) >= 2:
+            baseline = median(values[:-1])
+            row["baseline"] = baseline
+            if baseline != 0.0:
+                rel = (values[-1] - baseline) / abs(baseline)
+                row["rel"] = rel
+                regressed = (
+                    rel > threshold if direction == "lower"
+                    else rel < -threshold
+                )
+                row["regressed"] = regressed
+                if regressed:
+                    regressions.append(row)
+        series.append(row)
+    return {
+        "threshold": threshold,
+        "series": series,
+        "regressions": regressions,
+    }
+
+
+def render_trend(report: Dict[str, Any], verbose: bool = False) -> str:
+    """Human-readable trend report for the CLI."""
+    lines: List[str] = []
+    lines.append(
+        f"perf history: {len(report['series'])} series, "
+        f"threshold {report['threshold']:.0%}"
+    )
+    shown = 0
+    for row in report["series"]:
+        interesting = (
+            row["regressed"] or row["change_point"] is not None
+            or (verbose and row["direction"] is not None)
+        )
+        if not interesting:
+            continue
+        shown += 1
+        rel = f"{row['rel']:+.1%}" if row["rel"] is not None else "n/a"
+        flags = []
+        if row["regressed"]:
+            flags.append("REGRESSION")
+        if row["change_point"] is not None:
+            flags.append(f"shift at point {row['change_point']}")
+        lines.append(
+            f"  {row['series']}: {row['first']:g} .. {row['last']:g} "
+            f"(n={row['n']}, last vs baseline {rel})"
+            + (f" [{', '.join(flags)}]" if flags else "")
+        )
+    if shown == 0:
+        lines.append("  no regressions, no level shifts")
+    if report["regressions"]:
+        lines.append(
+            f"verdict: {len(report['regressions'])} regression(s) detected"
+        )
+    else:
+        lines.append("verdict: no regressions")
+    return "\n".join(lines) + "\n"

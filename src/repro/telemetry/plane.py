@@ -530,9 +530,18 @@ class ExperimentTelemetry:
         runs: Dict[str, int],
         journal_entries: Optional[int] = None,
         extra_gauges: Optional[Dict[str, float]] = None,
+        provenance: Optional[Dict[str, Any]] = None,
     ) -> None:
         """Write the experiment-wide ``telemetry.json`` aggregate
-        (and, when the health plane is on, ``health.json``)."""
+        (and, when the health plane is on, ``health.json``).
+
+        ``provenance`` records the execution's reproducibility
+        fingerprint (code epoch, platform, seed, …) so comparative
+        tooling (``pos diff``) can attribute result deltas between two
+        executions to an identified input change.  It must be a pure
+        function of the experiment's inputs — never of the schedule —
+        to preserve the byte-identity contract.
+        """
         if self.health is not None:
             self.health.finalize(experiment)
         if not self.enabled:
@@ -552,6 +561,8 @@ class ExperimentTelemetry:
             "runs": {name: runs[name] for name in sorted(runs)},
             "spans": self._spans_written + len(self._stack),
         }
+        if provenance:
+            payload["provenance"] = provenance
         with open(
             os.path.join(self.path, TELEMETRY_NAME), "w", encoding="utf-8"
         ) as handle:

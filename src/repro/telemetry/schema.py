@@ -20,7 +20,13 @@ import json
 import os
 from typing import Any, List
 
-__all__ = ["SchemaError", "validate", "validate_experiment", "schema_dir"]
+__all__ = [
+    "SchemaError",
+    "validate",
+    "validate_experiment",
+    "validate_history",
+    "schema_dir",
+]
 
 _TYPES = {
     "object": dict,
@@ -196,7 +202,46 @@ def validate_experiment(experiment_path: str) -> List[str]:
             except SchemaError as exc:
                 raise SchemaError(f"{run_health_path}: {exc}") from exc
             validated.append(run_health_path)
+
+    # Comparative-analysis reports saved back into the tree (`pos diff
+    # --save`, `pos doctor --save`) are part of the published interface
+    # too.
+    for name, schema_name in (
+        ("diff.json", "diff.schema.json"),
+        ("doctor.json", "doctor.schema.json"),
+    ):
+        report_path = os.path.join(experiment_path, name)
+        if not os.path.isfile(report_path):
+            continue
+        with open(report_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        try:
+            validate(payload, _load_schema(schema_name))
+        except SchemaError as exc:
+            raise SchemaError(f"{report_path}: {exc}") from exc
+        validated.append(report_path)
     return validated
+
+
+def validate_history(history_dir: str) -> List[str]:
+    """Validate a perf-history ledger (``history.jsonl``) record by record.
+
+    The ledger is append-only with one flushed write per record, so —
+    like the evidence sidecars — a torn final line is tolerated; every
+    complete record must conform.
+    """
+    from repro.telemetry.jsonl import read_jsonl
+
+    history_path = os.path.join(history_dir, "history.jsonl")
+    if not os.path.isfile(history_path):
+        raise SchemaError(f"no history.jsonl in {history_dir}")
+    schema = _load_schema("perf-history.schema.json")
+    for number, record in enumerate(read_jsonl(history_path), start=1):
+        try:
+            validate(record, schema)
+        except SchemaError as exc:
+            raise SchemaError(f"{history_path}:{number}: {exc}") from exc
+    return [history_path]
 
 
 def _main(argv: List[str]) -> int:

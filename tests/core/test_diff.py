@@ -1,0 +1,175 @@
+"""Acceptance tests for ``pos diff`` — comparative analysis plane.
+
+The contract under test:
+
+* the report is a pure function of the on-disk artifacts —
+  byte-identical no matter which schedule (``--jobs``, ``--agents``,
+  crash + resume) produced either tree;
+* two executions differing only in an input recorded in the
+  reproducibility fingerprint (here: the seed) have **every** metric
+  delta attributed to that field;
+* two executions with identical fingerprints report zero deltas — and
+  a doctored result file surfaces as an UNEXPLAINED delta, not as
+  silence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.casestudy import run_case_study
+from repro.telemetry.diff import (
+    DiffError,
+    diff_experiments,
+    load_side,
+    render_diff,
+)
+from repro.telemetry.schema import validate
+from tests.core.test_parallel_scheduler import (
+    CrashRequested,
+    crashing_progress,
+    find_result_dir,
+)
+
+CLOCK = lambda: 1_600_000_000.0  # noqa: E731 - fixed clock => fixed paths
+
+# A saturating rate so outcomes are seed-sensitive (stochastic drops);
+# four sizes so a crash after two runs leaves genuine work to resume.
+KWARGS = dict(
+    rates=[100_000], sizes=(64, 128, 256, 512), duration_s=0.2, clock=CLOCK,
+)
+
+
+def run_tree(root, **overrides):
+    params = dict(KWARGS)
+    params.update(overrides)
+    run_case_study("vpos", str(root), **params)
+    return find_result_dir(str(root))
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    return run_tree(tmp_path_factory.mktemp("baseline"))
+
+
+@pytest.fixture(scope="module")
+def replica(tmp_path_factory):
+    return run_tree(tmp_path_factory.mktemp("replica"))
+
+
+class TestReplication:
+    def test_identical_inputs_zero_deltas(self, baseline, replica):
+        diff = diff_experiments(baseline, replica)
+        assert diff["causes"] == []
+        assert diff["deltas"] == []
+        assert diff["attribution"] == {
+            "total": 0, "explained": 0, "unexplained": 0, "causes": [],
+        }
+        assert "the trees replicate" in render_diff(diff)
+
+    def test_saved_report_matches_schema(self, baseline, replica):
+        diff = diff_experiments(baseline, replica)
+        schema_path = os.path.join(
+            os.path.dirname(__file__), "..", "..", "docs", "schemas",
+            "diff.schema.json",
+        )
+        with open(schema_path, "r", encoding="utf-8") as handle:
+            validate(json.loads(json.dumps(diff)), json.load(handle))
+
+
+class TestAttribution:
+    def test_seed_change_explains_every_delta(self, baseline, tmp_path):
+        reseeded = run_tree(tmp_path / "seed7", seed=7)
+        diff = diff_experiments(baseline, reseeded)
+        assert [c["field"] for c in diff["causes"]] == ["seed"]
+        assert diff["deltas"], "a saturating sweep must be seed-sensitive"
+        assert all(d["cause"] == "seed" for d in diff["deltas"])
+        assert diff["attribution"]["unexplained"] == 0
+        assert diff["attribution"]["explained"] == len(diff["deltas"])
+        assert "all explained by: seed" in render_diff(diff)
+
+    def test_doctored_result_is_unexplained(self, baseline, replica, tmp_path):
+        # Same fingerprint, silently different results: the exact shape
+        # of a reproducibility violation.  Copy the replica and corrupt
+        # one measurement file.
+        doctored = str(tmp_path / "doctored")
+        shutil.copytree(replica, doctored)
+        pos_log = os.path.join(doctored, "run-000", "loadgen", "pos.log")
+        with open(pos_log, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        rx = int(text.rsplit("rx=", 1)[1].split()[0])
+        with open(pos_log, "w", encoding="utf-8") as handle:
+            handle.write(text.replace(f"rx={rx}", f"rx={rx + 999}"))
+        diff = diff_experiments(baseline, doctored)
+        assert diff["causes"] == []
+        assert diff["attribution"]["unexplained"] >= 1
+        assert all(d["cause"] is None for d in diff["deltas"])
+        assert "UNEXPLAINED" in render_diff(diff)
+
+    def test_paired_effects_are_reported(self, baseline, tmp_path):
+        reseeded = run_tree(tmp_path / "seed9", seed=9)
+        diff = diff_experiments(baseline, reseeded)
+        assert "rx_packets" in diff["effects"]
+        effect = diff["effects"]["rx_packets"]
+        assert effect["ci_low"] <= effect["hl_estimate"] <= effect["ci_high"]
+        assert effect["n"] == diff["runs"]["matched"]
+
+
+class TestScheduleInvariance:
+    """The report must not remember how either tree was executed."""
+
+    def diff_from(self, tree, workdir):
+        # Byte-identity must hold including the rendered paths, so each
+        # schedule variant is compared from an identically-named copy,
+        # addressed relative to the working directory.
+        shutil.copytree(tree, str(workdir / "tree"))
+        cwd = os.getcwd()
+        os.chdir(str(workdir))
+        try:
+            diff = diff_experiments("tree", "tree")
+        finally:
+            os.chdir(cwd)
+        return render_diff(diff), json.dumps(diff, sort_keys=True)
+
+    @pytest.fixture(scope="class")
+    def reference(self, baseline, tmp_path_factory):
+        return self.diff_from(baseline, tmp_path_factory.mktemp("ref"))
+
+    @pytest.mark.parametrize("schedule", ["jobs2", "agents2", "crash"])
+    def test_any_schedule_diffs_identically(
+        self, baseline, tmp_path, reference, schedule,
+    ):
+        root = tmp_path / schedule
+        if schedule == "jobs2":
+            run_tree(root, jobs=2)
+        elif schedule == "agents2":
+            run_tree(root, agents=2)
+        else:
+            with pytest.raises(CrashRequested):
+                run_tree(root, progress=crashing_progress(2))
+            resumed = find_result_dir(str(root))
+            run_case_study(
+                "vpos", str(root), resume_path=resumed, **KWARGS
+            )
+        variant = find_result_dir(str(root))
+        assert self.diff_from(variant, tmp_path) == reference
+
+
+class TestLoading:
+    def test_missing_directory_is_one_error(self, tmp_path):
+        with pytest.raises(DiffError, match="no such experiment"):
+            load_side(str(tmp_path / "absent"))
+
+    def test_directory_without_journal_is_one_error(self, tmp_path):
+        with pytest.raises(DiffError, match="journal"):
+            load_side(str(tmp_path))
+
+    def test_provenance_rides_the_side(self, baseline):
+        side = load_side(baseline)
+        assert side["provenance"]["seed"] == 0
+        assert side["provenance"]["platform"] == "vpos"
+        assert side["provenance"]["code_epoch"] >= 1

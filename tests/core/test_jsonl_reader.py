@@ -1,0 +1,67 @@
+"""The tolerant JSONL reader's contract, pinned.
+
+Every flushed-line artifact shares one reader
+(:mod:`repro.telemetry.jsonl`), and every fold over those artifacts —
+reports, doctor, diff, perf history — inherits its semantics: blank
+lines are skipped, the torn tail of a crashed writer is dropped, and
+reading *stops* at the first undecodable line instead of resuming
+after it.  A reader that skipped interior garbage would let a
+truncated-and-appended file masquerade as a healthy history, so that
+stop is deliberate and must never regress.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.jsonl import read_jsonl, read_jsonl_or_none
+
+
+def write(tmp_path, text: str) -> str:
+    path = tmp_path / "artifact.jsonl"
+    path.write_text(text, encoding="utf-8")
+    return str(path)
+
+
+class TestReadJsonl:
+    def test_empty_file_is_no_records(self, tmp_path):
+        assert read_jsonl(write(tmp_path, "")) == []
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = write(tmp_path, '\n\n{"a": 1}\n\n{"b": 2}\n\n')
+        assert read_jsonl(path) == [{"a": 1}, {"b": 2}]
+
+    def test_all_torn_file_is_no_records(self, tmp_path):
+        path = write(tmp_path, '{"a": 1\n{"b":\nnot json at all\n')
+        assert read_jsonl(path) == []
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = write(tmp_path, '{"a": 1}\n{"b": 2}\n{"c": 3')
+        assert read_jsonl(path) == [{"a": 1}, {"b": 2}]
+
+    def test_interior_garbage_stops_the_read(self, tmp_path):
+        # A valid line AFTER an undecodable one must NOT be resurrected:
+        # this shape only exists when a file was truncated and appended
+        # to, and silently resuming would cook every fold downstream.
+        path = write(tmp_path, '{"a": 1}\n!!garbage!!\n{"b": 2}\n')
+        assert read_jsonl(path) == [{"a": 1}]
+
+    def test_non_object_line_stops_the_read(self, tmp_path):
+        # Decodable-but-not-an-object is equally foreign to the format.
+        path = write(tmp_path, '{"a": 1}\n[1, 2, 3]\n{"b": 2}\n')
+        assert read_jsonl(path) == [{"a": 1}]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            read_jsonl(str(tmp_path / "absent.jsonl"))
+
+
+class TestReadJsonlOrNone:
+    def test_missing_file_is_none_not_empty(self, tmp_path):
+        # None ("no evidence") and [] ("evidence of nothing") are
+        # different verdicts; folds branch on the distinction.
+        assert read_jsonl_or_none(str(tmp_path / "absent.jsonl")) is None
+
+    def test_present_file_reads_normally(self, tmp_path):
+        path = write(tmp_path, '{"a": 1}\n')
+        assert read_jsonl_or_none(path) == [{"a": 1}]

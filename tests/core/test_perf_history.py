@@ -1,0 +1,181 @@
+"""Acceptance tests for the perf-history regression plane.
+
+The contract under test:
+
+* ``record_bench`` flattens a BENCH snapshot into seq-numbered,
+  timestamp-free records with direction tags inferred from the metric
+  name;
+* the detector flags a synthetic 2x slowdown injected into a series
+  while passing on the real committed trajectory (and on flat ones);
+* improvements are never "regressions", the threshold is direction-
+  aware, and the change-point scan localizes where a level shift
+  entered;
+* the ledger validates against its checked-in schema.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.telemetry.perfhistory import (
+    DEFAULT_THRESHOLD,
+    HISTORY_NAME,
+    PerfHistoryError,
+    flatten_bench,
+    load_history,
+    record_bench,
+    render_trend,
+    trend,
+)
+from repro.telemetry.schema import SchemaError, validate_history
+
+REPO_HISTORY = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks", "history",
+)
+
+
+def write_bench(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return str(path)
+
+
+class TestRecording:
+    def test_flatten_keeps_numeric_leaves_only(self):
+        flat = flatten_bench({
+            "wallclock": {"jobs1_s": 21.5, "speedup": 1.62, "note": "text"},
+            "events": {"run": {"duration_s": 0.05}},
+            "ok": True,
+        })
+        assert flat == {
+            "wallclock.jobs1_s": 21.5,
+            "wallclock.speedup": 1.62,
+            "events.run.duration_s": 0.05,
+        }
+
+    def test_records_are_seq_numbered_and_directed(self, tmp_path):
+        bench = write_bench(tmp_path, "BENCH_x.json", {
+            "section": {"warm_s": 0.5, "speedup": 2.0, "overhead": 1.01,
+                        "reps": 3, "count": 7},
+        })
+        history = str(tmp_path / "history")
+        records = record_bench(history, bench)
+        by_metric = {r["metric"]: r for r in records}
+        assert [r["seq"] for r in records] == [1, 2, 3, 4, 5]
+        assert by_metric["section.warm_s"]["direction"] == "lower"
+        assert by_metric["section.overhead"]["direction"] == "lower"
+        assert by_metric["section.speedup"]["direction"] == "higher"
+        # reps is configuration, count has no knowable direction.
+        assert by_metric["section.reps"]["direction"] is None
+        assert by_metric["section.count"]["direction"] is None
+        assert all(r["bench"] == "x" for r in records)
+        assert all("time" not in r and "date" not in r for r in records)
+
+    def test_appends_continue_the_seq(self, tmp_path):
+        bench = write_bench(tmp_path, "BENCH_x.json", {"a": {"warm_s": 1.0}})
+        history = str(tmp_path / "history")
+        record_bench(history, bench)
+        second = record_bench(history, bench)
+        assert second[0]["seq"] == 2
+        assert [r["seq"] for r in load_history(history)] == [1, 2]
+
+    def test_missing_ledger_is_one_error(self, tmp_path):
+        with pytest.raises(PerfHistoryError, match="record a benchmark"):
+            load_history(str(tmp_path))
+
+
+class TestDetection:
+    def series(self, tmp_path, metric, values):
+        history = str(tmp_path / "history")
+        bench = tmp_path / "BENCH_x.json"
+        for value in values:
+            bench.write_text(
+                json.dumps({"s": {metric: value}}), encoding="utf-8"
+            )
+            record_bench(history, str(bench))
+        return trend(load_history(history))
+
+    def test_two_x_slowdown_is_flagged(self, tmp_path):
+        report = self.series(tmp_path, "sweep_s", [1.0, 1.05, 0.98, 2.0])
+        assert len(report["regressions"]) == 1
+        row = report["regressions"][0]
+        assert row["series"] == "x.s.sweep_s"
+        assert row["rel"] == pytest.approx(1.0, abs=0.1)
+        assert "REGRESSION" in render_trend(report)
+
+    def test_flat_trajectory_passes(self, tmp_path):
+        report = self.series(tmp_path, "sweep_s", [1.0, 1.02, 0.99, 1.01])
+        assert report["regressions"] == []
+        assert "no regressions" in render_trend(report)
+
+    def test_speedup_collapse_is_flagged(self, tmp_path):
+        # For higher-is-better metrics the threshold points the other way.
+        report = self.series(tmp_path, "speedup", [2.0, 2.1, 1.9, 0.5])
+        assert len(report["regressions"]) == 1
+
+    def test_improvement_is_not_a_regression(self, tmp_path):
+        report = self.series(tmp_path, "sweep_s", [2.0, 2.1, 1.9, 0.5])
+        assert report["regressions"] == []
+
+    def test_undirected_metrics_are_never_flagged(self, tmp_path):
+        report = self.series(tmp_path, "events", [100.0, 100.0, 5000.0])
+        assert report["regressions"] == []
+
+    def test_change_point_is_localized(self, tmp_path):
+        report = self.series(
+            tmp_path, "sweep_s", [1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0],
+        )
+        row = [r for r in report["series"] if r["metric"] == "s.sweep_s"][0]
+        assert row["change_point"] == 3
+
+    def test_report_is_deterministic(self, tmp_path):
+        first = self.series(tmp_path, "sweep_s", [1.0, 1.1, 2.5])
+        second = trend(load_history(str(tmp_path / "history")))
+        assert json.dumps(first, sort_keys=True) == \
+            json.dumps(second, sort_keys=True)
+
+
+class TestCommittedTrajectory:
+    """The repo's own history must stay green — this is the CI gate."""
+
+    def test_committed_history_validates(self):
+        assert validate_history(REPO_HISTORY)
+
+    def test_committed_history_has_no_regressions(self):
+        report = trend(load_history(REPO_HISTORY))
+        assert report["regressions"] == []
+
+    def test_injected_slowdown_in_committed_history_flags(self, tmp_path):
+        records = load_history(REPO_HISTORY)
+        jobs1 = [
+            r for r in records
+            if r["bench"] == "parallel" and r["metric"] == "wallclock.jobs1_s"
+        ]
+        assert jobs1, "the parallel bench trajectory must be seeded"
+        doctored = dict(jobs1[-1])
+        doctored["seq"] = records[-1]["seq"] + 1
+        doctored["value"] = jobs1[-1]["value"] * 2.0
+        report = trend(records + [doctored])
+        flagged = [r["series"] for r in report["regressions"]]
+        assert "parallel.wallclock.jobs1_s" in flagged
+
+
+class TestSchema:
+    def test_malformed_record_is_rejected(self, tmp_path):
+        history = tmp_path / "history"
+        history.mkdir()
+        (history / HISTORY_NAME).write_text(
+            json.dumps({"seq": 1, "bench": "x", "metric": "m",
+                        "value": "fast", "direction": None,
+                        "source": "BENCH_x.json"}) + "\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(SchemaError, match="value"):
+            validate_history(str(history))
+
+    def test_threshold_default_is_sane(self):
+        # Pinned: half-again is the documented CI gate.
+        assert DEFAULT_THRESHOLD == 0.5
