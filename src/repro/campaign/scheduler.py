@@ -104,7 +104,7 @@ def _classify(
     expected = _workload.expected_result_dir(
         campaign_dir, spec.base_epoch, placement
     )
-    state = _workload.inspect_result_dir(expected, len(placement.spec.rates))
+    state = _workload.inspect_result_dir(expected, placement.spec.run_count)
     if state == "complete":
         return "complete"
     if state == "partial":
@@ -211,7 +211,21 @@ def run_campaign(
             placement.end - placement.start,
             start=spec.base_epoch + placement.start,
         )
+    # Classify before enqueueing: adopted experiments never join the
+    # wait-lists, so a tree that finished out of admission order (a
+    # crash at --jobs > 1, or a repaired hole mid-campaign) cannot
+    # wedge the queues of the experiments that still have to execute.
+    how_by_index: Dict[int, str] = {
+        placement.execution_index: _classify(
+            campaign_dir, spec, placement, journaled, resume
+        )
+        for placement in plan.admitted
+    }
     for placement in plan.dispatch_order():
+        if how_by_index[placement.execution_index] in (
+            "journaled", "complete"
+        ):
+            continue
         for node in placement.nodes:
             calendar.enqueue_waiter(node, placement.execution_index)
 
@@ -271,15 +285,16 @@ def run_campaign(
 
     try:
         for placement in plan.dispatch_order():
-            how = _classify(campaign_dir, spec, placement, journaled, resume)
+            how = how_by_index[placement.execution_index]
             if how in ("journaled", "complete"):
+                # Never enqueued, nothing claimed: just deliver the
+                # adopted outcome through the reorder buffer.
                 buffer.put(
                     placement.execution_index,
                     _adopted_outcome(
                         campaign_dir, spec, placement, how, journaled
                     ),
                 )
-                finish(placement.execution_index)
                 continue
             if how == "fresh":
                 expected = _workload.expected_result_dir(
@@ -304,9 +319,7 @@ def run_campaign(
                 claimed[placement.execution_index] = allocator.claim(
                     reservations[placement.execution_index]
                 )
-                how = _classify(
-                    campaign_dir, spec, placement, journaled, resume
-                )
+                how = how_by_index[placement.execution_index]
                 request = _workload.execution_request(
                     campaign_dir, spec.base_epoch, placement,
                     "resume" if how == "resume" else "fresh",
@@ -329,10 +342,7 @@ def run_campaign(
                             claimed[index] = allocator.claim(
                                 reservations[index]
                             )
-                            how = _classify(
-                                campaign_dir, spec, placement, journaled,
-                                resume,
-                            )
+                            how = how_by_index[index]
                             request = _workload.execution_request(
                                 campaign_dir, spec.base_epoch, placement,
                                 "resume" if how == "resume" else "fresh",

@@ -26,7 +26,7 @@ after priority.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.core import yamlite
 from repro.core.errors import CampaignError
@@ -56,10 +56,25 @@ class ExperimentSpec:
     priority: int = 0
     deadline: Optional[float] = None
     rates: List[int] = field(default_factory=lambda: [100, 200])
+    #: Generic loop variables (name -> ordered level list).  When set,
+    #: the workload sweeps the full cross product of these instead of
+    #: the classic single ``pkt_rate`` sweep over ``rates`` — this is
+    #: how a study's factorial cells ride the campaign plane.
+    loop: Optional[Dict[str, List[object]]] = None
 
     @property
     def node_count(self) -> int:
         return self.nodes if isinstance(self.nodes, int) else len(self.nodes)
+
+    @property
+    def run_count(self) -> int:
+        """Measurement runs this experiment expands into."""
+        if self.loop is None:
+            return len(self.rates)
+        count = 1
+        for levels in self.loop.values():
+            count *= len(levels)
+        return count
 
     def describe(self) -> dict:
         info = {
@@ -72,6 +87,8 @@ class ExperimentSpec:
         }
         if self.deadline is not None:
             info["deadline"] = self.deadline
+        if self.loop is not None:
+            info["loop"] = {name: list(levels) for name, levels in self.loop.items()}
         return info
 
 
@@ -119,6 +136,31 @@ class CampaignSpec:
                 )
             if not spec.rates:
                 raise CampaignError(f"experiment {spec.name!r}: empty rates")
+            if spec.loop is not None:
+                if not spec.loop:
+                    raise CampaignError(
+                        f"experiment {spec.name!r}: loop must define at "
+                        f"least one variable"
+                    )
+                for variable, levels in spec.loop.items():
+                    if not isinstance(variable, str) or not variable.isidentifier():
+                        raise CampaignError(
+                            f"experiment {spec.name!r}: loop variable "
+                            f"{variable!r} is not a valid identifier"
+                        )
+                    if not isinstance(levels, list) or not levels:
+                        raise CampaignError(
+                            f"experiment {spec.name!r}: loop variable "
+                            f"{variable!r} needs a non-empty level list"
+                        )
+                    for level in levels:
+                        if isinstance(level, bool) or not isinstance(
+                            level, (int, float, str)
+                        ):
+                            raise CampaignError(
+                                f"experiment {spec.name!r}: loop variable "
+                                f"{variable!r} has non-scalar level {level!r}"
+                            )
             if isinstance(spec.nodes, int):
                 if spec.nodes < 1:
                     raise CampaignError(
@@ -190,6 +232,18 @@ def load_campaign(document) -> CampaignSpec:
         rates = raw.get("rates", [100, 200])
         if not isinstance(rates, list):
             raise CampaignError(f"experiment #{position}: rates must be a list")
+        loop = raw.get("loop")
+        if loop is not None:
+            if not isinstance(loop, dict):
+                raise CampaignError(
+                    f"experiment #{position}: loop must be a mapping"
+                )
+            loop = {
+                str(variable): (
+                    list(levels) if isinstance(levels, list) else [levels]
+                )
+                for variable, levels in loop.items()
+            }
         experiments.append(
             ExperimentSpec(
                 name=str(raw.get("name", "")),
@@ -209,6 +263,7 @@ def load_campaign(document) -> CampaignSpec:
                 rates=[
                     _as_int(rate, f"experiment #{position}: rate") for rate in rates
                 ],
+                loop=loop,
             )
         )
     pool = document.get("pool")

@@ -54,13 +54,29 @@ EXPERIMENTS_SUBDIR = "experiments"
 
 def build_campaign_experiment(
     name: str, node_names: List[str], duration: float, rates: List[int],
+    loop: Optional[Dict[str, List[object]]] = None,
 ) -> Experiment:
     """A deterministic sweep workload over the assigned nodes.
 
     One role per node; every role synchronizes on the setup barrier and
     echoes a fixed measurement line per loop instance, so the captured
-    artifacts are a pure function of (name, nodes, rates).
+    artifacts are a pure function of (name, nodes, rates/loop).
+
+    Without ``loop`` this is the classic single-variable sweep (one run
+    per rate).  With ``loop`` the measurement sweeps the full cross
+    product of the given variables and echoes every ``name=value``
+    assignment, so downstream evaluation can parse the whole loop
+    instance back out of the captured ``pos.log``/``commands.log``.
     """
+    if loop is None:
+        loop_vars: Dict[str, List[object]] = {"pkt_rate": list(rates)}
+        measure = "echo {name} measuring at $pkt_rate on {node}"
+    else:
+        loop_vars = {variable: list(levels) for variable, levels in loop.items()}
+        assignments = " ".join(
+            f"{variable}=${variable}" for variable in loop_vars
+        )
+        measure = "echo {name} measuring " + assignments + " on {node}"
     roles = [
         Role(
             name=f"role-{node}",
@@ -71,7 +87,7 @@ def build_campaign_experiment(
             ),
             measurement=CommandScript(
                 f"measure-{node}",
-                [f"echo {name} measuring at $pkt_rate on {node}"],
+                [measure.format(name=name, node=node)],
             ),
         )
         for node in sorted(node_names)
@@ -79,7 +95,7 @@ def build_campaign_experiment(
     return Experiment(
         name=name,
         roles=roles,
-        variables=Variables(loop_vars={"pkt_rate": list(rates)}),
+        variables=Variables(loop_vars=loop_vars),
         duration_s=duration,
     )
 
@@ -103,6 +119,13 @@ def execution_request(
         "nodes": list(placement.nodes),
         "duration": placement.spec.duration,
         "rates": list(placement.spec.rates),
+        "loop": (
+            None if placement.spec.loop is None
+            else {
+                variable: list(levels)
+                for variable, levels in placement.spec.loop.items()
+            }
+        ),
         "epoch": base_epoch + placement.start,
         "mode": mode,
         "agents": int(agents) if agents else 0,
@@ -215,7 +238,8 @@ def run_placement(request: dict) -> dict:
     )
     controller = Controller(allocator, default_registry(), results)
     experiment = build_campaign_experiment(
-        request["name"], request["nodes"], request["duration"], request["rates"]
+        request["name"], request["nodes"], request["duration"],
+        request["rates"], loop=request.get("loop"),
     )
     outcome = {
         "index": request["index"],

@@ -226,6 +226,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_status.add_argument("results", help="campaign directory")
 
+    study = sub.add_parser(
+        "study",
+        help="replicated factorial studies: run the same design N times "
+             "with derived seeds, evaluate main effects and cross-"
+             "replication consistency, audit and repair result trees",
+    )
+    study_sub = study.add_subparsers(dest="study_command", required=True)
+    study_run = study_sub.add_parser(
+        "run",
+        help="expand a study file into N replicated campaigns and execute "
+             "them; artifacts are byte-identical for any --jobs/--agents "
+             "and across crash + --resume",
+    )
+    study_run.add_argument("file", help="study YAML file")
+    study_run.add_argument("--results", required=True,
+                           help="study directory (created if missing)")
+    study_run.add_argument("--jobs", type=int, default=None, metavar="N",
+                           help="run up to N experiments concurrently "
+                                "within each replication campaign "
+                                "(default: POS_JOBS, else 1)")
+    study_run.add_argument("--agents", type=int, default=None, metavar="N",
+                           help="execute each experiment's runs on N "
+                                "loopback node agents (default: "
+                                "POS_AGENTS, else off)")
+    study_run.add_argument("--resume", action="store_true",
+                           help="continue a killed study from study.jsonl; "
+                                "finished replications are adopted, the "
+                                "rest re-run or resumed")
+    study_audit = study_sub.add_parser(
+        "audit",
+        help="validate a study tree against its expanded design and the "
+             "checked-in schemas; exits non-zero listing every hole "
+             "(missing runs, torn journals, stale aggregates)",
+    )
+    study_audit.add_argument("results", help="study directory")
+    study_audit.add_argument("--json", action="store_true",
+                             help="emit the machine-readable report as "
+                                  "JSON instead of text")
+    study_repair = study_sub.add_parser(
+        "repair",
+        help="re-execute exactly the holes an audit finds, leaving every "
+             "intact run byte-identical, then re-audit",
+    )
+    study_repair.add_argument("results", help="study directory")
+    study_repair.add_argument("--jobs", type=int, default=None, metavar="N")
+    study_repair.add_argument("--agents", type=int, default=None,
+                              metavar="N")
+
     agents = sub.add_parser(
         "agents",
         help="inspect the distributed execution plane of an experiment",
@@ -612,6 +660,57 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_study(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.study import (
+        audit_study,
+        load_study_file,
+        render_audit,
+        render_study,
+        repair_study,
+        run_study,
+    )
+
+    if args.study_command == "audit":
+        report = audit_study(args.results)
+        if args.json:
+            print(_json.dumps(report, sort_keys=True, indent=2))
+        else:
+            print(render_audit(report), end="")
+        return 0 if report["complete"] else 1
+    if args.study_command == "repair":
+        outcome = repair_study(
+            args.results, jobs=args.jobs, agents=args.agents
+        )
+        if outcome["repaired"]:
+            for hole in outcome["repaired"]:
+                print(f"repaired: {hole['kind']} (rep {hole['replication']})")
+        else:
+            print("nothing to repair: the tree matches its design")
+        print(f"study: {args.results}")
+        return 0
+    result = run_study(
+        load_study_file(args.file),
+        args.results,
+        jobs=args.jobs,
+        agents=args.agents,
+        resume=args.resume,
+        progress=_progress_bar,
+    )
+    print(f"study: {result.path}")
+    print(
+        f"replications completed: {result.completed_replications}, "
+        f"failed: {result.failed_replications}"
+    )
+    if result.ok:
+        with open(
+            os.path.join(result.path, "study.json"), "r", encoding="utf-8"
+        ) as handle:
+            print(render_study(_json.load(handle)), end="")
+    return 0 if result.ok else 1
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.cache import RunCache
 
@@ -749,6 +848,7 @@ _COMMANDS = {
     "watch": _cmd_watch,
     "agents": _cmd_agents,
     "campaign": _cmd_campaign,
+    "study": _cmd_study,
     "cache": _cmd_cache,
     "diff": _cmd_diff,
     "doctor": _cmd_doctor,

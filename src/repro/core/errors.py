@@ -86,6 +86,10 @@ class CampaignError(PosError):
     """A campaign spec is malformed or a campaign cannot be scheduled."""
 
 
+class StudyError(PosError):
+    """A study spec is malformed or a study tree is inconsistent."""
+
+
 class ResultError(PosError):
     """The result tree is missing, malformed, or collides."""
 

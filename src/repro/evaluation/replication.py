@@ -21,12 +21,23 @@ from typing import Dict, List, Tuple
 
 from repro.core.errors import EvaluationError
 from repro.evaluation.loader import ExperimentResults
+from repro.evaluation.tendencies import median
 
-__all__ = ["RunComparison", "ReplicationReport", "compare_experiments"]
+__all__ = [
+    "RunComparison",
+    "ReplicationReport",
+    "compare_experiments",
+    "sample_consistency",
+]
 
 
 def _loop_key(loop: Dict) -> Tuple:
     return tuple(sorted(loop.items()))
+
+
+def _relative_deviation(original: float, rerun: float) -> float:
+    reference = max(abs(original), 1e-12)
+    return abs(rerun - original) / reference
 
 
 @dataclass
@@ -42,8 +53,22 @@ class RunComparison:
     @property
     def rx_deviation(self) -> float:
         """Relative RX deviation of the rerun against the original."""
-        reference = max(abs(self.original_rx_mpps), 1e-12)
-        return abs(self.rerun_rx_mpps - self.original_rx_mpps) / reference
+        return _relative_deviation(self.original_rx_mpps, self.rerun_rx_mpps)
+
+    @property
+    def tx_deviation(self) -> float:
+        """Relative TX deviation of the rerun against the original.
+
+        Symmetric to :attr:`rx_deviation`: a rerun whose load generator
+        offered a different rate differs just as much as one whose DuT
+        forwarded a different rate, so the verdict gates on both.
+        """
+        return _relative_deviation(self.original_tx_mpps, self.rerun_tx_mpps)
+
+    @property
+    def deviation(self) -> float:
+        """Worst relative deviation across both measured directions."""
+        return max(self.rx_deviation, self.tx_deviation)
 
 
 @dataclass
@@ -64,7 +89,7 @@ class ReplicationReport:
         return [
             comparison
             for comparison in self.comparisons
-            if comparison.rx_deviation > self.tolerance
+            if comparison.deviation > self.tolerance
         ]
 
     @property
@@ -85,7 +110,10 @@ class ReplicationReport:
             lines.append(
                 f"    {comparison.loop}: rx {comparison.original_rx_mpps:.4f}"
                 f" -> {comparison.rerun_rx_mpps:.4f} Mpps "
-                f"({comparison.rx_deviation * 100:.1f}%)"
+                f"({comparison.rx_deviation * 100:.1f}%), "
+                f"tx {comparison.original_tx_mpps:.4f}"
+                f" -> {comparison.rerun_tx_mpps:.4f} Mpps "
+                f"({comparison.tx_deviation * 100:.1f}%)"
             )
         lines.append(f"  verdict: {'REPEATS' if self.repeats else 'DIFFERS'}")
         return "\n".join(lines) + "\n"
@@ -129,3 +157,29 @@ def compare_experiments(
             )
         )
     return report
+
+
+def sample_consistency(samples: List[float], tolerance: float = 0.05) -> dict:
+    """Cross-replication consistency verdict for one measurement cell.
+
+    Where :func:`compare_experiments` joins exactly two trees, a study
+    yields N replications of every factorial cell.  The reference value
+    is the (robust) median of the samples; the verdict states whether
+    every replication agrees with it within the relative tolerance —
+    the N-way generalization of the pairwise repeatability check.
+    """
+    if tolerance <= 0:
+        raise EvaluationError(f"tolerance must be positive, got {tolerance}")
+    if not samples:
+        raise EvaluationError("sample_consistency needs at least one sample")
+    values = [float(sample) for sample in samples]
+    reference = median(values)
+    deviations = [_relative_deviation(reference, value) for value in values]
+    max_deviation = max(deviations)
+    return {
+        "n": len(values),
+        "reference": reference,
+        "max_deviation": max_deviation,
+        "tolerance": tolerance,
+        "consistent": max_deviation <= tolerance,
+    }

@@ -37,6 +37,7 @@ __all__ = [
     "robust_z",
     "hodges_lehmann",
     "paired_effect",
+    "factorial_effects",
 ]
 
 Point = Tuple[float, float]  # (offered, achieved)
@@ -147,6 +148,90 @@ def paired_effect(
         "confidence": confidence,
         "n": float(len(diffs)),
     }
+
+
+def factorial_effects(
+    rows: Sequence[Tuple[Dict[str, object], int, float]],
+    factors: Dict[str, Sequence[object]],
+    confidence: float = 0.95,
+    bootstrap: int = 400,
+    seed: int = 0,
+) -> Dict[str, dict]:
+    """Per-factor main effects of a replicated factorial design.
+
+    ``rows`` are the study's individual measurements: one
+    ``(assignment, replication, value)`` triple per factorial cell and
+    replication, where ``assignment`` maps every factor name to the
+    level measured.  ``factors`` gives the design (factor -> ordered
+    level list); the *first* level of each factor is its baseline.
+
+    For every factor and every non-baseline level, measurements are
+    paired on everything else — identical assignment of the remaining
+    factors and identical replication index — so the estimated effect
+    isolates that one level switch.  The pairs feed
+    :func:`paired_effect`, inheriting its seeded-bootstrap confidence
+    interval; the whole summary is a pure function of its inputs.
+    """
+    if not rows:
+        raise EvaluationError("factorial_effects of an empty design")
+    if not factors:
+        raise EvaluationError("factorial_effects needs at least one factor")
+    indexed: Dict[Tuple, float] = {}
+    for assignment, replication, value in rows:
+        missing = sorted(set(factors) - set(assignment))
+        if missing:
+            raise EvaluationError(
+                f"measurement {assignment!r} lacks factors: {', '.join(missing)}"
+            )
+        key = (
+            tuple(assignment[factor] for factor in sorted(factors)),
+            int(replication),
+        )
+        indexed[key] = float(value)
+
+    ordered_factors = sorted(factors)
+    effects: Dict[str, dict] = {}
+    for factor in ordered_factors:
+        levels = list(factors[factor])
+        if not levels:
+            raise EvaluationError(f"factor {factor!r} has no levels")
+        position = ordered_factors.index(factor)
+        baseline = levels[0]
+        level_effects: Dict[str, dict] = {}
+        for level in levels[1:]:
+            before: List[float] = []
+            after: List[float] = []
+            # Levels of one factor may mix types (64 vs "auto"), which
+            # plain tuple comparison cannot order — sort on repr, which
+            # is total and deterministic.
+            for (cell, replication), value in sorted(
+                indexed.items(),
+                key=lambda item: (
+                    [repr(part) for part in item[0][0]], item[0][1],
+                ),
+            ):
+                if cell[position] != baseline:
+                    continue
+                partner = cell[:position] + (level,) + cell[position + 1:]
+                matched = indexed.get((partner, replication))
+                if matched is None:
+                    continue
+                before.append(value)
+                after.append(matched)
+            if not before:
+                raise EvaluationError(
+                    f"factor {factor!r}: no paired measurements between "
+                    f"levels {baseline!r} and {level!r}"
+                )
+            level_effects[str(level)] = paired_effect(
+                before, after,
+                confidence=confidence, bootstrap=bootstrap, seed=seed,
+            )
+        effects[factor] = {
+            "baseline": baseline,
+            "levels": level_effects,
+        }
+    return effects
 
 
 @dataclass

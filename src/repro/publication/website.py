@@ -35,6 +35,7 @@ __all__ = [
     "generate_dashboard",
     "generate_website",
     "generate_campaign_index",
+    "generate_study_page",
 ]
 
 #: Health-state colours for the dashboard timeline.
@@ -681,6 +682,155 @@ def generate_campaign_index(campaign_dir: str) -> str:
     parts.append("</body></html>")
     page = "\n".join(parts) + "\n"
     path = os.path.join(campaign_dir, "index.html")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(page)
+    return path
+
+
+def generate_study_page(study_dir: str) -> str:
+    """Write the study ``index.html``: design, replications, statistics.
+
+    Rendered purely from the study artifacts (``study.yml``,
+    ``study.jsonl``, ``study.json``), self-contained and deterministic
+    — the bytes are a function of those artifacts alone, so the page
+    is identical for any ``--jobs``/``--agents`` count and across
+    crash + resume/repair.  Per-replication campaign pages are linked,
+    not regenerated.
+    """
+    import json as _json
+
+    if not os.path.isdir(study_dir):
+        raise PublicationError(f"no such study folder: {study_dir}")
+    spec = _load_yaml(os.path.join(study_dir, "study.yml"))
+    if not spec:
+        raise PublicationError(f"no study.yml in {study_dir}")
+    aggregate: dict = {}
+    aggregate_path = os.path.join(study_dir, "study.json")
+    if os.path.isfile(aggregate_path):
+        with open(aggregate_path, "r", encoding="utf-8") as handle:
+            aggregate = _json.load(handle)
+    replications: List[dict] = []
+    journal_path = os.path.join(study_dir, "study.jsonl")
+    if os.path.isfile(journal_path):
+        with open(journal_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = _json.loads(line)
+                except ValueError:
+                    break
+                if entry.get("event") == "replication":
+                    replications.append(entry)
+
+    name = html.escape(str(spec.get("name", os.path.basename(study_dir))))
+    factors = spec.get("factors") or {}
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>pos study: {name}</title>",
+        "<style>body{font-family:sans-serif;max-width:60em;margin:2em auto}"
+        "table{border-collapse:collapse;margin-bottom:1em}td,th{border:1px "
+        "solid #ccc;padding:0.3em 0.6em;text-align:left}</style>",
+        "</head><body>",
+        f"<h1>Study: {name}</h1>",
+        f"<p>Factorial design, {spec.get('replications', '?')} "
+        f"replication(s), root seed {spec.get('seed', '?')}.</p>",
+        "<h2>Design</h2>",
+        "<table><tr><th>factor</th><th>levels</th></tr>",
+    ]
+    for factor in factors:
+        levels = factors[factor]
+        rendered = ", ".join(str(level) for level in levels) \
+            if isinstance(levels, list) else str(levels)
+        parts.append(
+            f"<tr><td>{html.escape(str(factor))}</td>"
+            f"<td>{html.escape(rendered)}</td></tr>"
+        )
+    parts.append("</table>")
+
+    parts.append("<h2>Replications</h2>")
+    parts.append(
+        "<table><tr><th>#</th><th>seed</th><th>experiments</th>"
+        "<th>outcome</th></tr>"
+    )
+    for entry in replications:
+        target = entry.get("dir")
+        index = entry.get("index")
+        label = f"rep-{index:03d}" if isinstance(index, int) else str(index)
+        cell = (
+            f'<a href="{html.escape(str(target))}/index.html">{label}</a>'
+            if target else label
+        )
+        status = (
+            f"ok ({entry.get('experiments_completed', 0)} cells)"
+            if entry.get("ok") else "failed"
+        )
+        parts.append(
+            f"<tr><td>{cell}</td><td>{entry.get('seed', '?')}</td>"
+            f"<td>{entry.get('experiments_completed', 0)}</td>"
+            f"<td>{html.escape(status)}</td></tr>"
+        )
+    parts.append("</table>")
+
+    if aggregate:
+        parts.append("<h2>Cross-replication consistency</h2>")
+        parts.append(
+            "<table><tr><th>cell</th><th>median [Mpps]</th>"
+            "<th>max deviation</th><th>verdict</th></tr>"
+        )
+        for report in aggregate.get("cells", []):
+            assignment = report.get("assignment", {})
+            label = " ".join(
+                f"{factor}={assignment[factor]}"
+                for factor in sorted(assignment)
+            )
+            consistency = report.get("consistency", {})
+            verdict = (
+                "consistent" if consistency.get("consistent")
+                else "INCONSISTENT"
+            )
+            parts.append(
+                f"<tr><td>{html.escape(label)}</td>"
+                f"<td>{consistency.get('reference', 0.0):.4f}</td>"
+                f"<td>{consistency.get('max_deviation', 0.0) * 100:.2f}%"
+                f"</td><td>{verdict}</td></tr>"
+            )
+        parts.append("</table>")
+        parts.append("<h2>Main effects</h2>")
+        parts.append(
+            "<p>Hodges&ndash;Lehmann paired estimate against each "
+            "factor's first level, with seeded-bootstrap confidence "
+            "intervals.</p>"
+        )
+        parts.append(
+            "<table><tr><th>factor</th><th>level change</th>"
+            "<th>effect [Mpps]</th><th>95% CI</th><th>pairs</th></tr>"
+        )
+        effects = aggregate.get("effects", {})
+        for factor in sorted(effects):
+            summary = effects[factor]
+            for level in sorted(summary.get("levels", {})):
+                effect = summary["levels"][level]
+                parts.append(
+                    f"<tr><td>{html.escape(factor)}</td>"
+                    f"<td>{html.escape(str(summary.get('baseline')))} "
+                    f"&rarr; {html.escape(str(level))}</td>"
+                    f"<td>{effect['hl_estimate']:+.4f}</td>"
+                    f"<td>[{effect['ci_low']:+.4f}, "
+                    f"{effect['ci_high']:+.4f}]</td>"
+                    f"<td>{int(effect['n'])}</td></tr>"
+                )
+        parts.append("</table>")
+        parts.append(
+            f"<p>Verdict: <strong>"
+            f"{html.escape(str(aggregate.get('verdict', 'unknown')))}"
+            f"</strong></p>"
+        )
+    parts.append("</body></html>")
+    page = "\n".join(parts) + "\n"
+    path = os.path.join(study_dir, "index.html")
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(page)
     return path

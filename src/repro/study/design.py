@@ -1,0 +1,153 @@
+"""Deterministic study expansion: cells, seeds, campaigns.
+
+Everything here is a pure function of ``(StudySpec, replication
+index)`` — no clocks, no randomness beyond seeded hashes — so the
+expanded study tree is byte-identical however and whenever it is
+produced, and audit can recompute the expected shape of every artifact
+from ``study.yml`` alone.
+
+The factorial cells ride the campaign plane: each replication becomes
+one :class:`~repro.campaign.spec.CampaignSpec` whose experiments are
+the design's cells, each carrying its factor assignment (plus the
+replication's synthetic response) as singleton loop variables.  The
+measured value therefore flows through the ordinary script → transport
+→ persist pipeline and is parsed *back out of the captured artifacts*
+by the evaluation stage — the statistics never shortcut the testbed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+from typing import Dict, List
+
+from repro.campaign.spec import CampaignSpec, ExperimentSpec
+from repro.study.spec import RESPONSE_VARIABLE, StudySpec
+
+__all__ = [
+    "REPLICATIONS_SUBDIR",
+    "STUDY_USER",
+    "derive_seed",
+    "expand_cells",
+    "synthetic_response",
+    "cell_name",
+    "replication_name",
+    "replication_dir",
+    "replication_campaign",
+]
+
+#: Where per-replication campaign trees live inside a study directory.
+REPLICATIONS_SUBDIR = "replications"
+
+#: The user every study cell is submitted under on the campaign plane.
+STUDY_USER = "study"
+
+
+def derive_seed(root_seed: int, replication: int) -> int:
+    """Split one replication seed off the study's root seed.
+
+    The high 32 bits diffuse the root seed through SHA-256 so sibling
+    replications land far apart in seed space; the low 32 bits carry the
+    replication index verbatim, which makes the split *provably*
+    injective for any replication count below 2**32 — no two
+    replications of a study can ever share a seed.
+    """
+    digest = hashlib.sha256(
+        f"{root_seed}:{replication}".encode("utf-8")
+    ).digest()
+    return (int.from_bytes(digest[:4], "big") << 32) | replication
+
+
+def expand_cells(factors: Dict[str, List[object]]) -> List[Dict[str, object]]:
+    """The ordered factorial cells: full cross product of the levels.
+
+    Mirrors :func:`repro.core.variables.expand_loop_variables` — the
+    *last* declared factor varies fastest — so cell order is stable for
+    a given spec and familiar from loop-variable expansion.
+    """
+    names = list(factors)
+    return [
+        dict(zip(names, combination))
+        for combination in itertools.product(
+            *(list(factors[name]) for name in names)
+        )
+    ]
+
+
+def _unit_hash(token: str) -> float:
+    """A deterministic sample from [0, 1) keyed by ``token``."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def synthetic_response(
+    assignment: Dict[str, object], seed: int, noise: float
+) -> float:
+    """The simulated testbed's throughput for one cell and seed.
+
+    The cell's *true* response depends only on the factor assignment
+    (so replications agree up to noise and main effects are real);
+    the replication seed contributes a bounded relative jitter of
+    amplitude ``noise``.  Rounded so the value survives the round trip
+    through script substitution and log parsing bit-exactly.
+    """
+    key = ",".join(f"{name}={assignment[name]!r}" for name in sorted(assignment))
+    base = 1.0 + 9.0 * _unit_hash(f"cell|{key}")
+    jitter = (2.0 * _unit_hash(f"rep|{seed}|{key}") - 1.0) * noise
+    return round(base * (1.0 + jitter), 6)
+
+
+def cell_name(index: int) -> str:
+    """The campaign experiment name of cell ``index``."""
+    return f"cell-{index:03d}"
+
+
+def replication_name(spec: StudySpec, replication: int) -> str:
+    """The campaign name of one replication."""
+    return f"{spec.name}-rep-{replication:03d}"
+
+
+def replication_dir(study_dir: str, replication: int) -> str:
+    """Where one replication's campaign tree lives."""
+    return os.path.join(
+        study_dir, REPLICATIONS_SUBDIR, f"rep-{replication:03d}"
+    )
+
+
+def replication_campaign(spec: StudySpec, replication: int) -> CampaignSpec:
+    """Expand one replication into a validated campaign.
+
+    One experiment per factorial cell; each experiment's ``loop`` pins
+    every factor to the cell's level (a singleton list) and adds the
+    replication's synthetic response under :data:`RESPONSE_VARIABLE` —
+    exactly one measurement run per cell, with the full assignment
+    echoed into the captured logs.
+    """
+    seed = derive_seed(spec.seed, replication)
+    experiments: List[ExperimentSpec] = []
+    for index, assignment in enumerate(expand_cells(spec.factors)):
+        loop: Dict[str, List[object]] = {
+            factor: [assignment[factor]] for factor in spec.factors
+        }
+        loop[RESPONSE_VARIABLE] = [
+            synthetic_response(assignment, seed, spec.noise)
+        ]
+        experiments.append(
+            ExperimentSpec(
+                name=cell_name(index),
+                user=STUDY_USER,
+                nodes=1,
+                duration=spec.duration,
+                submit_index=index,
+                loop=loop,
+            )
+        )
+    campaign = CampaignSpec(
+        name=replication_name(spec, replication),
+        pool=list(spec.pool),
+        experiments=experiments,
+        base_epoch=spec.base_epoch,
+    )
+    campaign.validate()
+    return campaign

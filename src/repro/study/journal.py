@@ -1,0 +1,108 @@
+"""Crash-safe study journal (``study.jsonl``).
+
+Same mechanics as the run and campaign journals (append-only JSON
+lines, flushed and fsynced per record, torn tails truncated on open),
+another level up: a header describing the study, then one record per
+*replication* as its campaign completes — replications execute in
+index order, so the journal is trivially ordered and a crash at any
+instant leaves a prefix that ``pos study run --resume`` understands.
+The file is named ``study.jsonl`` (not the shared ``journal.jsonl``)
+because a study directory also *contains* campaign directories with
+journals of their own; the distinct name keeps tooling that walks a
+tree from confusing the layers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import JournalError
+from repro.core.journal import JsonlJournal
+
+__all__ = ["STUDY_JOURNAL_NAME", "StudyJournal"]
+
+STUDY_JOURNAL_NAME = "study.jsonl"
+
+
+class StudyJournal(JsonlJournal):
+    """Append-only, fsync'd record of finished study replications."""
+
+    @classmethod
+    def create(cls, study_dir: str, study: str, total: int) -> "StudyJournal":
+        """Start a fresh journal for a new study execution."""
+        journal = cls(os.path.join(study_dir, STUDY_JOURNAL_NAME))
+        journal._open("w")
+        journal._append(
+            {"event": "study", "name": study, "total_replications": total}
+        )
+        return journal
+
+    @classmethod
+    def open(cls, study_dir: str) -> "StudyJournal":
+        """Load an existing study journal, keeping it appendable."""
+        path = os.path.join(study_dir, STUDY_JOURNAL_NAME)
+        journal = cls._load(path)
+        if not journal.entries or journal.entries[0].get("event") != "study":
+            raise JournalError(f"journal {path} has no study header")
+        return journal
+
+    # -- writing -------------------------------------------------------------
+
+    def record_replication(
+        self,
+        index: int,
+        seed: int,
+        ok: bool,
+        result_dir: Optional[str] = None,
+        experiments_completed: int = 0,
+        experiments_failed: int = 0,
+        error: Optional[str] = None,
+    ) -> None:
+        """Record one finished replication durably."""
+        entry: Dict[str, Any] = {
+            "event": "replication",
+            "index": index,
+            "seed": seed,
+            "ok": ok,
+            "experiments_completed": experiments_completed,
+            "experiments_failed": experiments_failed,
+        }
+        if result_dir is not None:
+            entry["dir"] = result_dir
+        if error is not None:
+            entry["error"] = error
+        self._append(entry)
+
+    # -- reading -------------------------------------------------------------
+
+    def replication_entries(self) -> List[dict]:
+        return [
+            entry for entry in self.entries
+            if entry.get("event") == "replication"
+        ]
+
+    def completed(self) -> Dict[int, dict]:
+        """Latest journal entry per replication index that finished ok."""
+        latest: Dict[int, dict] = {}
+        for entry in self.replication_entries():
+            latest[int(entry["index"])] = entry
+        return {
+            index: entry
+            for index, entry in latest.items()
+            if entry.get("ok", False)
+        }
+
+    def validate_against(self, study: str, total: int) -> None:
+        """Refuse to resume a journal written by a different study."""
+        header = self.header
+        if header.get("name") != study:
+            raise JournalError(
+                f"journal belongs to study {header.get('name')!r}, "
+                f"not {study!r}"
+            )
+        if header.get("total_replications") != total:
+            raise JournalError(
+                f"journal expects {header.get('total_replications')} "
+                f"replications, the spec defines {total} — refusing to resume"
+            )

@@ -1,0 +1,202 @@
+"""Study specification: a factorial design replicated N times.
+
+A study file is a YAML document (parsed by the built-in
+:mod:`repro.core.yamlite` subset) one level above a campaign::
+
+    name: router-study
+    factors:
+      pkt_size: [64, 1500]
+      burst: [1, 8]
+    replications: 3
+    seed: 42
+    pool: [alpha, beta]
+    duration: 10
+    noise: 0.01
+    tolerance: 0.05
+
+The design is the full cross product of the factor levels (the *cells*);
+every replication re-measures every cell under a replication seed split
+deterministically off the root ``seed``.  Everything that feeds
+expansion is explicit and ordered, so the expanded study — N campaigns,
+one experiment per cell — is a pure function of this file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.campaign.spec import DEFAULT_BASE_EPOCH
+from repro.core import yamlite
+from repro.core.errors import StudyError
+
+__all__ = [
+    "RESPONSE_VARIABLE",
+    "StudySpec",
+    "load_study",
+    "load_study_file",
+    "STUDY_SPEC_NAME",
+]
+
+#: File name the canonical study spec lands under inside the study tree.
+STUDY_SPEC_NAME = "study.yml"
+
+#: The loop variable carrying the measured response through the script
+#: pipeline; factor names must not collide with it.
+RESPONSE_VARIABLE = "measured_mpps"
+
+#: Replication indices are folded into the low bits of derived seeds, so
+#: the split stays provably collision-free below this bound.
+MAX_REPLICATIONS = 2 ** 32
+
+
+@dataclass
+class StudySpec:
+    """One replicated factorial study: design, seeds, and testbed."""
+
+    name: str
+    factors: Dict[str, List[object]]
+    replications: int
+    seed: int = 0
+    pool: List[str] = field(default_factory=lambda: ["alpha", "beta"])
+    duration: float = 10.0
+    base_epoch: float = DEFAULT_BASE_EPOCH
+    #: Relative amplitude of the per-replication measurement jitter the
+    #: simulated workload applies to each cell's response.
+    noise: float = 0.01
+    #: Relative tolerance of the cross-replication consistency verdict.
+    tolerance: float = 0.05
+
+    @property
+    def cell_count(self) -> int:
+        count = 1
+        for levels in self.factors.values():
+            count *= len(levels)
+        return count
+
+    def validate(self) -> None:
+        if not self.name:
+            raise StudyError("study needs a name")
+        if not self.factors:
+            raise StudyError("study needs at least one factor")
+        for factor, levels in self.factors.items():
+            if not isinstance(factor, str) or not factor.isidentifier():
+                raise StudyError(
+                    f"factor name {factor!r} is not a valid identifier"
+                )
+            if factor == RESPONSE_VARIABLE:
+                raise StudyError(
+                    f"factor name {RESPONSE_VARIABLE!r} is reserved for "
+                    f"the measured response"
+                )
+            if not isinstance(levels, list) or len(levels) < 1:
+                raise StudyError(
+                    f"factor {factor!r} needs a non-empty level list"
+                )
+            for level in levels:
+                if isinstance(level, bool) or not isinstance(
+                    level, (int, float, str)
+                ):
+                    raise StudyError(
+                        f"factor {factor!r} has non-scalar level {level!r}"
+                    )
+            if len(set(map(repr, levels))) != len(levels):
+                raise StudyError(f"factor {factor!r} has duplicate levels")
+        if (
+            isinstance(self.replications, bool)
+            or not isinstance(self.replications, int)
+            or self.replications < 1
+        ):
+            raise StudyError(
+                f"replications must be a positive integer, "
+                f"got {self.replications!r}"
+            )
+        if self.replications >= MAX_REPLICATIONS:
+            raise StudyError(
+                f"replications must stay below {MAX_REPLICATIONS} for the "
+                f"seed split to remain collision-free"
+            )
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise StudyError(f"seed must be an integer, got {self.seed!r}")
+        if not self.pool:
+            raise StudyError("study needs a non-empty node pool")
+        if len(set(self.pool)) != len(self.pool):
+            raise StudyError(f"duplicate nodes in pool: {self.pool}")
+        if self.duration <= 0:
+            raise StudyError("duration must be positive")
+        if self.noise < 0:
+            raise StudyError("noise must be non-negative")
+        if self.tolerance <= 0:
+            raise StudyError("tolerance must be positive")
+
+    def describe(self) -> dict:
+        """Canonical serializable form (stored as ``study.yml``)."""
+        return {
+            "name": self.name,
+            "factors": {
+                factor: list(levels)
+                for factor, levels in self.factors.items()
+            },
+            "replications": self.replications,
+            "seed": self.seed,
+            "pool": list(self.pool),
+            "duration": self.duration,
+            "base_epoch": self.base_epoch,
+            "noise": self.noise,
+            "tolerance": self.tolerance,
+        }
+
+
+def _as_float(value, what: str) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise StudyError(f"{what} must be a number, got {value!r}") from None
+
+
+def _as_int(value, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise StudyError(f"{what} must be an integer, got {value!r}")
+    return value
+
+
+def load_study(document) -> StudySpec:
+    """Build a validated :class:`StudySpec` from a parsed document."""
+    if not isinstance(document, dict):
+        raise StudyError("study file must be a mapping at the top level")
+    raw_factors = document.get("factors")
+    if not isinstance(raw_factors, dict):
+        raise StudyError("study file needs a 'factors' mapping")
+    factors: Dict[str, List[object]] = {
+        str(factor): (list(levels) if isinstance(levels, list) else [levels])
+        for factor, levels in raw_factors.items()
+    }
+    pool = document.get("pool", ["alpha", "beta"])
+    if not isinstance(pool, list):
+        raise StudyError("'pool' must be a list of node names")
+    spec = StudySpec(
+        name=str(document.get("name", "")),
+        factors=factors,
+        replications=_as_int(
+            document.get("replications", 1), "replications"
+        ),
+        seed=_as_int(document.get("seed", 0), "seed"),
+        pool=[str(node) for node in pool],
+        duration=_as_float(document.get("duration", 10.0), "duration"),
+        base_epoch=_as_float(
+            document.get("base_epoch", DEFAULT_BASE_EPOCH), "base_epoch"
+        ),
+        noise=_as_float(document.get("noise", 0.01), "noise"),
+        tolerance=_as_float(document.get("tolerance", 0.05), "tolerance"),
+    )
+    spec.validate()
+    return spec
+
+
+def load_study_file(path: str) -> StudySpec:
+    """Parse and validate a study YAML file."""
+    try:
+        document = yamlite.load_file(path)
+    except OSError as exc:
+        raise StudyError(f"cannot read study file {path}: {exc}") from exc
+    return load_study(document)

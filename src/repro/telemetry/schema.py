@@ -25,6 +25,7 @@ __all__ = [
     "validate",
     "validate_experiment",
     "validate_history",
+    "validate_study",
     "schema_dir",
 ]
 
@@ -242,6 +243,42 @@ def validate_history(history_dir: str) -> List[str]:
         except SchemaError as exc:
             raise SchemaError(f"{history_path}:{number}: {exc}") from exc
     return [history_path]
+
+
+def validate_study(study_dir: str) -> List[str]:
+    """Validate a study tree's own artifacts (aggregate + journal).
+
+    The per-experiment artifacts below the replications are covered by
+    :func:`validate_experiment`; this checks the study layer's two
+    published files: ``study.json`` against its schema, and every
+    complete ``study.jsonl`` record (the journal is append-only with
+    one flushed write per record, so — like the evidence sidecars — a
+    torn final line is tolerated).
+    """
+    from repro.telemetry.jsonl import read_jsonl
+
+    validated: List[str] = []
+    aggregate_path = os.path.join(study_dir, "study.json")
+    if not os.path.isfile(aggregate_path):
+        raise SchemaError(f"no study.json in {study_dir}")
+    with open(aggregate_path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    try:
+        validate(payload, _load_schema("study.schema.json"))
+    except SchemaError as exc:
+        raise SchemaError(f"{aggregate_path}: {exc}") from exc
+    validated.append(aggregate_path)
+
+    journal_path = os.path.join(study_dir, "study.jsonl")
+    if os.path.isfile(journal_path):
+        schema = _load_schema("study-journal.schema.json")
+        for number, record in enumerate(read_jsonl(journal_path), start=1):
+            try:
+                validate(record, schema)
+            except SchemaError as exc:
+                raise SchemaError(f"{journal_path}:{number}: {exc}") from exc
+        validated.append(journal_path)
+    return validated
 
 
 def _main(argv: List[str]) -> int:

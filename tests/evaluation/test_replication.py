@@ -7,7 +7,12 @@ import pytest
 from repro.casestudy import run_case_study
 from repro.core.errors import EvaluationError
 from repro.evaluation.loader import load_experiment
-from repro.evaluation.replication import compare_experiments
+from repro.evaluation.replication import (
+    ReplicationReport,
+    RunComparison,
+    compare_experiments,
+    sample_consistency,
+)
 
 
 def run_once(tmp_path, sub, seed, rates=(1_000_000, 2_000_000)):
@@ -73,6 +78,42 @@ class TestRepeatability:
         assert report.repeats
         assert report.comparisons[0].rx_deviation == 0.0
 
+    def test_tx_deviation_detected_from_captured_logs(self, tmp_path):
+        """A rerun whose load generator *offered* a different rate must
+        fail the check even when the forwarded (RX) rate matches."""
+        original = run_once(tmp_path, "a", seed=1, rates=(1_000_000,))
+        rerun = run_once(tmp_path, "b", seed=1, rates=(1_000_000,))
+        run = rerun.runs[0]
+        log = run.outputs["loadgen"]["moongen.log"]
+        tampered = []
+        for line in log.splitlines():
+            if "TX" in line and "total" in line:
+                line = line.replace("1.0", "0.5", 1)
+            tampered.append(line)
+        run.outputs["loadgen"]["moongen.log"] = "\n".join(tampered) + "\n"
+        report = compare_experiments(original, rerun, tolerance=0.05)
+        assert not report.repeats
+        comparison = report.deviating_runs[0]
+        assert comparison.rx_deviation <= report.tolerance
+        assert comparison.tx_deviation > report.tolerance
+        assert "tx 1.0" in report.summary()
+
+    def test_disjoint_loop_grids_are_reported_on_both_sides(self, tmp_path):
+        """Entirely different loop grids are not a 'failed repeat' — the
+        report names the runs unique to *each* side and shares nothing."""
+        original = run_once(tmp_path, "a", seed=1, rates=(1_000_000,))
+        rerun = run_once(tmp_path, "b", seed=1, rates=(2_000_000,))
+        report = compare_experiments(original, rerun)
+        assert report.comparisons == []
+        assert report.only_in_original == [
+            {"pkt_rate": 1_000_000, "pkt_sz": 64}
+        ]
+        assert report.only_in_rerun == [
+            {"pkt_rate": 2_000_000, "pkt_sz": 64}
+        ]
+        assert not report.structurally_identical
+        assert not report.repeats
+
     def test_vpos_reruns_with_different_seeds_repeat_below_ceiling(self, tmp_path):
         """Below the drop-free ceiling the vpos platform repeats across
         seeds — stochastic models only bite under overload."""
@@ -87,3 +128,72 @@ class TestRepeatability:
             vpos_run("a", seed=1), vpos_run("b", seed=99), tolerance=0.02
         )
         assert report.repeats
+
+
+class TestRunComparison:
+    def make(self, rx=(1.0, 1.0), tx=(1.0, 1.0)):
+        return RunComparison(
+            loop={"pkt_rate": 1_000_000},
+            original_rx_mpps=rx[0], rerun_rx_mpps=rx[1],
+            original_tx_mpps=tx[0], rerun_tx_mpps=tx[1],
+        )
+
+    def test_deviation_is_the_worst_of_both_directions(self):
+        comparison = self.make(rx=(1.0, 0.99), tx=(1.0, 0.8))
+        assert comparison.rx_deviation == pytest.approx(0.01)
+        assert comparison.tx_deviation == pytest.approx(0.2)
+        assert comparison.deviation == comparison.tx_deviation
+
+    def test_verdict_gates_on_tx_alone(self):
+        """Identical RX but a drifted TX flips the verdict: both
+        measured directions are first-class."""
+        report = ReplicationReport(
+            tolerance=0.05,
+            comparisons=[self.make(tx=(1.0, 0.8))],
+        )
+        assert len(report.deviating_runs) == 1
+        assert not report.repeats
+        summary = report.summary()
+        assert "rx 1.0000 -> 1.0000" in summary
+        assert "tx 1.0000 -> 0.8000" in summary
+
+    def test_zero_original_uses_the_absolute_floor(self):
+        """An all-zero original must not divide by zero; any nonzero
+        rerun value then deviates (enormously)."""
+        comparison = self.make(rx=(0.0, 0.1))
+        assert comparison.rx_deviation > 1.0
+
+
+class TestSampleConsistency:
+    def test_consistent_within_tolerance(self):
+        verdict = sample_consistency([1.0, 1.02, 0.99], tolerance=0.05)
+        assert verdict["consistent"]
+        assert verdict["n"] == 3
+        assert verdict["reference"] == 1.0
+        assert verdict["max_deviation"] == pytest.approx(0.02)
+
+    def test_single_sample_is_trivially_consistent(self):
+        verdict = sample_consistency([3.5], tolerance=0.01)
+        assert verdict["consistent"]
+        assert verdict["max_deviation"] == 0.0
+
+    def test_outlier_breaks_consistency(self):
+        verdict = sample_consistency([1.0, 1.0, 2.0], tolerance=0.05)
+        assert not verdict["consistent"]
+        assert verdict["reference"] == 1.0
+        assert verdict["max_deviation"] == pytest.approx(1.0)
+
+    def test_boundary_deviation_still_consistent(self):
+        """`max_deviation == tolerance` passes: the gate is inclusive,
+        matching the pairwise checker's strict `>` on deviations."""
+        verdict = sample_consistency([1.0, 1.0, 1.5], tolerance=0.5)
+        assert verdict["max_deviation"] == 0.5
+        assert verdict["consistent"]
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(EvaluationError):
+            sample_consistency([], tolerance=0.05)
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(EvaluationError):
+            sample_consistency([1.0], tolerance=0.0)

@@ -7,6 +7,8 @@ import pytest
 from repro.core.errors import EvaluationError
 from repro.evaluation.tendencies import (
     extract_features,
+    factorial_effects,
+    paired_effect,
     tendencies_agree,
     tendency_report,
 )
@@ -84,6 +86,119 @@ class TestTendenciesAgree:
         assert "pos [64]" in report
         assert "agree" in report
         assert "DISAGREE" not in report
+
+
+class TestPairedEffect:
+    def test_direction_is_after_minus_before(self):
+        effect = paired_effect([1.0, 2.0, 3.0], [2.0, 4.0, 6.0])
+        assert effect["hl_estimate"] > 0
+        assert effect["median_diff"] == 2.0
+        assert effect["n"] == 3.0
+
+    def test_single_pair_degenerates_to_the_difference(self):
+        """With n=1 every bootstrap resample is the same one diff, so
+        the interval collapses onto the point estimate."""
+        effect = paired_effect([1.0], [3.5])
+        assert effect["hl_estimate"] == 2.5
+        assert effect["median_diff"] == 2.5
+        assert effect["ci_low"] == 2.5
+        assert effect["ci_high"] == 2.5
+        assert effect["n"] == 1.0
+
+    def test_all_tied_differences_give_a_degenerate_interval(self):
+        """Identical diffs leave the bootstrap nothing to vary: the CI
+        is exact, not merely narrow."""
+        effect = paired_effect([1.0, 2.0, 3.0, 4.0], [2.0, 3.0, 4.0, 5.0])
+        assert effect["hl_estimate"] == 1.0
+        assert effect["ci_low"] == 1.0
+        assert effect["ci_high"] == 1.0
+
+    def test_deterministic_for_identical_inputs(self):
+        before = [1.0, 1.2, 0.9, 1.1, 1.05]
+        after = [1.3, 1.6, 1.1, 1.5, 1.25]
+        assert paired_effect(before, after) == paired_effect(before, after)
+        # ... and the interval brackets the estimate.
+        effect = paired_effect(before, after)
+        assert effect["ci_low"] <= effect["hl_estimate"] <= effect["ci_high"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            paired_effect([1.0, 2.0], [1.0])
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(EvaluationError):
+            paired_effect([], [])
+
+
+class TestFactorialEffects:
+    FACTORS = {"rate": [1, 2], "size": [64, 128]}
+
+    def rows(self, replications=2):
+        """Additive synthetic design: +5 for rate=2, +2 for size=128."""
+        built = []
+        for replication in range(replications):
+            for rate in self.FACTORS["rate"]:
+                for size in self.FACTORS["size"]:
+                    value = 10.0 + 5.0 * (rate == 2) + 2.0 * (size == 128)
+                    built.append(
+                        ({"rate": rate, "size": size}, replication, value)
+                    )
+        return built
+
+    def test_recovers_known_additive_effects(self):
+        effects = factorial_effects(self.rows(), self.FACTORS)
+        assert set(effects) == {"rate", "size"}
+        assert effects["rate"]["baseline"] == 1
+        rate_effect = effects["rate"]["levels"]["2"]
+        assert rate_effect["hl_estimate"] == 5.0
+        assert rate_effect["ci_low"] == rate_effect["ci_high"] == 5.0
+        # 2 pairings (one per size level) x 2 replications.
+        assert rate_effect["n"] == 4.0
+        size_effect = effects["size"]["levels"]["128"]
+        assert size_effect["hl_estimate"] == 2.0
+
+    def test_deterministic_across_calls(self):
+        assert factorial_effects(self.rows(), self.FACTORS) == \
+            factorial_effects(self.rows(), self.FACTORS)
+
+    def test_mixed_type_levels_are_supported(self):
+        """Levels like 64 vs "auto" cannot be ordered by ``<`` — the
+        pairing must not rely on cross-type comparison."""
+        factors = {"mode": [64, "auto"]}
+        rows = [
+            ({"mode": 64}, 0, 1.0),
+            ({"mode": "auto"}, 0, 3.0),
+        ]
+        effects = factorial_effects(rows, factors)
+        assert effects["mode"]["levels"]["auto"]["hl_estimate"] == 2.0
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(EvaluationError):
+            factorial_effects([], self.FACTORS)
+
+    def test_empty_factors_rejected(self):
+        with pytest.raises(EvaluationError):
+            factorial_effects(self.rows(), {})
+
+    def test_measurement_lacking_a_factor_rejected(self):
+        rows = [({"rate": 1}, 0, 1.0)]
+        with pytest.raises(EvaluationError, match="lacks factors"):
+            factorial_effects(rows, self.FACTORS)
+
+    def test_factor_without_levels_rejected(self):
+        rows = [({"rate": 1, "size": 64}, 0, 1.0)]
+        with pytest.raises(EvaluationError, match="no levels"):
+            factorial_effects(rows, {"rate": [1], "size": []})
+
+    def test_unpairable_levels_rejected(self):
+        """A level present in the design but absent from the data has
+        no paired measurements — that is an error, not a silent skip."""
+        rows = [
+            ({"rate": 1, "size": 64}, 0, 1.0),
+            ({"rate": 1, "size": 128}, 0, 2.0),
+        ]
+        with pytest.raises(EvaluationError, match="no paired measurements"):
+            factorial_effects(rows, self.FACTORS)
 
 
 class TestAgainstRealRuns:

@@ -1,0 +1,255 @@
+"""End-to-end tests for the replicated-study plane.
+
+A study expands a factorial design into N replication campaigns,
+executes them crash-safely, and folds the tree into a statistical
+aggregate.  These tests pin the contract pieces one at a time: spec
+validation, expansion, execution, the aggregate's content, schema
+conformance, and resume-as-no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.errors import StudyError
+from repro.study import (
+    RESPONSE_VARIABLE,
+    StudySpec,
+    collect_measurements,
+    derive_seed,
+    evaluate_study,
+    expand_cells,
+    load_study,
+    render_study,
+    replication_campaign,
+    run_study,
+    synthetic_response,
+)
+from repro.telemetry.schema import validate_study
+
+SPEC_DOC = {
+    "name": "unit",
+    "factors": {"rate": [1.0, 2.0], "size": [64, 128]},
+    "replications": 2,
+    "seed": 11,
+}
+
+
+def run_small_study(tmp_path, sub="study", jobs=1, **overrides):
+    document = dict(SPEC_DOC, **overrides)
+    study_dir = str(tmp_path / sub)
+    result = run_study(load_study(document), study_dir, jobs=jobs)
+    return study_dir, result
+
+
+class TestSpec:
+    def test_load_normalizes_scalar_levels(self):
+        spec = load_study(
+            {"name": "s", "factors": {"rate": 5}, "replications": 1}
+        )
+        assert spec.factors == {"rate": [5]}
+
+    def test_rejects_reserved_factor_name(self):
+        with pytest.raises(StudyError):
+            load_study(
+                {
+                    "name": "s",
+                    "factors": {RESPONSE_VARIABLE: [1]},
+                    "replications": 1,
+                }
+            )
+
+    def test_rejects_duplicate_levels(self):
+        with pytest.raises(StudyError):
+            load_study(
+                {"name": "s", "factors": {"rate": [1, 1]}, "replications": 1}
+            )
+
+    def test_rejects_non_scalar_levels(self):
+        with pytest.raises(StudyError):
+            load_study(
+                {
+                    "name": "s",
+                    "factors": {"rate": [[1, 2]]},
+                    "replications": 1,
+                }
+            )
+
+    def test_rejects_bad_replications(self):
+        for bad in (0, -1, True, "3"):
+            with pytest.raises(StudyError):
+                load_study(
+                    {
+                        "name": "s",
+                        "factors": {"rate": [1]},
+                        "replications": bad,
+                    }
+                )
+
+    def test_describe_round_trips_through_load(self):
+        spec = load_study(SPEC_DOC)
+        assert load_study(spec.describe()).describe() == spec.describe()
+
+
+class TestExpansion:
+    def test_last_factor_varies_fastest(self):
+        cells = expand_cells({"a": [1, 2], "b": ["x", "y"]})
+        assert cells == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_campaign_carries_assignment_and_response(self):
+        spec = load_study(SPEC_DOC)
+        campaign = replication_campaign(spec, 0)
+        assert len(campaign.experiments) == spec.cell_count
+        for index, experiment in enumerate(campaign.experiments):
+            cells = expand_cells(spec.factors)
+            for factor, level in cells[index].items():
+                assert experiment.loop[factor] == [level]
+            assert len(experiment.loop[RESPONSE_VARIABLE]) == 1
+            assert experiment.run_count == 1
+
+    def test_synthetic_response_depends_on_cell_not_only_seed(self):
+        a = synthetic_response({"rate": 1.0}, seed=5, noise=0.01)
+        b = synthetic_response({"rate": 2.0}, seed=5, noise=0.01)
+        assert a != b
+        # Zero noise removes the replication jitter entirely.
+        assert synthetic_response(
+            {"rate": 1.0}, seed=5, noise=0.0
+        ) == synthetic_response({"rate": 1.0}, seed=99, noise=0.0)
+
+    def test_derived_seeds_differ_across_replications_and_roots(self):
+        seeds = {derive_seed(0, k) for k in range(64)}
+        assert len(seeds) == 64
+        assert derive_seed(0, 1) != derive_seed(1, 1)
+
+
+class TestRun:
+    def test_study_runs_and_aggregates(self, tmp_path):
+        study_dir, result = run_small_study(tmp_path)
+        assert result.ok
+        assert result.completed_replications == 2
+        aggregate = json.load(open(os.path.join(study_dir, "study.json")))
+        assert aggregate["study"] == "unit"
+        assert aggregate["verdict"] == "consistent"
+        assert len(aggregate["cells"]) == 4
+        for cell in aggregate["cells"]:
+            assert len(cell["samples"]) == 2
+            assert cell["consistency"]["consistent"]
+        assert set(aggregate["effects"]) == {"rate", "size"}
+        assert aggregate["design"]["replication_seeds"] == [
+            derive_seed(11, 0), derive_seed(11, 1),
+        ]
+        rendered = render_study(aggregate)
+        assert "verdict: consistent" in rendered
+        assert "main effects" in rendered
+
+    def test_artifacts_validate_against_schemas(self, tmp_path):
+        study_dir, __ = run_small_study(tmp_path)
+        validated = validate_study(study_dir)
+        assert os.path.join(study_dir, "study.json") in validated
+        assert os.path.join(study_dir, "study.jsonl") in validated
+
+    def test_study_page_is_selfcontained(self, tmp_path):
+        study_dir, __ = run_small_study(tmp_path)
+        page = open(os.path.join(study_dir, "index.html")).read()
+        assert "Study: unit" in page
+        assert "rep-000" in page and "rep-001" in page
+        assert "Main effects" in page
+
+    def test_measurements_come_from_captured_artifacts(self, tmp_path):
+        """The evaluation parses the response back out of the command
+        logs the simulated nodes captured — it never shortcuts the
+        testbed pipeline."""
+        study_dir, __ = run_small_study(tmp_path)
+        spec = load_study(SPEC_DOC)
+        rows = collect_measurements(study_dir, spec)
+        assert len(rows) == 8  # 4 cells x 2 replications
+        for assignment, replication, value in rows:
+            expected = synthetic_response(
+                assignment, derive_seed(11, replication), spec.noise
+            )
+            assert value == expected
+
+    def test_resume_of_finished_study_is_byte_identical_noop(self, tmp_path):
+        from tests.core.test_campaign_journal_torn import tree_snapshot
+
+        study_dir, __ = run_small_study(tmp_path)
+        before = tree_snapshot(study_dir)
+        result = run_study(
+            load_study(SPEC_DOC), study_dir, jobs=1, resume=True
+        )
+        assert result.ok
+        assert all(
+            entry.get("adopted") for entry in result.replications
+        )
+        assert tree_snapshot(study_dir) == before
+
+    def test_resume_rejects_a_different_spec(self, tmp_path):
+        study_dir, __ = run_small_study(tmp_path)
+        changed = dict(SPEC_DOC, seed=12)
+        with pytest.raises(StudyError):
+            run_study(load_study(changed), study_dir, resume=True)
+
+    def test_fresh_rerun_over_existing_tree_is_byte_identical(self, tmp_path):
+        from tests.core.test_campaign_journal_torn import tree_snapshot
+
+        study_dir, __ = run_small_study(tmp_path)
+        before = tree_snapshot(study_dir)
+        assert run_study(load_study(SPEC_DOC), study_dir, jobs=2).ok
+        assert tree_snapshot(study_dir) == before
+
+    def test_evaluate_flags_inconsistent_replications(self, tmp_path):
+        """A noise amplitude beyond the tolerance must flip the verdict
+        for at least one cell — the consistency check has teeth."""
+        study_dir, result = run_small_study(
+            tmp_path, replications=3, noise=0.2, tolerance=0.01
+        )
+        assert result.ok
+        aggregate = evaluate_study(study_dir, load_study(
+            dict(SPEC_DOC, replications=3, noise=0.2, tolerance=0.01)
+        ))
+        assert aggregate["verdict"] == "inconsistent"
+        assert any(
+            not cell["consistency"]["consistent"]
+            for cell in aggregate["cells"]
+        )
+
+    def test_collect_rejects_assignment_drift(self, tmp_path):
+        """A run directory whose recorded assignment disagrees with the
+        expanded design is a corruption, not a measurement."""
+        study_dir, __ = run_small_study(tmp_path)
+        spec = load_study(SPEC_DOC)
+        metadata = None
+        for dirpath, __dirs, filenames in os.walk(study_dir):
+            if "metadata.yml" in filenames:
+                metadata = os.path.join(dirpath, "metadata.yml")
+                break
+        assert metadata is not None
+        text = open(metadata).read().replace("64", "65")
+        with open(metadata, "w") as handle:
+            handle.write(text)
+        with pytest.raises(StudyError):
+            collect_measurements(study_dir, spec)
+
+
+class TestSpecGuards:
+    def test_studyspec_validate_catches_empty_pool(self):
+        spec = StudySpec(
+            name="s", factors={"a": [1]}, replications=1, pool=[]
+        )
+        with pytest.raises(StudyError):
+            spec.validate()
+
+    def test_studyspec_validate_catches_bad_tolerance(self):
+        spec = StudySpec(
+            name="s", factors={"a": [1]}, replications=1, tolerance=0.0
+        )
+        with pytest.raises(StudyError):
+            spec.validate()

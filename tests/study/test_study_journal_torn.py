@@ -1,0 +1,121 @@
+"""Torn-record fuzz for the study journal.
+
+A study runner can die mid-``write()``: the fsynced prefix of
+``study.jsonl`` is intact, the final record is an arbitrary byte
+prefix of itself.  These tests truncate a finished study's journal at
+*every byte offset* spanning the replication records and the
+completion marker, then ``--resume``.  Required behaviour at every
+cut point (mirroring ``test_campaign_journal_torn``):
+
+* resume succeeds and reports the study ok,
+* no campaign or run directory is ever duplicated,
+* the final study directory — journal and aggregate included — is
+  byte-identical to the uninterrupted baseline, and
+* ``pos study audit`` reports the tree complete afterwards.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+from repro.study import (
+    STUDY_JOURNAL_NAME,
+    StudyJournal,
+    audit_study,
+    load_study,
+    run_study,
+)
+from tests.core.test_campaign_journal_torn import tree_snapshot
+
+SPEC_DOC = {
+    "name": "torn",
+    "factors": {"rate": [1.0, 2.0]},
+    "replications": 2,
+    "seed": 3,
+}
+
+
+def campaign_directories(study_dir):
+    """Every campaign and run directory under the replications tree."""
+    found = []
+    replications = os.path.join(study_dir, "replications")
+    for dirpath, dirnames, __ in os.walk(replications):
+        for name in dirnames:
+            if name.startswith(("rep-", "run-")):
+                found.append(
+                    os.path.relpath(os.path.join(dirpath, name), study_dir)
+                )
+    return sorted(found)
+
+
+def test_study_resumes_cleanly_from_every_torn_byte(tmp_path):
+    baseline = str(tmp_path / "baseline")
+    assert run_study(load_study(SPEC_DOC), baseline, jobs=1).ok
+    expected_tree = tree_snapshot(baseline)
+    expected_dirs = campaign_directories(baseline)
+
+    journal_path = os.path.join(baseline, STUDY_JOURNAL_NAME)
+    with open(journal_path, "rb") as handle:
+        journal_bytes = handle.read()
+    lines = journal_bytes.splitlines(keepends=True)
+    assert len(lines) == 4  # header, two replications, complete
+    # Cut everywhere after the header: inside either replication record
+    # and the completion marker, including clean line boundaries.
+    tail_start = len(lines[0])
+    scratch = str(tmp_path / "scratch")
+
+    for cut in range(tail_start, len(journal_bytes)):
+        shutil.rmtree(scratch, ignore_errors=True)
+        shutil.copytree(baseline, scratch)
+        with open(os.path.join(scratch, STUDY_JOURNAL_NAME), "r+b") as handle:
+            handle.truncate(cut)
+        result = run_study(
+            load_study(SPEC_DOC), scratch, jobs=1, resume=True
+        )
+        assert result.ok, f"resume failed at cut offset {cut}"
+        assert campaign_directories(scratch) == expected_dirs, (
+            f"campaign/run directories duplicated or lost at cut {cut}"
+        )
+        resumed_tree = tree_snapshot(scratch)
+        different = [
+            path for path in sorted(set(expected_tree) | set(resumed_tree))
+            if expected_tree.get(path) != resumed_tree.get(path)
+        ]
+        assert different == [], (
+            f"tree diverged at cut offset {cut}: {different}"
+        )
+        report = audit_study(scratch)
+        assert report["complete"], (
+            f"audit found holes after resume at cut {cut}: "
+            f"{report['holes']}"
+        )
+
+
+def test_study_journal_append_after_torn_tail_leaves_clean_records(tmp_path):
+    """Reopening a torn study journal truncates the fragment; the next
+    append starts on a clean line, never concatenating records."""
+    import json
+
+    journal = StudyJournal.create(str(tmp_path), "torn", 3)
+    journal.record_replication(0, 11, ok=True, result_dir="replications/rep-000")
+    journal.record_replication(1, 12, ok=True, result_dir="replications/rep-001")
+    journal.close()
+    path = os.path.join(str(tmp_path), STUDY_JOURNAL_NAME)
+    with open(path, "rb") as handle:
+        clean = handle.read()
+    lines = clean.splitlines(keepends=True)
+    tail_start = len(clean) - len(lines[-1])
+    for cut in range(tail_start, len(clean)):
+        with open(path, "wb") as handle:
+            handle.write(clean[:cut])
+        reopened = StudyJournal.open(str(tmp_path))
+        assert sorted(reopened.completed()) == [0], cut
+        reopened.record_replication(
+            2, 13, ok=True, result_dir="replications/rep-002"
+        )
+        reopened.close()
+        with open(path, "rb") as handle:
+            raw_lines = handle.read().splitlines()
+        parsed = [json.loads(line) for line in raw_lines if line.strip()]
+        assert parsed[-1]["index"] == 2
